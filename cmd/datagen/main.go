@@ -1,0 +1,69 @@
+// Command datagen writes the synthetic evaluation corpora to set files that
+// cmd/silkmoth and the examples can consume.
+//
+// Usage:
+//
+//	datagen -app dblp -n 10000 -seed 1 -out dblp.txt
+//	datagen -app schemas -n 50000 -out schemas.txt
+//	datagen -app columns -n 50000 -out columns.txt -refs refs.txt -numrefs 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"silkmoth/internal/datagen"
+	"silkmoth/internal/dataset"
+)
+
+func main() {
+	var (
+		app     = flag.String("app", "dblp", "corpus: dblp, schemas, or columns")
+		n       = flag.Int("n", 10000, "number of base sets")
+		seed    = flag.Int64("seed", 1, "generator seed")
+		out     = flag.String("out", "", "output set file (default stdout)")
+		refs    = flag.String("refs", "", "also write reference sets here (columns only)")
+		numRefs = flag.Int("numrefs", 1000, "number of reference sets for -refs")
+	)
+	flag.Parse()
+
+	var raws []dataset.RawSet
+	switch *app {
+	case "dblp":
+		raws = datagen.DBLP(datagen.DBLPConfig{NumTitles: *n, Seed: *seed})
+	case "schemas":
+		raws = datagen.WebTableSchemas(datagen.SchemaConfig{NumTables: *n, Seed: *seed})
+	case "columns":
+		raws = datagen.WebTableColumns(datagen.ColumnConfig{NumColumns: *n, Seed: *seed})
+	default:
+		fatal(fmt.Errorf("unknown -app %q", *app))
+	}
+
+	if err := writeSets(*out, raws); err != nil {
+		fatal(err)
+	}
+	if *refs != "" {
+		if *app != "columns" {
+			fatal(fmt.Errorf("-refs only applies to -app columns"))
+		}
+		refRaws := datagen.PickReferences(raws, *numRefs, 4)
+		if err := dataset.WriteRawSetsFile(*refs, refRaws); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d reference sets to %s\n", len(refRaws), *refs)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d sets\n", len(raws))
+}
+
+func writeSets(path string, raws []dataset.RawSet) error {
+	if path == "" {
+		return dataset.WriteRawSets(os.Stdout, raws)
+	}
+	return dataset.WriteRawSetsFile(path, raws)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "datagen:", err)
+	os.Exit(1)
+}

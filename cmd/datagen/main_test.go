@@ -1,0 +1,45 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"silkmoth/internal/dataset"
+)
+
+func TestWriteSetsToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.txt")
+	raws := []dataset.RawSet{{Name: "a", Elements: []string{"x y", "z"}}}
+	if err := writeSets(path, raws); err != nil {
+		t.Fatal(err)
+	}
+	got, err := dataset.ReadRawSetsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Name != "a" || len(got[0].Elements) != 2 {
+		t.Errorf("round trip = %+v", got)
+	}
+}
+
+func TestWriteSetsToStdout(t *testing.T) {
+	// Redirect stdout to a pipe to keep test output clean.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	werr := writeSets("", []dataset.RawSet{{Name: "s", Elements: []string{"e"}}})
+	w.Close()
+	os.Stdout = old
+	if werr != nil {
+		t.Fatal(werr)
+	}
+	buf := make([]byte, 64)
+	n, _ := r.Read(buf)
+	if n == 0 {
+		t.Error("nothing written to stdout")
+	}
+}

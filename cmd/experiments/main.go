@@ -1,0 +1,37 @@
+// Command experiments regenerates the paper's evaluation tables and figures
+// (§8) on the synthetic corpora. Each row reports one variant at one
+// parameter point: wall time, the candidate funnel (signature → check →
+// nearest-neighbor → verified), and the result count.
+//
+// Usage:
+//
+//	experiments -figure all            # every table and figure
+//	experiments -figure fig5b          # one figure
+//	experiments -figure fig8a -scale 5 # larger corpus (paper ≈ scale 50-170)
+//
+// Figures: table3, fig4, fig5a-c, fig6a-c, fig7, fig8a-b, fig9a-c.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"silkmoth/internal/harness"
+)
+
+func main() {
+	var (
+		figure = flag.String("figure", "all", "experiment id or 'all': "+strings.Join(harness.Figures, ", "))
+		scale  = flag.Float64("scale", 1, "corpus size multiplier (1 ≈ minutes on a laptop)")
+		seed   = flag.Int64("seed", 1, "corpus generator seed")
+	)
+	flag.Parse()
+
+	harness.WriteHeader(os.Stdout)
+	if _, err := harness.RunFigure(*figure, *scale, *seed, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,163 @@
+// Command silkmoth finds related sets in plain-text set files or CSV
+// columns, exposing the library's discovery and search modes.
+//
+// Usage:
+//
+//	silkmoth -mode discover -input sets.txt -metric similarity -delta 0.8
+//	silkmoth -mode search -input sets.txt -ref query.txt -metric containment -delta 0.7
+//	silkmoth -mode discover -csv table.csv -metric containment -delta 0.9
+//
+// Set files hold one set per line: an optional "name:" prefix, then
+// elements separated by '|'. With -csv, each column of the file becomes a
+// set of its distinct values (the inclusion-dependency use case).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"silkmoth"
+	"silkmoth/internal/dataset"
+)
+
+func main() {
+	var (
+		mode      = flag.String("mode", "discover", "discover (all related pairs) or search (related to -ref)")
+		input     = flag.String("input", "", "set file to index (one set per line)")
+		csvFile   = flag.String("csv", "", "CSV file whose columns become sets (alternative to -input)")
+		refFile   = flag.String("ref", "", "set file with reference sets (search mode)")
+		metric    = flag.String("metric", "similarity", "similarity or containment")
+		simName   = flag.String("sim", "jaccard", "element similarity: jaccard, eds, or neds")
+		delta     = flag.Float64("delta", 0.7, "relatedness threshold δ in (0,1]")
+		alpha     = flag.Float64("alpha", 0, "element similarity threshold α in [0,1)")
+		q         = flag.Int("q", 0, "gram length for edit similarities (0 = auto)")
+		scheme    = flag.String("scheme", "dichotomy", "signature scheme: dichotomy, skyline, weighted, combunweighted")
+		noCheck   = flag.Bool("no-check", false, "disable the check filter")
+		noNN      = flag.Bool("no-nn", false, "disable the nearest-neighbor filter")
+		noRed     = flag.Bool("no-reduction", false, "disable reduction-based verification")
+		workers   = flag.Int("workers", 0, "parallel search passes (0 = GOMAXPROCS)")
+		showStats = flag.Bool("stats", false, "print the pruning funnel to stderr")
+	)
+	flag.Parse()
+
+	cfg, err := buildConfig(*metric, *simName, *scheme, *delta, *alpha, *q, *noCheck, *noNN, *noRed, *workers)
+	if err != nil {
+		fatal(err)
+	}
+
+	sets, err := loadSets(*input, *csvFile)
+	if err != nil {
+		fatal(err)
+	}
+	eng, err := silkmoth.NewEngine(sets, cfg)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch *mode {
+	case "discover":
+		for _, p := range eng.Discover() {
+			fmt.Printf("%s\t%s\t%.4f\t%.4f\n", p.RName, p.SName, p.Relatedness, p.MatchingScore)
+		}
+	case "search":
+		if *refFile == "" {
+			fatal(fmt.Errorf("search mode requires -ref"))
+		}
+		refs, err := dataset.ReadRawSetsFile(*refFile)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range refs {
+			ms, err := eng.Search(silkmoth.Set{Name: r.Name, Elements: r.Elements})
+			if err != nil {
+				fatal(err)
+			}
+			for _, m := range ms {
+				fmt.Printf("%s\t%s\t%.4f\t%.4f\n", r.Name, m.Name, m.Relatedness, m.MatchingScore)
+			}
+		}
+	default:
+		fatal(fmt.Errorf("unknown -mode %q", *mode))
+	}
+
+	if *showStats {
+		st := eng.Stats()
+		fmt.Fprintf(os.Stderr, "passes=%d candidates=%d after-check=%d after-nn=%d verified=%d\n",
+			st.SearchPasses, st.Candidates, st.AfterCheck, st.AfterNN, st.Verified)
+	}
+}
+
+func buildConfig(metric, simName, scheme string, delta, alpha float64, q int, noCheck, noNN, noRed bool, workers int) (silkmoth.Config, error) {
+	cfg := silkmoth.Config{
+		Delta: delta, Alpha: alpha, Q: q,
+		DisableCheckFilter: noCheck,
+		DisableNNFilter:    noNN,
+		DisableReduction:   noRed,
+		Concurrency:        workers,
+	}
+	switch metric {
+	case "similarity":
+		cfg.Metric = silkmoth.SetSimilarity
+	case "containment":
+		cfg.Metric = silkmoth.SetContainment
+	default:
+		return cfg, fmt.Errorf("unknown -metric %q", metric)
+	}
+	switch simName {
+	case "jaccard":
+		cfg.Similarity = silkmoth.Jaccard
+	case "eds":
+		cfg.Similarity = silkmoth.Eds
+	case "neds":
+		cfg.Similarity = silkmoth.NEds
+	default:
+		return cfg, fmt.Errorf("unknown -sim %q", simName)
+	}
+	switch scheme {
+	case "dichotomy":
+		cfg.Scheme = silkmoth.SchemeDichotomy
+	case "skyline":
+		cfg.Scheme = silkmoth.SchemeSkyline
+	case "weighted":
+		cfg.Scheme = silkmoth.SchemeWeighted
+	case "combunweighted":
+		cfg.Scheme = silkmoth.SchemeCombUnweighted
+	default:
+		return cfg, fmt.Errorf("unknown -scheme %q", scheme)
+	}
+	return cfg, nil
+}
+
+func loadSets(input, csvFile string) ([]silkmoth.Set, error) {
+	var raws []dataset.RawSet
+	var err error
+	switch {
+	case input != "" && csvFile != "":
+		return nil, fmt.Errorf("use either -input or -csv, not both")
+	case input != "":
+		raws, err = dataset.ReadRawSetsFile(input)
+	case csvFile != "":
+		f, ferr := os.Open(csvFile)
+		if ferr != nil {
+			return nil, ferr
+		}
+		defer f.Close()
+		raws, err = dataset.ReadCSVColumns(f, "")
+	default:
+		return nil, fmt.Errorf("one of -input or -csv is required")
+	}
+	if err != nil {
+		return nil, err
+	}
+	sets := make([]silkmoth.Set, len(raws))
+	for i, r := range raws {
+		sets[i] = silkmoth.Set{Name: r.Name, Elements: r.Elements}
+	}
+	return sets, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "silkmoth:", err)
+	os.Exit(1)
+}

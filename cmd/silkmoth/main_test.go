@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"silkmoth"
+)
+
+func TestBuildConfig(t *testing.T) {
+	cfg, err := buildConfig("containment", "eds", "skyline", 0.8, 0.7, 0, true, true, true, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Metric != silkmoth.SetContainment || cfg.Similarity != silkmoth.Eds ||
+		cfg.Scheme != silkmoth.SchemeSkyline {
+		t.Errorf("cfg = %+v", cfg)
+	}
+	if !cfg.DisableCheckFilter || !cfg.DisableNNFilter || !cfg.DisableReduction {
+		t.Error("disable flags not carried")
+	}
+	if cfg.Concurrency != 4 {
+		t.Error("workers not carried")
+	}
+	for _, simName := range []string{"jaccard", "neds"} {
+		if _, err := buildConfig("similarity", simName, "dichotomy", 0.7, 0, 0, false, false, false, 0); err != nil {
+			t.Errorf("sim %s rejected: %v", simName, err)
+		}
+	}
+	if _, err := buildConfig("bogus", "jaccard", "dichotomy", 0.7, 0, 0, false, false, false, 0); err == nil {
+		t.Error("bogus metric accepted")
+	}
+	if _, err := buildConfig("similarity", "bogus", "dichotomy", 0.7, 0, 0, false, false, false, 0); err == nil {
+		t.Error("bogus similarity accepted")
+	}
+	if _, err := buildConfig("similarity", "jaccard", "bogus", 0.7, 0, 0, false, false, false, 0); err == nil {
+		t.Error("bogus scheme accepted")
+	}
+}
+
+func TestLoadSetsFromSetFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sets.txt")
+	if err := os.WriteFile(path, []byte("a: x y | z\nb: w\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sets, err := loadSets(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 2 || sets[0].Name != "a" || len(sets[0].Elements) != 2 {
+		t.Errorf("sets = %+v", sets)
+	}
+}
+
+func TestLoadSetsFromCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.csv")
+	if err := os.WriteFile(path, []byte("c1,c2\na,b\nc,d\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sets, err := loadSets("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 2 || len(sets[0].Elements) != 2 {
+		t.Errorf("csv sets = %+v", sets)
+	}
+}
+
+func TestLoadSetsErrors(t *testing.T) {
+	if _, err := loadSets("", ""); err == nil {
+		t.Error("no input should fail")
+	}
+	if _, err := loadSets("a", "b"); err == nil {
+		t.Error("both inputs should fail")
+	}
+	if _, err := loadSets(filepath.Join(t.TempDir(), "missing"), ""); err == nil {
+		t.Error("missing file should fail")
+	}
+	if _, err := loadSets("", filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("missing csv should fail")
+	}
+}

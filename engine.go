@@ -1,0 +1,147 @@
+package silkmoth
+
+import (
+	"errors"
+	"sort"
+	"sync"
+
+	"silkmoth/internal/core"
+	"silkmoth/internal/dataset"
+	"silkmoth/internal/tokens"
+)
+
+// Engine indexes a collection of sets and answers related-set searches and
+// discoveries over it. Build once, query many times; an Engine is safe for
+// concurrent use.
+type Engine struct {
+	eng  *core.Engine
+	coll *dataset.Collection
+	// mu guards query-time tokenization, which interns new tokens into
+	// the shared dictionary.
+	mu sync.Mutex
+}
+
+// NewEngine tokenizes the collection according to cfg and builds the
+// inverted index over it.
+func NewEngine(sets []Set, cfg Config) (*Engine, error) {
+	opts, err := cfg.coreOptions()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Delta <= 0 || opts.Delta > 1 {
+		return nil, errors.New("silkmoth: Config.Delta must be in (0, 1]")
+	}
+	raws := toRaw(sets)
+	dict := tokens.NewDictionary()
+	var coll *dataset.Collection
+	if opts.Sim.TokenMode() == dataset.ModeWord {
+		coll = dataset.BuildWord(dict, raws)
+	} else {
+		if opts.Q == 0 {
+			opts.Q = core.DefaultQ(opts.Delta, opts.Alpha)
+		}
+		coll = dataset.BuildQGram(dict, raws, opts.Q)
+	}
+	eng, err := core.NewEngine(coll, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{eng: eng, coll: coll}, nil
+}
+
+func toRaw(sets []Set) []dataset.RawSet {
+	raws := make([]dataset.RawSet, len(sets))
+	for i, s := range sets {
+		raws[i] = dataset.RawSet{Name: s.Name, Elements: s.Elements}
+	}
+	return raws
+}
+
+// tokenizeQuery tokenizes query sets against the engine's dictionary.
+func (e *Engine) tokenizeQuery(sets []Set) *dataset.Collection {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	raws := toRaw(sets)
+	if e.coll.Mode == dataset.ModeWord {
+		return dataset.BuildWord(e.coll.Dict, raws)
+	}
+	return dataset.BuildQGram(e.coll.Dict, raws, e.coll.Q)
+}
+
+// Search returns every set in the engine's collection related to ref,
+// sorted by descending relatedness (ties by index). This is the paper's
+// RELATED SET SEARCH (Problem 2).
+func (e *Engine) Search(ref Set) ([]Match, error) {
+	qc := e.tokenizeQuery([]Set{ref})
+	ms := e.eng.Search(&qc.Sets[0])
+	out := make([]Match, len(ms))
+	for i, m := range ms {
+		out[i] = Match{
+			Index:         m.Set,
+			Name:          e.coll.Sets[m.Set].Name,
+			Relatedness:   m.Relatedness,
+			MatchingScore: m.Score,
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Relatedness != out[j].Relatedness {
+			return out[i].Relatedness > out[j].Relatedness
+		}
+		return out[i].Index < out[j].Index
+	})
+	return out, nil
+}
+
+// Discover returns all related pairs within the engine's collection — the
+// paper's RELATED SET DISCOVERY (Problem 1) with R = S. Under SetSimilarity
+// each unordered pair is reported once (R < S); under SetContainment every
+// ordered pair ⟨R, S⟩ with |R| ≤ |S| is considered. Pairs are sorted by
+// (R, S).
+func (e *Engine) Discover() []Pair {
+	return e.toPairs(e.eng.Discover(e.coll), e.coll)
+}
+
+// DiscoverAgainst finds all related pairs ⟨R, S⟩ with R from refs and S from
+// the engine's collection.
+func (e *Engine) DiscoverAgainst(refs []Set) ([]Pair, error) {
+	qc := e.tokenizeQuery(refs)
+	return e.toPairs(e.eng.Discover(qc), qc), nil
+}
+
+func (e *Engine) toPairs(ps []core.Pair, refs *dataset.Collection) []Pair {
+	out := make([]Pair, len(ps))
+	for i, p := range ps {
+		out[i] = Pair{
+			R: p.R, S: p.S,
+			RName:         refs.Sets[p.R].Name,
+			SName:         e.coll.Sets[p.S].Name,
+			Relatedness:   p.Relatedness,
+			MatchingScore: p.Score,
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].R != out[j].R {
+			return out[i].R < out[j].R
+		}
+		return out[i].S < out[j].S
+	})
+	return out
+}
+
+// Len returns the number of sets in the engine's collection.
+func (e *Engine) Len() int { return len(e.coll.Sets) }
+
+// SetName returns the name of collection set i.
+func (e *Engine) SetName(i int) string { return e.coll.Sets[i].Name }
+
+// Stats returns the engine's cumulative pruning funnel.
+func (e *Engine) Stats() Stats {
+	st := e.eng.Stats()
+	return Stats{
+		SearchPasses: st.SearchPasses,
+		Candidates:   st.Candidates,
+		AfterCheck:   st.AfterCheck,
+		AfterNN:      st.AfterNN,
+		Verified:     st.Verified,
+	}
+}

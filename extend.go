@@ -1,0 +1,114 @@
+package silkmoth
+
+import (
+	"errors"
+	"io"
+	"sort"
+
+	"silkmoth/internal/core"
+	"silkmoth/internal/dataset"
+)
+
+// SearchTopK returns the k most related sets to ref among those whose
+// relatedness reaches Delta, ordered by descending relatedness.
+func (e *Engine) SearchTopK(ref Set, k int) ([]Match, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	ms, err := e.Search(ref)
+	if err != nil {
+		return nil, err
+	}
+	if k < len(ms) {
+		ms = ms[:k]
+	}
+	return ms, nil
+}
+
+// Add tokenizes and indexes additional sets, growing the engine's
+// collection in place. Appends are serialized against query-time
+// tokenization but must not run concurrently with Search or Discover calls.
+func (e *Engine) Add(sets []Set) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	from := dataset.Append(e.coll, toRaw(sets))
+	e.eng.AppendSets(from)
+}
+
+// SaveCollection writes the engine's tokenized collection to w in a
+// self-contained binary form. Reload it with NewEngineFromSaved to skip
+// re-tokenizing large corpora.
+func (e *Engine) SaveCollection(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return dataset.SaveCollection(w, e.coll)
+}
+
+// NewEngineFromSaved builds an engine from a collection previously written
+// by SaveCollection. cfg must request the same tokenization the collection
+// was built with: a word-token similarity (Jaccard, Dice, Cosine) for
+// word-tokenized collections, an edit similarity with the same Q for q-gram
+// collections (Q = 0 adopts the persisted value).
+func NewEngineFromSaved(r io.Reader, cfg Config) (*Engine, error) {
+	opts, err := cfg.coreOptions()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Delta <= 0 || opts.Delta > 1 {
+		return nil, errors.New("silkmoth: Config.Delta must be in (0, 1]")
+	}
+	coll, err := dataset.LoadCollection(r)
+	if err != nil {
+		return nil, err
+	}
+	if opts.Q == 0 {
+		opts.Q = coll.Q
+	}
+	eng, err := core.NewEngine(coll, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{eng: eng, coll: coll}, nil
+}
+
+// SortMatchesByIndex re-sorts a search result list by collection index,
+// for callers that want stable positional output instead of the default
+// relatedness ordering.
+func SortMatchesByIndex(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Index < ms[j].Index })
+}
+
+// Compare computes the relatedness of two sets directly — the maximum
+// matching metric value (SET-SIMILARITY or SET-CONTAINMENT per cfg.Metric)
+// without any engine machinery. Delta is not consulted; callers get the raw
+// metric. For SetContainment, r is the contained side and |r| must not
+// exceed |s| (the metric is 0 otherwise, per Definition 2).
+func Compare(r, s Set, cfg Config) (float64, error) {
+	if cfg.Delta == 0 {
+		cfg.Delta = 1 // Delta is irrelevant here but must validate
+	}
+	eng, err := NewEngine([]Set{s}, cfg)
+	if err != nil {
+		return 0, err
+	}
+	if len(r.Elements) > len(s.Elements) && cfg.Metric == SetContainment {
+		return 0, nil
+	}
+	score, nR, nS := eng.matchScore(r)
+	if nR == 0 {
+		return 0, nil
+	}
+	if cfg.Metric == SetContainment {
+		return score / float64(nR), nil
+	}
+	return score / (float64(nR+nS) - score), nil
+}
+
+// matchScore computes |r ∩̃ S0| between a query set and the engine's only
+// collection set, returning the score and both sizes.
+func (e *Engine) matchScore(r Set) (score float64, nR, nS int) {
+	qc := e.tokenizeQuery([]Set{r})
+	rs := &qc.Sets[0]
+	ss := &e.coll.Sets[0]
+	return e.eng.MatchScore(rs, ss), len(rs.Elements), len(ss.Elements)
+}

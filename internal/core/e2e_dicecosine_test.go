@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"silkmoth/internal/dataset"
+	"silkmoth/internal/signature"
+	"silkmoth/internal/tokens"
+)
+
+// TestEndToEndDiceCosineMatchesBruteForce extends the exactness matrix to
+// the generalized token similarities: the Dice and Cosine signature bounds
+// must never lose a related pair, for every scheme and filter combination.
+func TestEndToEndDiceCosineMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3001))
+	schemes := []signature.Kind{signature.Weighted, signature.CombUnweighted, signature.Skyline, signature.Dichotomy}
+	for trial := 0; trial < 8; trial++ {
+		raws := randWordCorpus(rng, 22, 12)
+		dict := tokens.NewDictionary()
+		coll := dataset.BuildWord(dict, raws)
+		for _, simKind := range []SimKind{Dice, Cosine} {
+			for _, metric := range []Metric{SetSimilarity, SetContainment} {
+				for _, delta := range []float64{0.5, 0.75, 0.9} {
+					for _, alpha := range []float64{0, 0.5, 0.8} {
+						for _, scheme := range schemes {
+							for _, nn := range []bool{false, true} {
+								opts := Options{
+									Metric: metric, Sim: simKind,
+									Delta: delta, Alpha: alpha,
+									Scheme:      scheme,
+									CheckFilter: true, NNFilter: nn,
+								}
+								eng, err := NewEngine(coll, opts)
+								if err != nil {
+									t.Fatal(err)
+								}
+								label := fmt.Sprintf("trial=%d %v %v δ=%v α=%v %v nn=%v",
+									trial, simKind, metric, delta, alpha, scheme, nn)
+								comparePairs(t, label, eng.Discover(coll), eng.BruteForceDiscover(coll))
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Dice and Cosine relax Jaccard, so at the same δ they can only find more
+// pairs, never fewer (Jac ≤ Dice and Jac ≤ Cos pointwise).
+func TestDiceCosineFindSupersetsOfJaccard(t *testing.T) {
+	rng := rand.New(rand.NewSource(3002))
+	for trial := 0; trial < 6; trial++ {
+		raws := randWordCorpus(rng, 30, 10)
+		dict := tokens.NewDictionary()
+		coll := dataset.BuildWord(dict, raws)
+		for _, delta := range []float64{0.5, 0.7} {
+			count := func(simKind SimKind) int {
+				eng, err := NewEngine(coll, DefaultOptions(SetSimilarity, simKind, delta, 0))
+				if err != nil {
+					t.Fatal(err)
+				}
+				return len(eng.Discover(coll))
+			}
+			jac, dice, cos := count(Jaccard), count(Dice), count(Cosine)
+			if dice < jac {
+				t.Errorf("trial %d δ=%v: Dice found %d < Jaccard %d", trial, delta, dice, jac)
+			}
+			if cos < jac {
+				t.Errorf("trial %d δ=%v: Cosine found %d < Jaccard %d", trial, delta, cos, jac)
+			}
+		}
+	}
+}
+
+// Reduction must stay disabled for Dice and Cosine even when requested:
+// their dual distances violate the triangle inequality.
+func TestDiceCosineReductionDisabled(t *testing.T) {
+	for _, simKind := range []SimKind{Dice, Cosine} {
+		o, err := Options{Delta: 0.7, Sim: simKind, Reduction: true}.normalize()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o.Reduction {
+			t.Errorf("%v: reduction not disabled", simKind)
+		}
+		if o.Q != 0 {
+			t.Errorf("%v: token similarity should have q=0, got %d", simKind, o.Q)
+		}
+	}
+}

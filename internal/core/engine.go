@@ -1,0 +1,271 @@
+package core
+
+import (
+	"errors"
+	"sync"
+
+	"silkmoth/internal/dataset"
+	"silkmoth/internal/filter"
+	"silkmoth/internal/index"
+	"silkmoth/internal/signature"
+	"silkmoth/internal/sim"
+)
+
+// Numeric tolerances tying the pipeline's stages together. Pruning uses a
+// slack three orders of magnitude larger than the acceptance epsilon, so a
+// set discarded by any filter can never be one verification would accept;
+// signature generation keeps its own ValiditySlack between the two.
+const (
+	// acceptEps is the absolute score tolerance of verification: a set is
+	// related when its matching score reaches the exact threshold minus
+	// acceptEps (absorbing float noise in the O(n³) matching itself).
+	acceptEps = 1e-9
+	// pruneSlack is how far below θ a sound upper bound must fall before
+	// a filter may discard a candidate.
+	pruneSlack = 1e-6
+	// sizeEps guards the set-size filters' boundaries.
+	sizeEps = 1e-9
+)
+
+// Match is one search result: a related set and its relatedness value.
+type Match struct {
+	// Set indexes the related set in the engine's collection.
+	Set int
+	// Relatedness is the metric value (similarity or containment), ≥ δ.
+	Relatedness float64
+	// Score is the underlying maximum matching score |R ∩̃ S|.
+	Score float64
+}
+
+// Pair is one discovery result: indices of a related pair of sets.
+type Pair struct {
+	R, S        int
+	Relatedness float64
+	Score       float64
+}
+
+// Engine runs related-set search passes against one indexed collection.
+// It is safe for concurrent use once built.
+type Engine struct {
+	opts Options
+	coll *dataset.Collection
+	ix   *index.Inverted
+	phi  filter.SimFunc
+	st   Stats
+}
+
+// NewEngine validates opts, checks that the collection's tokenization
+// matches the similarity function, and builds the inverted index.
+func NewEngine(coll *dataset.Collection, opts Options) (*Engine, error) {
+	return newEngine(coll, nil, opts)
+}
+
+// NewEngineFromIndex builds an engine over a pre-built inverted index,
+// letting callers amortize one index across many engine configurations
+// (the experiment harness sweeps schemes and filters over one corpus).
+func NewEngineFromIndex(ix *index.Inverted, opts Options) (*Engine, error) {
+	return newEngine(ix.Collection(), ix, opts)
+}
+
+func newEngine(coll *dataset.Collection, ix *index.Inverted, opts Options) (*Engine, error) {
+	o, err := opts.normalize()
+	if err != nil {
+		return nil, err
+	}
+	if coll.Mode != o.Sim.TokenMode() {
+		return nil, errors.New("core: collection tokenization does not match similarity function")
+	}
+	if o.Sim.TokenMode() == dataset.ModeQGram && coll.Q != o.Q {
+		return nil, errors.New("core: collection q does not match options q")
+	}
+	if ix == nil {
+		ix = index.Build(coll)
+	}
+	e := &Engine{opts: o, coll: coll, ix: ix}
+	e.phi = phiFunc(o)
+	return e, nil
+}
+
+// phiFunc builds the α-thresholded element similarity φ_α.
+func phiFunc(o Options) filter.SimFunc {
+	alpha := o.Alpha
+	switch o.Sim {
+	case Jaccard:
+		return func(r, s *dataset.Element) float64 {
+			return sim.Alpha(sim.JaccardSorted(r.Tokens, s.Tokens), alpha)
+		}
+	case Eds:
+		return func(r, s *dataset.Element) float64 {
+			return sim.EdsAlpha(r.Raw, s.Raw, alpha)
+		}
+	case NEds:
+		return func(r, s *dataset.Element) float64 {
+			return sim.NEdsAlpha(r.Raw, s.Raw, alpha)
+		}
+	case Dice:
+		return func(r, s *dataset.Element) float64 {
+			return sim.Alpha(sim.DiceSorted(r.Tokens, s.Tokens), alpha)
+		}
+	case Cosine:
+		return func(r, s *dataset.Element) float64 {
+			return sim.Alpha(sim.CosineSorted(r.Tokens, s.Tokens), alpha)
+		}
+	default:
+		panic("core: unknown similarity kind")
+	}
+}
+
+// Options returns the engine's effective (normalized) options.
+func (e *Engine) Options() Options { return e.opts }
+
+// Collection returns the indexed collection.
+func (e *Engine) Collection() *dataset.Collection { return e.coll }
+
+// Search runs one related-set search pass (paper §3) for reference set r,
+// which must be tokenized against the engine collection's dictionary.
+func (e *Engine) Search(r *dataset.Set) []Match {
+	return e.searchPass(r, -1, e.newWorker())
+}
+
+// worker bundles the per-goroutine scratch of search passes: the candidate
+// collector and the nearest-neighbor searcher.
+type worker struct {
+	cl *filter.Collector
+	ns *filter.NNSearcher
+}
+
+func (e *Engine) newWorker() *worker {
+	return &worker{
+		cl: filter.NewCollector(e.ix),
+		ns: filter.NewNNSearcher(e.ix, e.phi),
+	}
+}
+
+// sizeAccept reports whether a set of size nS can possibly be related to a
+// reference of size nR under the engine's metric (paper footnote 6 and
+// Definition 2's |R| ≤ |S| requirement).
+func (e *Engine) sizeAccept(nR, nS int) bool {
+	switch e.opts.Metric {
+	case SetContainment:
+		return nS >= nR
+	default:
+		d := e.opts.Delta
+		return float64(nS) >= d*float64(nR)-sizeEps &&
+			float64(nS) <= float64(nR)/d+sizeEps
+	}
+}
+
+// searchPass generates r's signature, collects and refines candidates, and
+// verifies survivors. Candidate sets with index ≤ selfSkip are excluded
+// (selfSkip = the reference's own index during self-join discovery under
+// SET-SIMILARITY; -1 otherwise). Pass a reusable NN searcher.
+func (e *Engine) searchPass(r *dataset.Set, selfSkip int, w *worker) []Match {
+	e.st.addSearchPasses(1)
+	nR := len(r.Elements)
+	if nR == 0 {
+		return nil
+	}
+	theta := e.opts.Delta * float64(nR)
+	pruneThreshold := theta - pruneSlack
+
+	accept := func(set int32) bool {
+		if int(set) <= selfSkip {
+			return false
+		}
+		return e.sizeAccept(nR, len(e.coll.Sets[set].Elements))
+	}
+
+	sig := signature.Generate(e.opts.Scheme, r, signature.Params{
+		Delta:  e.opts.Delta,
+		Alpha:  e.opts.Alpha,
+		Family: e.opts.Sim.family(),
+	}, e.ix)
+
+	var out []Match
+	if !sig.Valid {
+		// No valid signature exists (edit similarity, §7.3): compare r
+		// against every acceptable set.
+		e.st.addFullScans(1)
+		for s := range e.coll.Sets {
+			if !accept(int32(s)) {
+				continue
+			}
+			e.st.addVerified(1)
+			if m, ok := e.verify(r, s); ok {
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+
+	cands, raw := w.cl.Collect(r, &sig, e.phi, filter.Options{
+		Accept:         accept,
+		CheckFilter:    e.opts.CheckFilter,
+		PruneThreshold: pruneThreshold,
+	})
+	e.st.addCandidates(int64(raw))
+	e.st.addAfterCheck(int64(len(cands)))
+
+	var floors []float64
+	if e.opts.NNFilter {
+		floors = filter.NoShareFloors(r, &sig, e.coll.Mode, e.opts.Alpha)
+	}
+	for _, c := range cands {
+		if e.opts.NNFilter && !filter.NNFilter(r, &sig, c, w.ns, floors, pruneThreshold) {
+			continue
+		}
+		e.st.addAfterNN(1)
+		e.st.addVerified(1)
+		if m, ok := e.verify(r, int(c.Set)); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Discover solves RELATED SET DISCOVERY (Problem 1) for the reference
+// collection refs against the engine's collection. refs must share the
+// engine collection's dictionary. When refs is the engine's own collection,
+// the self-join is deduplicated under SET-SIMILARITY (each unordered pair
+// reported once, self-pairs skipped); under SET-CONTAINMENT every ordered
+// pair ⟨R, S⟩ with |R| ≤ |S|, R ≠ S is considered.
+func (e *Engine) Discover(refs *dataset.Collection) []Pair {
+	selfJoin := refs == e.coll
+	type job struct{ r int }
+	workers := e.opts.Concurrency
+
+	var mu sync.Mutex
+	var pairs []Pair
+	jobs := make(chan int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			wk := e.newWorker()
+			var local []Pair
+			for ri := range jobs {
+				selfSkip := -1
+				if selfJoin && e.opts.Metric == SetSimilarity {
+					selfSkip = ri
+				}
+				ms := e.searchPass(&refs.Sets[ri], selfSkip, wk)
+				for _, m := range ms {
+					if selfJoin && m.Set == ri {
+						continue // no self-pairs
+					}
+					local = append(local, Pair{R: ri, S: m.Set, Relatedness: m.Relatedness, Score: m.Score})
+				}
+			}
+			mu.Lock()
+			pairs = append(pairs, local...)
+			mu.Unlock()
+		}()
+	}
+	for ri := range refs.Sets {
+		jobs <- ri
+	}
+	close(jobs)
+	wg.Wait()
+	return pairs
+}

@@ -1,0 +1,214 @@
+// Package core assembles SilkMoth's unified framework (paper §3, Algorithm
+// 3): tokenized collections feed an inverted index; each search pass
+// generates a signature for the reference set, selects and refines
+// candidates, and verifies the survivors with maximum-weight bipartite
+// matching. The package supports both RELATED SET SEARCH and RELATED SET
+// DISCOVERY, both SET-SIMILARITY and SET-CONTAINMENT, Jaccard and edit
+// similarities with an optional element threshold α, and the brute-force
+// and FastJoin-style baselines the paper evaluates against.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"silkmoth/internal/dataset"
+	"silkmoth/internal/signature"
+)
+
+// Metric selects the set relatedness metric (paper Definitions 1 and 2).
+type Metric int
+
+const (
+	// SetSimilarity is |R ∩̃ S| / (|R|+|S|-|R ∩̃ S|) ≥ δ.
+	SetSimilarity Metric = iota
+	// SetContainment is |R ∩̃ S| / |R| ≥ δ, defined for |R| ≤ |S|.
+	SetContainment
+)
+
+func (m Metric) String() string {
+	switch m {
+	case SetSimilarity:
+		return "SET-SIMILARITY"
+	case SetContainment:
+		return "SET-CONTAINMENT"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
+// SimKind selects the element similarity function φ (paper §2.1).
+type SimKind int
+
+const (
+	// Jaccard compares elements as sets of whitespace words.
+	Jaccard SimKind = iota
+	// Eds is the edit similarity 1 - 2LD/(|x|+|y|+LD).
+	Eds
+	// NEds is the normalized edit similarity 1 - LD/max(|x|,|y|).
+	NEds
+	// Dice compares elements as sets of whitespace words with the Dice
+	// coefficient 2|∩|/(|a|+|b|). Supported via the generalized weighted
+	// scheme bounds (the paper's §2.1 notes other token-based functions
+	// "can be supported in similar ways").
+	Dice
+	// Cosine compares elements as sets of whitespace words with the set
+	// cosine similarity |∩|/√(|a||b|).
+	Cosine
+)
+
+func (s SimKind) String() string {
+	switch s {
+	case Jaccard:
+		return "Jac"
+	case Eds:
+		return "Eds"
+	case NEds:
+		return "NEds"
+	case Dice:
+		return "Dice"
+	case Cosine:
+		return "Cosine"
+	default:
+		return fmt.Sprintf("SimKind(%d)", int(s))
+	}
+}
+
+// TokenMode returns the dataset tokenization the similarity requires:
+// whitespace words for the token-based functions, q-grams for the edit
+// similarities.
+func (s SimKind) TokenMode() dataset.TokenMode {
+	switch s {
+	case Jaccard, Dice, Cosine:
+		return dataset.ModeWord
+	default:
+		return dataset.ModeQGram
+	}
+}
+
+// family maps the similarity to its signature bound family.
+func (s SimKind) family() signature.Family {
+	switch s {
+	case Jaccard:
+		return signature.FamilyJaccard
+	case Eds, NEds:
+		return signature.FamilyEdit
+	case Dice:
+		return signature.FamilyDice
+	case Cosine:
+		return signature.FamilyCosine
+	default:
+		panic("core: unknown similarity kind")
+	}
+}
+
+// Options configures an Engine.
+type Options struct {
+	// Metric is the relatedness metric; default SetSimilarity.
+	Metric Metric
+	// Sim is the element similarity function; default Jaccard.
+	Sim SimKind
+	// Delta is the relatedness threshold δ ∈ (0, 1].
+	Delta float64
+	// Alpha is the element similarity threshold α ∈ [0, 1); similarities
+	// below α count as 0 (paper §2.1, §6).
+	Alpha float64
+	// Q is the gram length for edit similarities. When 0 it defaults to
+	// the largest sound value: ⌈α/(1-α)⌉-1 if α > 0 (paper footnote 11),
+	// otherwise ⌈δ/(1-δ)⌉-1 (paper §7.3), floored at 1.
+	Q int
+	// Scheme is the signature scheme; default Dichotomy (the paper's
+	// best performer at high α, identical to Weighted at α = 0).
+	Scheme signature.Kind
+	// CheckFilter enables the check filter (§5.1).
+	CheckFilter bool
+	// NNFilter enables the nearest-neighbor filter (§5.2); it subsumes
+	// the check filter, which it requires.
+	NNFilter bool
+	// Reduction enables reduction-based verification (§5.3). It is only
+	// sound for α = 0 under Jaccard or Eds (whose dual distances are
+	// metrics) and is ignored otherwise.
+	Reduction bool
+	// Concurrency is the number of parallel search passes Discover may
+	// run; values < 1 mean one.
+	Concurrency int
+}
+
+// DefaultOptions returns the full-strength SilkMoth configuration the
+// paper's "OPT" uses: dichotomy signatures, both filters, and the
+// verification reduction.
+func DefaultOptions(metric Metric, simKind SimKind, delta, alpha float64) Options {
+	return Options{
+		Metric:      metric,
+		Sim:         simKind,
+		Delta:       delta,
+		Alpha:       alpha,
+		Scheme:      signature.Dichotomy,
+		CheckFilter: true,
+		NNFilter:    true,
+		Reduction:   true,
+	}
+}
+
+// FastJoinOptions returns the FastJoin-style baseline of §8.5: the combined
+// unweighted signature scheme, no refinement filters, and plain
+// verification.
+func FastJoinOptions(metric Metric, simKind SimKind, delta, alpha float64) Options {
+	return Options{
+		Metric: metric,
+		Sim:    simKind,
+		Delta:  delta,
+		Alpha:  alpha,
+		Scheme: signature.CombUnweighted,
+	}
+}
+
+// normalize validates o and fills defaults, returning the effective options.
+func (o Options) normalize() (Options, error) {
+	if o.Delta <= 0 || o.Delta > 1 {
+		return o, fmt.Errorf("core: delta must be in (0, 1], got %v", o.Delta)
+	}
+	if o.Alpha < 0 || o.Alpha >= 1 {
+		return o, fmt.Errorf("core: alpha must be in [0, 1), got %v", o.Alpha)
+	}
+	if o.Sim.TokenMode() == dataset.ModeQGram {
+		if o.Q == 0 {
+			o.Q = DefaultQ(o.Delta, o.Alpha)
+		}
+		if o.Q < 1 {
+			return o, errors.New("core: q must be positive for edit similarities")
+		}
+	} else {
+		o.Q = 0 // token-based similarities have no gram length
+	}
+	if o.NNFilter {
+		o.CheckFilter = true // the NN filter consumes check-filter state
+	}
+	if o.Concurrency < 1 {
+		o.Concurrency = 1
+	}
+	if o.Reduction && (o.Alpha != 0 || (o.Sim != Jaccard && o.Sim != Eds)) {
+		// The §5.3 reduction needs 1-φ_α to be a metric: true only for
+		// Jaccard and Eds at α = 0 (§6.5); NEds, Dice, and Cosine duals
+		// violate the triangle inequality.
+		o.Reduction = false
+	}
+	return o, nil
+}
+
+// DefaultQ returns the largest sound gram length for the given thresholds:
+// q < α/(1-α) when α > 0 (so sharing no q-gram forces φ_α = 0), else
+// q < δ/(1-δ) (so the weighted scheme is non-empty, §7.3), floored at 1.
+func DefaultQ(delta, alpha float64) int {
+	bound := delta / (1 - delta)
+	if alpha > 0 {
+		bound = alpha / (1 - alpha)
+	}
+	// The inequality is strict, and the bound may compute a hair above an
+	// exact integer (0.8/(1-0.8) = 4.000000000000001), so nudge down.
+	q := int(bound - 1e-9)
+	if q < 1 {
+		q = 1
+	}
+	return q
+}

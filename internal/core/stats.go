@@ -1,0 +1,71 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Stats counts the work done by an engine across all search passes. All
+// counters are cumulative and safe to read concurrently.
+type Stats struct {
+	searchPasses int64
+	fullScans    int64
+	candidates   int64
+	afterCheck   int64
+	afterNN      int64
+	verified     int64
+}
+
+func (s *Stats) addSearchPasses(n int64) { atomic.AddInt64(&s.searchPasses, n) }
+func (s *Stats) addFullScans(n int64)    { atomic.AddInt64(&s.fullScans, n) }
+func (s *Stats) addCandidates(n int64)   { atomic.AddInt64(&s.candidates, n) }
+func (s *Stats) addAfterCheck(n int64)   { atomic.AddInt64(&s.afterCheck, n) }
+func (s *Stats) addAfterNN(n int64)      { atomic.AddInt64(&s.afterNN, n) }
+func (s *Stats) addVerified(n int64)     { atomic.AddInt64(&s.verified, n) }
+
+// StatsSnapshot is a point-in-time copy of an engine's counters.
+type StatsSnapshot struct {
+	// SearchPasses is the number of search passes run.
+	SearchPasses int64
+	// FullScans counts passes that fell back to comparing every set
+	// because no valid signature existed (edit similarity, §7.3).
+	FullScans int64
+	// Candidates counts sets matched by signature tokens, before any
+	// refinement (the signature scheme's selectivity, Figure 5's driver).
+	Candidates int64
+	// AfterCheck counts candidates surviving the check filter.
+	AfterCheck int64
+	// AfterNN counts candidates surviving the nearest-neighbor filter;
+	// equal to AfterCheck when the filter is disabled.
+	AfterNN int64
+	// Verified counts maximum-matching computations.
+	Verified int64
+}
+
+// Stats returns a snapshot of the engine's counters.
+func (e *Engine) Stats() StatsSnapshot {
+	return StatsSnapshot{
+		SearchPasses: atomic.LoadInt64(&e.st.searchPasses),
+		FullScans:    atomic.LoadInt64(&e.st.fullScans),
+		Candidates:   atomic.LoadInt64(&e.st.candidates),
+		AfterCheck:   atomic.LoadInt64(&e.st.afterCheck),
+		AfterNN:      atomic.LoadInt64(&e.st.afterNN),
+		Verified:     atomic.LoadInt64(&e.st.verified),
+	}
+}
+
+// ResetStats zeroes the engine's counters.
+func (e *Engine) ResetStats() {
+	atomic.StoreInt64(&e.st.searchPasses, 0)
+	atomic.StoreInt64(&e.st.fullScans, 0)
+	atomic.StoreInt64(&e.st.candidates, 0)
+	atomic.StoreInt64(&e.st.afterCheck, 0)
+	atomic.StoreInt64(&e.st.afterNN, 0)
+	atomic.StoreInt64(&e.st.verified, 0)
+}
+
+// String renders the snapshot as one report line.
+func (s StatsSnapshot) String() string {
+	return fmt.Sprintf("passes=%d full-scans=%d candidates=%d after-check=%d after-nn=%d verified=%d",
+		s.SearchPasses, s.FullScans, s.Candidates, s.AfterCheck, s.AfterNN, s.Verified)
+}

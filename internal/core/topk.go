@@ -1,0 +1,36 @@
+package core
+
+import (
+	"sort"
+
+	"silkmoth/internal/dataset"
+)
+
+// SearchTopK returns the k most related sets to r among those whose
+// relatedness reaches the engine's δ, ordered by descending relatedness
+// (ties by index). δ acts as the quality floor: the result is exactly the
+// top k of Search's output, computed without materializing more than
+// Search already verifies.
+func (e *Engine) SearchTopK(r *dataset.Set, k int) []Match {
+	if k <= 0 {
+		return nil
+	}
+	ms := e.Search(r)
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Relatedness != ms[j].Relatedness {
+			return ms[i].Relatedness > ms[j].Relatedness
+		}
+		return ms[i].Set < ms[j].Set
+	})
+	if len(ms) > k {
+		ms = ms[:k]
+	}
+	return ms
+}
+
+// AppendSets extends the engine's inverted index over sets appended to its
+// collection since index build (dataset.Append). Not safe concurrently with
+// queries: callers must serialize appends against searches.
+func (e *Engine) AppendSets(from int) {
+	e.ix.AppendSets(from)
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"silkmoth/internal/dataset"
+	"silkmoth/internal/matching"
+)
+
+// scoreThreshold returns the minimum maximum-matching score for two sets of
+// the given sizes to be related: θ = δ|R| under SET-CONTAINMENT, and
+// δ(|R|+|S|)/(1+δ) under SET-SIMILARITY (solving M/(|R|+|S|-M) ≥ δ for M).
+func scoreThreshold(metric Metric, delta float64, nR, nS int) float64 {
+	if metric == SetContainment {
+		return delta * float64(nR)
+	}
+	return delta * float64(nR+nS) / (1 + delta)
+}
+
+// relatedness converts a matching score into the metric value.
+func relatedness(metric Metric, score float64, nR, nS int) float64 {
+	if metric == SetContainment {
+		return score / float64(nR)
+	}
+	return score / (float64(nR+nS) - score)
+}
+
+// verify computes the exact maximum matching score between r and collection
+// set s (with the §5.3 reduction when enabled) and reports whether the pair
+// is related under the engine's metric.
+func (e *Engine) verify(r *dataset.Set, s int) (Match, bool) {
+	sSet := &e.coll.Sets[s]
+	score := e.matchScore(r, sSet)
+	nR, nS := len(r.Elements), len(sSet.Elements)
+	t := scoreThreshold(e.opts.Metric, e.opts.Delta, nR, nS)
+	if score < t-acceptEps {
+		return Match{}, false
+	}
+	return Match{
+		Set:         s,
+		Relatedness: relatedness(e.opts.Metric, score, nR, nS),
+		Score:       score,
+	}, true
+}
+
+// matchScore computes |R ∩̃ S| between two tokenized sets.
+func (e *Engine) matchScore(r, s *dataset.Set) float64 {
+	simFn := func(i, j int) float64 {
+		return e.phi(&r.Elements[i], &s.Elements[j])
+	}
+	if e.opts.Reduction {
+		keyR := make([]string, len(r.Elements))
+		for i := range r.Elements {
+			keyR[i] = dataset.ElementKey(&r.Elements[i], e.coll.Mode)
+		}
+		keyS := make([]string, len(s.Elements))
+		for j := range s.Elements {
+			keyS[j] = dataset.ElementKey(&s.Elements[j], e.coll.Mode)
+		}
+		return matching.ScoreWithReduction(keyR, keyS, simFn)
+	}
+	return matching.Score(len(r.Elements), len(s.Elements), simFn)
+}
+
+// BruteForceSearch is the naive oracle for RELATED SET SEARCH: it verifies r
+// against every set in the collection (subject only to the metric's size
+// requirement), with no signatures or filters. It returns exactly what
+// Search must return.
+func (e *Engine) BruteForceSearch(r *dataset.Set) []Match {
+	var out []Match
+	nR := len(r.Elements)
+	if nR == 0 {
+		return nil
+	}
+	for s := range e.coll.Sets {
+		if !e.sizeAccept(nR, len(e.coll.Sets[s].Elements)) {
+			continue
+		}
+		if m, ok := e.verify(r, s); ok {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// BruteForceDiscover is the naive m² oracle for RELATED SET DISCOVERY,
+// mirroring Discover's pairing rules (self-join deduplication under
+// SET-SIMILARITY, ordered pairs under SET-CONTAINMENT).
+func (e *Engine) BruteForceDiscover(refs *dataset.Collection) []Pair {
+	selfJoin := refs == e.coll
+	var pairs []Pair
+	for ri := range refs.Sets {
+		r := &refs.Sets[ri]
+		nR := len(r.Elements)
+		if nR == 0 {
+			continue
+		}
+		for s := range e.coll.Sets {
+			if selfJoin {
+				if s == ri {
+					continue
+				}
+				if e.opts.Metric == SetSimilarity && s < ri {
+					continue
+				}
+			}
+			if !e.sizeAccept(nR, len(e.coll.Sets[s].Elements)) {
+				continue
+			}
+			if m, ok := e.verify(r, s); ok {
+				pairs = append(pairs, Pair{R: ri, S: s, Relatedness: m.Relatedness, Score: m.Score})
+			}
+		}
+	}
+	return pairs
+}
+
+// MatchScore exposes the exact maximum matching score |R ∩̃ S| between a
+// query set and an arbitrary tokenized set (both over the engine's
+// dictionary), applying the engine's reduction setting.
+func (e *Engine) MatchScore(r, s *dataset.Set) float64 {
+	return e.matchScore(r, s)
+}

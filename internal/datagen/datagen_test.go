@@ -1,0 +1,213 @@
+package datagen
+
+import (
+	"strings"
+	"testing"
+
+	"silkmoth/internal/dataset"
+	"silkmoth/internal/tokens"
+)
+
+func TestWordDeterministic(t *testing.T) {
+	if word(17) != word(17) {
+		t.Error("word not deterministic")
+	}
+	seen := make(map[string]int)
+	for i := 0; i < 2000; i++ {
+		w := word(i)
+		if w == "" {
+			t.Fatalf("empty word at %d", i)
+		}
+		if prev, ok := seen[w]; ok && prev != i {
+			// Collisions are possible in principle but must be rare.
+			t.Logf("collision: word(%d) == word(%d) == %q", prev, i, w)
+		}
+		seen[w] = i
+	}
+	if len(seen) < 1900 {
+		t.Errorf("too many collisions: %d distinct of 2000", len(seen))
+	}
+}
+
+func TestDBLPDeterministicAndShaped(t *testing.T) {
+	a := DBLP(DBLPConfig{NumTitles: 300, Seed: 7})
+	b := DBLP(DBLPConfig{NumTitles: 300, Seed: 7})
+	if len(a) != len(b) {
+		t.Fatal("DBLP not deterministic in size")
+	}
+	for i := range a {
+		if a[i].Name != b[i].Name || strings.Join(a[i].Elements, "|") != strings.Join(b[i].Elements, "|") {
+			t.Fatal("DBLP not deterministic in content")
+		}
+	}
+	// Shape: mean words/title ≈ 9 (Table 3), with near-duplicates on top.
+	if len(a) < 300 || len(a) > 450 {
+		t.Errorf("unexpected corpus size %d", len(a))
+	}
+	totalWords := 0
+	for _, s := range a {
+		totalWords += len(s.Elements)
+	}
+	mean := float64(totalWords) / float64(len(a))
+	if mean < 7 || mean > 11 {
+		t.Errorf("mean words/title = %v, want ≈ 9", mean)
+	}
+	// Different seeds differ.
+	c := DBLP(DBLPConfig{NumTitles: 300, Seed: 8})
+	same := len(c) == len(a)
+	if same {
+		diff := false
+		for i := range a {
+			if strings.Join(a[i].Elements, "|") != strings.Join(c[i].Elements, "|") {
+				diff = true
+				break
+			}
+		}
+		if !diff {
+			t.Error("different seeds produced identical corpora")
+		}
+	}
+}
+
+func TestDBLPHasNearDuplicates(t *testing.T) {
+	raws := DBLP(DBLPConfig{NumTitles: 200, Seed: 3})
+	dups := 0
+	for _, s := range raws {
+		if strings.HasSuffix(s.Name, "dup") {
+			dups++
+		}
+	}
+	if dups < 30 || dups > 100 {
+		t.Errorf("dup count = %d, want ≈ 60 of 200", dups)
+	}
+}
+
+func TestSchemaShape(t *testing.T) {
+	raws := WebTableSchemas(SchemaConfig{NumTables: 300, Seed: 11})
+	if len(raws) < 300 {
+		t.Fatal("missing tables")
+	}
+	totalAttrs, totalTokens := 0, 0
+	for _, s := range raws {
+		totalAttrs += len(s.Elements)
+		for _, a := range s.Elements {
+			totalTokens += len(strings.Fields(a))
+		}
+	}
+	meanAttrs := float64(totalAttrs) / float64(len(raws))
+	meanTokens := float64(totalTokens) / float64(totalAttrs)
+	if meanAttrs < 2 || meanAttrs > 4 {
+		t.Errorf("mean attrs/schema = %v, want ≈ 3", meanAttrs)
+	}
+	if meanTokens < 8 || meanTokens > 14 {
+		t.Errorf("mean tokens/attr = %v, want ≈ 11", meanTokens)
+	}
+}
+
+func TestColumnsShapeAndContainments(t *testing.T) {
+	raws := WebTableColumns(ColumnConfig{NumColumns: 300, Seed: 13})
+	supers := 0
+	heavy := 0
+	totalVals, totalWords := 0, 0
+	for _, s := range raws {
+		if strings.HasSuffix(s.Name, "super") {
+			supers++
+		}
+		if len(s.Elements) >= 100 {
+			heavy++
+		}
+		totalVals += len(s.Elements)
+		for _, v := range s.Elements {
+			totalWords += len(strings.Fields(v))
+		}
+	}
+	if supers < 30 || supers > 100 {
+		t.Errorf("supercolumns = %d, want ≈ 60", supers)
+	}
+	if heavy == 0 {
+		t.Error("no heavy-tail columns for the Figure 7 experiment")
+	}
+	meanVals := float64(totalVals) / float64(len(raws))
+	if meanVals < 12 || meanVals > 40 {
+		t.Errorf("mean values/column = %v, want ≈ 22", meanVals)
+	}
+	meanWords := float64(totalWords) / float64(totalVals)
+	if meanWords < 1.5 || meanWords > 3 {
+		t.Errorf("mean words/value = %v, want ≈ 2", meanWords)
+	}
+}
+
+// Supercolumns must actually approximately contain their bases: tokenize and
+// check that the planted containment holds at δ = 0.7 under plain Jaccard
+// nearest-neighbor alignment (an upper-bound sanity check on the planting).
+func TestPlantedContainmentsAreFindable(t *testing.T) {
+	raws := WebTableColumns(ColumnConfig{NumColumns: 80, Seed: 17})
+	byName := make(map[string]dataset.RawSet)
+	for _, s := range raws {
+		byName[s.Name] = s
+	}
+	checked := 0
+	for _, s := range raws {
+		if !strings.HasSuffix(s.Name, "super") {
+			continue
+		}
+		base := byName[strings.TrimSuffix(s.Name, "super")]
+		superVals := make(map[string]bool)
+		for _, v := range s.Elements {
+			superVals[v] = true
+		}
+		exact := 0
+		for _, v := range base.Elements {
+			if superVals[v] {
+				exact++
+			}
+		}
+		// At least 70% of base values carry over exactly; perturbed ones
+		// still align approximately under the matching metric.
+		if float64(exact) < 0.6*float64(len(base.Elements)) {
+			t.Errorf("supercolumn %s keeps only %d/%d base values", s.Name, exact, len(base.Elements))
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no supercolumns generated")
+	}
+}
+
+func TestPickReferences(t *testing.T) {
+	raws := WebTableColumns(ColumnConfig{NumColumns: 200, Seed: 19})
+	refs := PickReferences(raws, 20, 4)
+	if len(refs) == 0 || len(refs) > 20 {
+		t.Fatalf("refs = %d", len(refs))
+	}
+	for _, r := range refs {
+		if len(r.Elements) <= 4 {
+			t.Errorf("reference %s has only %d values", r.Name, len(r.Elements))
+		}
+	}
+	if got := PickReferences(nil, 5, 4); len(got) != 0 {
+		t.Error("empty input should yield no references")
+	}
+}
+
+// The generated corpora must tokenize cleanly in their application modes.
+func TestCorporaTokenize(t *testing.T) {
+	dblp := DBLP(DBLPConfig{NumTitles: 50, Seed: 1})
+	coll := dataset.BuildQGram(tokens.NewDictionary(), dblp, 3)
+	st := dataset.ComputeStats(coll)
+	if st.NumSets == 0 || st.TokensPerElem < 2 {
+		t.Errorf("DBLP tokenization stats: %+v", st)
+	}
+	schemas := WebTableSchemas(SchemaConfig{NumTables: 50, Seed: 1})
+	coll = dataset.BuildWord(tokens.NewDictionary(), schemas)
+	st = dataset.ComputeStats(coll)
+	if st.TokensPerElem < 8 {
+		t.Errorf("schema tokenization stats: %+v", st)
+	}
+	cols := WebTableColumns(ColumnConfig{NumColumns: 50, Seed: 1})
+	coll = dataset.BuildWord(tokens.NewDictionary(), cols)
+	st = dataset.ComputeStats(coll)
+	if st.ElemsPerSet < 10 {
+		t.Errorf("column tokenization stats: %+v", st)
+	}
+}

@@ -1,0 +1,120 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"silkmoth/internal/dataset"
+)
+
+// DBLPConfig parameterizes the synthetic DBLP-like title corpus used by the
+// approximate string matching application (paper §8.1): each title is a set,
+// each whitespace word an element, each q-gram a token. Table 3 reports
+// ~9 words per title.
+type DBLPConfig struct {
+	// NumTitles is the number of base titles to generate; near-duplicates
+	// come on top of this.
+	NumTitles int
+	// Seed makes the corpus deterministic.
+	Seed int64
+	// DupRate is the fraction of titles that receive a near-duplicate
+	// (default 0.3); near-duplicates are what the discovery experiments
+	// find.
+	DupRate float64
+	// MeanWords is the mean title length in words (default 9, Table 3).
+	MeanWords int
+	// VocabSize is the word vocabulary size (default 4000).
+	VocabSize int
+}
+
+func (c DBLPConfig) withDefaults() DBLPConfig {
+	if c.DupRate == 0 {
+		c.DupRate = 0.3
+	}
+	if c.MeanWords == 0 {
+		c.MeanWords = 9
+	}
+	if c.VocabSize == 0 {
+		c.VocabSize = 4000
+	}
+	return c
+}
+
+// DBLP generates the synthetic publication-title corpus. Roughly DupRate of
+// the titles get one near-duplicate produced by light character edits
+// (dropped letters, substitutions, an occasional dropped word), so that the
+// corpus contains related pairs at edit-similarity thresholds α ∈ [0.7, 0.85]
+// and relatedness δ ∈ [0.7, 0.85], like real DBLP's repeated/versioned
+// titles.
+func DBLP(cfg DBLPConfig) []dataset.RawSet {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	vocab := newZipfVocab(rng, cfg.VocabSize, 1.4, "")
+
+	var out []dataset.RawSet
+	for i := 0; i < cfg.NumTitles; i++ {
+		n := cfg.MeanWords - 2 + rng.Intn(5) // mean ≈ MeanWords
+		if n < 3 {
+			n = 3
+		}
+		words := make([]string, n)
+		for j := range words {
+			w := vocab.next()
+			for len(w) < 3 { // very short words tokenize poorly at q=3..5
+				w += word(rng.Intn(100))
+			}
+			words[j] = w
+		}
+		out = append(out, dataset.RawSet{
+			Name:     fmt.Sprintf("title%d", i),
+			Elements: words,
+		})
+		if rng.Float64() < cfg.DupRate {
+			out = append(out, dataset.RawSet{
+				Name:     fmt.Sprintf("title%ddup", i),
+				Elements: perturbWords(rng, words),
+			})
+		}
+	}
+	return out
+}
+
+// perturbWords lightly damages a title: each word suffers a single character
+// edit with probability 0.25, and one word in ten is dropped entirely.
+func perturbWords(rng *rand.Rand, words []string) []string {
+	out := make([]string, 0, len(words))
+	for _, w := range words {
+		if len(out) > 0 && rng.Float64() < 0.1 {
+			continue // drop the word
+		}
+		if rng.Float64() < 0.25 {
+			w = charEdit(rng, w)
+		}
+		out = append(out, w)
+	}
+	if len(out) == 0 {
+		out = append(out, words[0])
+	}
+	return out
+}
+
+// charEdit applies one random character-level edit to w.
+func charEdit(rng *rand.Rand, w string) string {
+	r := []rune(w)
+	if len(r) == 0 {
+		return w
+	}
+	pos := rng.Intn(len(r))
+	switch rng.Intn(3) {
+	case 0: // substitution
+		r[pos] = rune('a' + rng.Intn(26))
+	case 1: // deletion
+		r = append(r[:pos], r[pos+1:]...)
+	default: // insertion
+		r = append(r[:pos], append([]rune{rune('a' + rng.Intn(26))}, r[pos:]...)...)
+	}
+	if len(r) == 0 {
+		return w
+	}
+	return string(r)
+}

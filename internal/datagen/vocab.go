@@ -1,0 +1,75 @@
+// Package datagen synthesizes the paper's three evaluation workloads
+// (Table 3). The real corpora — DBLP publication titles and the WebTable
+// crawl — are not redistributable in an offline module, so each generator
+// reproduces the statistics the algorithms are sensitive to: token frequency
+// skew (Zipfian vocabularies), the paper's set/element size distributions,
+// and planted related pairs (near-duplicate titles, perturbed schemas,
+// approximate column containments). All generators are deterministic in
+// their seed.
+package datagen
+
+import (
+	"math/rand"
+	"strings"
+)
+
+// syllables compose synthetic vocabulary words; combining them by index
+// digits yields unbounded, pronounceable, deterministic words.
+var syllables = []string{
+	"da", "ta", "ba", "se", "sys", "tem", "que", "ry", "op", "ti",
+	"mi", "za", "tion", "in", "dex", "jo", "in", "stre", "am", "graph",
+	"mod", "el", "lear", "ning", "net", "work", "dis", "trib", "ut", "ed",
+	"clus", "ter", "par", "al", "lel", "sto", "rage", "tran", "sac", "proc",
+}
+
+// word returns the deterministic synthetic word for vocabulary index i.
+func word(i int) string {
+	if i < 0 {
+		i = -i
+	}
+	var b strings.Builder
+	n := i
+	for {
+		b.WriteString(syllables[n%len(syllables)])
+		n /= len(syllables)
+		if n == 0 {
+			break
+		}
+	}
+	return b.String()
+}
+
+// zipfVocab samples Zipf-distributed indices over a vocabulary of the given
+// size, with skew s (>1; larger = more skewed). It reproduces the heavy-
+// tailed token frequencies of real text, which the signature cost/value
+// heuristics depend on.
+type zipfVocab struct {
+	z      *rand.Zipf
+	prefix string
+}
+
+func newZipfVocab(rng *rand.Rand, size int, s float64, prefix string) *zipfVocab {
+	return &zipfVocab{
+		z:      rand.NewZipf(rng, s, 1, uint64(size-1)),
+		prefix: prefix,
+	}
+}
+
+// next returns a random vocabulary word.
+func (v *zipfVocab) next() string {
+	return v.prefix + word(int(v.z.Uint64()))
+}
+
+// sampleDistinct returns k distinct words from the vocabulary.
+func (v *zipfVocab) sampleDistinct(rng *rand.Rand, k int) []string {
+	seen := make(map[string]bool, k)
+	out := make([]string, 0, k)
+	for len(out) < k {
+		w := v.next()
+		if !seen[w] {
+			seen[w] = true
+			out = append(out, w)
+		}
+	}
+	return out
+}

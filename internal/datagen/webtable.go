@@ -1,0 +1,254 @@
+package datagen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"silkmoth/internal/dataset"
+)
+
+// SchemaConfig parameterizes the synthetic WebTable-schema corpus of the
+// schema matching application (paper §8.1): each web-table schema is a set,
+// each attribute an element, each attribute value a token. Table 3 reports
+// ~3 attributes per schema and ~11.3 tokens per attribute.
+type SchemaConfig struct {
+	NumTables int
+	Seed      int64
+	// DupRate is the fraction of schemas receiving a perturbed copy
+	// (default 0.25).
+	DupRate float64
+	// MeanAttrs is the mean number of attributes per schema (default 3).
+	MeanAttrs int
+	// MeanTokens is the mean number of value tokens per attribute
+	// (default 11).
+	MeanTokens int
+	// NumDomains is the number of attribute value domains (default 60);
+	// attributes drawn from the same domain share vocabulary, which is
+	// what makes schema matching non-trivial.
+	NumDomains int
+}
+
+func (c SchemaConfig) withDefaults() SchemaConfig {
+	if c.DupRate == 0 {
+		c.DupRate = 0.25
+	}
+	if c.MeanAttrs == 0 {
+		c.MeanAttrs = 3
+	}
+	if c.MeanTokens == 0 {
+		c.MeanTokens = 11
+	}
+	if c.NumDomains == 0 {
+		c.NumDomains = 60
+	}
+	return c
+}
+
+// WebTableSchemas generates the synthetic schema corpus. Each attribute
+// samples its value tokens from one of a fixed pool of Zipfian domains
+// (cities, names, codes, ... in the real crawl); DupRate of the schemas get
+// a perturbed copy with ~20% of each attribute's tokens replaced, which are
+// the related pairs discovery finds at δ ∈ [0.7, 0.85].
+func WebTableSchemas(cfg SchemaConfig) []dataset.RawSet {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	domains := make([]*zipfVocab, cfg.NumDomains)
+	for d := range domains {
+		domains[d] = newZipfVocab(rng, 500, 1.3, fmt.Sprintf("d%d_", d))
+	}
+
+	var out []dataset.RawSet
+	for i := 0; i < cfg.NumTables; i++ {
+		nAttrs := cfg.MeanAttrs - 1 + rng.Intn(3)
+		if nAttrs < 1 {
+			nAttrs = 1
+		}
+		attrs := make([]string, nAttrs)
+		for a := range attrs {
+			dom := domains[rng.Intn(len(domains))]
+			k := cfg.MeanTokens - 3 + rng.Intn(7)
+			if k < 2 {
+				k = 2
+			}
+			attrs[a] = strings.Join(dom.sampleDistinct(rng, k), " ")
+		}
+		out = append(out, dataset.RawSet{
+			Name:     fmt.Sprintf("table%d", i),
+			Elements: attrs,
+		})
+		if rng.Float64() < cfg.DupRate {
+			out = append(out, dataset.RawSet{
+				Name:     fmt.Sprintf("table%ddup", i),
+				Elements: perturbAttrs(rng, attrs),
+			})
+		}
+	}
+	return out
+}
+
+// perturbAttrs replaces a per-copy fraction (2-25%) of each attribute's
+// tokens with fresh ones, simulating the value drift between copies of the
+// same web table. Drawing the drift rate per copy spreads the duplicates'
+// set similarities across [0.6, 0.97], so every δ in the paper's 0.7-0.85
+// sweep has planted pairs above and below it.
+func perturbAttrs(rng *rand.Rand, attrs []string) []string {
+	drift := 0.02 + 0.23*rng.Float64()
+	out := make([]string, len(attrs))
+	for i, a := range attrs {
+		toks := strings.Fields(a)
+		for j := range toks {
+			if rng.Float64() < drift {
+				toks[j] = toks[j] + "x" // drifted value
+			}
+		}
+		out[i] = strings.Join(toks, " ")
+	}
+	return out
+}
+
+// ColumnConfig parameterizes the synthetic WebTable-column corpus of the
+// approximate inclusion dependency application (paper §8.1): each column is
+// a set, each column value an element, each whitespace word a token.
+// Table 3 reports ~22 values per column and ~2.2 words per value.
+type ColumnConfig struct {
+	NumColumns int
+	Seed       int64
+	// ContainRate is the fraction of base columns that get an
+	// approximately-containing supercolumn (default 0.2).
+	ContainRate float64
+	// MeanValues is the mean number of values per column (default 22).
+	MeanValues int
+	// HeavyTail adds a fraction of much larger columns (≥ 100 values),
+	// needed by the reduction experiment of Figure 7 (default 0.05).
+	HeavyTail float64
+	// NumDomains is the number of value domains (default 40).
+	NumDomains int
+}
+
+func (c ColumnConfig) withDefaults() ColumnConfig {
+	if c.ContainRate == 0 {
+		c.ContainRate = 0.2
+	}
+	if c.MeanValues == 0 {
+		c.MeanValues = 22
+	}
+	if c.HeavyTail == 0 {
+		c.HeavyTail = 0.05
+	}
+	if c.NumDomains == 0 {
+		c.NumDomains = 40
+	}
+	return c
+}
+
+// WebTableColumns generates the synthetic column corpus. ContainRate of the
+// base columns get a supercolumn: every base value carries over (a few
+// perturbed by a word swap) plus 30-100% extra values from the same domain.
+// Searching a base column under SET-CONTAINMENT finds its supercolumns.
+func WebTableColumns(cfg ColumnConfig) []dataset.RawSet {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	domains := make([]*zipfVocab, cfg.NumDomains)
+	for d := range domains {
+		domains[d] = newZipfVocab(rng, 2000, 1.25, fmt.Sprintf("c%d_", d))
+	}
+
+	mkValue := func(dom *zipfVocab) string {
+		k := 1 + rng.Intn(3) // 1-3 words, mean ≈ 2
+		words := make([]string, k)
+		for i := range words {
+			words[i] = dom.next()
+		}
+		return strings.Join(words, " ")
+	}
+	mkColumn := func(dom *zipfVocab, n int) []string {
+		seen := make(map[string]bool, n)
+		out := make([]string, 0, n)
+		for len(out) < n {
+			v := mkValue(dom)
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+		return out
+	}
+
+	var out []dataset.RawSet
+	for i := 0; i < cfg.NumColumns; i++ {
+		dom := domains[rng.Intn(len(domains))]
+		n := cfg.MeanValues/2 + rng.Intn(cfg.MeanValues)
+		if rng.Float64() < cfg.HeavyTail {
+			n = 100 + rng.Intn(120)
+		}
+		if n < 5 {
+			n = 5
+		}
+		vals := mkColumn(dom, n)
+		out = append(out, dataset.RawSet{
+			Name:     fmt.Sprintf("col%d", i),
+			Elements: vals,
+		})
+		if rng.Float64() < cfg.ContainRate {
+			super := make([]string, 0, n*2)
+			for _, v := range vals {
+				if rng.Float64() < 0.15 {
+					v = swapOneWord(rng, v, dom)
+				}
+				super = append(super, v)
+			}
+			extra := n/3 + rng.Intn(n/2+1)
+			super = append(super, mkColumn(dom, extra)...)
+			out = append(out, dataset.RawSet{
+				Name:     fmt.Sprintf("col%dsuper", i),
+				Elements: dedupe(super),
+			})
+		}
+	}
+	return out
+}
+
+// swapOneWord replaces one word of a multi-word value, creating the
+// approximate (non-exact) containments the maximum matching metric handles
+// and exact containment misses.
+func swapOneWord(rng *rand.Rand, v string, dom *zipfVocab) string {
+	words := strings.Fields(v)
+	if len(words) == 0 {
+		return v
+	}
+	words[rng.Intn(len(words))] = dom.next()
+	return strings.Join(words, " ")
+}
+
+func dedupe(vals []string) []string {
+	seen := make(map[string]bool, len(vals))
+	out := vals[:0]
+	for _, v := range vals {
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// PickReferences chooses every strideth column with more than minValues
+// distinct values as a reference set for search mode, mirroring the paper's
+// random draw of 1000 reference columns with > 4 distinct values.
+func PickReferences(cols []dataset.RawSet, n, minValues int) []dataset.RawSet {
+	var refs []dataset.RawSet
+	if len(cols) == 0 || n <= 0 {
+		return refs
+	}
+	stride := len(cols) / n
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 0; i < len(cols) && len(refs) < n; i += stride {
+		if len(cols[i].Elements) > minValues {
+			refs = append(refs, cols[i])
+		}
+	}
+	return refs
+}

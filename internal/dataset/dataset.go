@@ -1,0 +1,170 @@
+// Package dataset defines SilkMoth's tokenized data model: collections of
+// sets, where each set is a list of elements and each element is a bag of
+// tokens (paper §2). It also provides builders that turn raw strings into
+// tokenized collections, plain-text file I/O, and summary statistics.
+package dataset
+
+import (
+	"fmt"
+
+	"silkmoth/internal/tokens"
+)
+
+// TokenMode says how raw element strings were turned into index tokens.
+type TokenMode int
+
+const (
+	// ModeWord tokenizes elements into whitespace-delimited words
+	// (Jaccard similarity, paper §3).
+	ModeWord TokenMode = iota
+	// ModeQGram tokenizes elements into q-grams for the index and
+	// q-chunks for signatures (edit similarity, paper §7).
+	ModeQGram
+)
+
+func (m TokenMode) String() string {
+	switch m {
+	case ModeWord:
+		return "word"
+	case ModeQGram:
+		return "qgram"
+	default:
+		return fmt.Sprintf("TokenMode(%d)", int(m))
+	}
+}
+
+// Element is one tokenized element of a set: a row value, an attribute, or a
+// word, depending on the application.
+type Element struct {
+	// Raw is the original element text, used by edit similarity and for
+	// reporting.
+	Raw string
+	// Tokens are the sorted, deduplicated ids of the element's index
+	// tokens: words under ModeWord, q-grams under ModeQGram.
+	Tokens []tokens.ID
+	// Chunks are the ids of the element's q-chunks, set only under
+	// ModeQGram; signatures for edit similarity are chosen from chunks
+	// (paper §7.1). Chunks may repeat and are not sorted.
+	Chunks []tokens.ID
+	// Length is the size the similarity bounds divide by: the number of
+	// distinct word tokens under ModeWord, the rune length of Raw under
+	// ModeQGram.
+	Length int
+}
+
+// Set is an ordered list of elements with an external name.
+type Set struct {
+	Name     string
+	Elements []Element
+}
+
+// Size returns the number of elements in the set.
+func (s *Set) Size() int { return len(s.Elements) }
+
+// Collection is a tokenized list of sets sharing one dictionary.
+type Collection struct {
+	Sets []Set
+	Dict *tokens.Dictionary
+	Mode TokenMode
+	// Q is the gram length used under ModeQGram, 0 under ModeWord.
+	Q int
+}
+
+// RawSet is an untokenized set: a name plus raw element strings.
+type RawSet struct {
+	Name     string
+	Elements []string
+}
+
+// BuildWord tokenizes raw sets by whitespace words for Jaccard similarity.
+// All sets share the dictionary dict; pass a fresh dictionary for a new
+// corpus, or the dictionary of an existing collection to tokenize query sets
+// against it.
+func BuildWord(dict *tokens.Dictionary, raws []RawSet) *Collection {
+	c := &Collection{Dict: dict, Mode: ModeWord}
+	c.Sets = make([]Set, len(raws))
+	for i, rs := range raws {
+		elems := make([]Element, len(rs.Elements))
+		for j, e := range rs.Elements {
+			ids := tokens.SortUnique(tokens.InternAll(dict, tokens.Words(e)))
+			elems[j] = Element{
+				Raw:    e,
+				Tokens: ids,
+				Length: len(ids),
+			}
+		}
+		c.Sets[i] = Set{Name: rs.Name, Elements: elems}
+	}
+	return c
+}
+
+// BuildQGram tokenizes raw sets into q-grams (index tokens) and q-chunks
+// (signature tokens) for edit similarity. q must be positive.
+func BuildQGram(dict *tokens.Dictionary, raws []RawSet, q int) *Collection {
+	if q <= 0 {
+		panic("dataset: BuildQGram requires q > 0")
+	}
+	c := &Collection{Dict: dict, Mode: ModeQGram, Q: q}
+	c.Sets = make([]Set, len(raws))
+	for i, rs := range raws {
+		elems := make([]Element, len(rs.Elements))
+		for j, e := range rs.Elements {
+			grams := tokens.SortUnique(tokens.InternAll(dict, tokens.QGrams(e, q)))
+			chunks := tokens.InternAll(dict, tokens.QChunks(e, q))
+			elems[j] = Element{
+				Raw:    e,
+				Tokens: grams,
+				Chunks: chunks,
+				Length: runeLen(e),
+			}
+		}
+		c.Sets[i] = Set{Name: rs.Name, Elements: elems}
+	}
+	return c
+}
+
+// Build tokenizes raw sets according to mode: BuildWord for ModeWord,
+// BuildQGram for ModeQGram.
+func Build(dict *tokens.Dictionary, raws []RawSet, mode TokenMode, q int) *Collection {
+	if mode == ModeWord {
+		return BuildWord(dict, raws)
+	}
+	return BuildQGram(dict, raws, q)
+}
+
+// Append tokenizes raws with c's dictionary and mode and appends the
+// resulting sets to c, returning the index of the first appended set.
+// Callers holding an inverted index over c must extend it afterwards
+// (index.Inverted.AppendSets).
+func Append(c *Collection, raws []RawSet) int {
+	from := len(c.Sets)
+	add := Build(c.Dict, raws, c.Mode, c.Q)
+	c.Sets = append(c.Sets, add.Sets...)
+	return from
+}
+
+func runeLen(s string) int {
+	n := 0
+	for range s {
+		n++
+	}
+	return n
+}
+
+// ElementKey returns an exact content key for an element under the given
+// mode, for the identical-element reduction of paper §5.3. Identical
+// elements get equal keys; the empty key marks non-reducible (empty)
+// elements.
+func ElementKey(e *Element, mode TokenMode) string {
+	if mode == ModeQGram {
+		return e.Raw
+	}
+	if len(e.Tokens) == 0 {
+		return ""
+	}
+	b := make([]byte, 0, len(e.Tokens)*4)
+	for _, id := range e.Tokens {
+		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return string(b)
+}

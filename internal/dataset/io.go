@@ -1,0 +1,147 @@
+package dataset
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+)
+
+// The plain-text set file format: one set per line, elements separated by
+// " | " (a pipe character surrounded by optional whitespace). An optional
+// "name:" prefix before the first element names the set. Blank lines and
+// lines starting with '#' are skipped.
+//
+//	addresses1: 77 Mass Ave Boston MA | 5th St 02115 Seattle WA
+//	# comment
+//	77 Fifth Street Chicago IL | One Kendall Square Cambridge MA
+
+// ReadRawSets parses the set file format from r. Sets without an explicit
+// name get "set<line>" names.
+func ReadRawSets(r io.Reader) ([]RawSet, error) {
+	var out []RawSet
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name := fmt.Sprintf("set%d", lineNo)
+		if i := strings.Index(line, ":"); i >= 0 && !strings.Contains(line[:i], "|") {
+			candidate := strings.TrimSpace(line[:i])
+			if candidate != "" && !strings.ContainsAny(candidate, " \t") {
+				name = candidate
+				line = strings.TrimSpace(line[i+1:])
+			}
+		}
+		var elems []string
+		for _, part := range strings.Split(line, "|") {
+			part = strings.TrimSpace(part)
+			if part != "" {
+				elems = append(elems, part)
+			}
+		}
+		out = append(out, RawSet{Name: name, Elements: elems})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading sets: %w", err)
+	}
+	return out, nil
+}
+
+// ReadRawSetsFile reads the set file format from path.
+func ReadRawSetsFile(path string) ([]RawSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadRawSets(f)
+}
+
+// WriteRawSets writes sets in the set file format understood by ReadRawSets.
+func WriteRawSets(w io.Writer, sets []RawSet) error {
+	bw := bufio.NewWriter(w)
+	for _, s := range sets {
+		if s.Name != "" {
+			if _, err := fmt.Fprintf(bw, "%s: ", s.Name); err != nil {
+				return err
+			}
+		}
+		if _, err := bw.WriteString(strings.Join(s.Elements, " | ")); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteRawSetsFile writes sets to path in the set file format.
+func WriteRawSetsFile(path string, sets []RawSet) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteRawSets(f, sets); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadCSVColumns reads a simple comma-separated file and returns one RawSet
+// per column, whose elements are the column's distinct non-empty values.
+// The first row is treated as a header naming the columns. This mirrors the
+// paper's inclusion-dependency application, where each table column is a
+// set. Quoting is not supported; fields are split on commas.
+func ReadCSVColumns(r io.Reader, tableName string) ([]RawSet, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var header []string
+	var cols [][]string
+	var seen []map[string]bool
+	for sc.Scan() {
+		fields := strings.Split(sc.Text(), ",")
+		if header == nil {
+			header = fields
+			cols = make([][]string, len(fields))
+			seen = make([]map[string]bool, len(fields))
+			for i := range seen {
+				seen[i] = make(map[string]bool)
+			}
+			continue
+		}
+		for i, f := range fields {
+			if i >= len(cols) {
+				break
+			}
+			f = strings.TrimSpace(f)
+			if f == "" || seen[i][f] {
+				continue
+			}
+			seen[i][f] = true
+			cols[i] = append(cols[i], f)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: reading csv: %w", err)
+	}
+	out := make([]RawSet, 0, len(cols))
+	for i, col := range cols {
+		name := strings.TrimSpace(header[i])
+		if name == "" {
+			name = fmt.Sprintf("col%d", i)
+		}
+		if tableName != "" {
+			name = tableName + "." + name
+		}
+		out = append(out, RawSet{Name: name, Elements: col})
+	}
+	return out, nil
+}

@@ -1,0 +1,131 @@
+package dataset
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestReadRawSets(t *testing.T) {
+	in := `
+addresses: 77 Mass Ave Boston MA | 5th St 02115 Seattle WA
+# a comment line
+77 Fifth Street Chicago IL | One Kendall Square
+`
+	sets, err := ReadRawSets(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 2 {
+		t.Fatalf("sets = %d, want 2", len(sets))
+	}
+	if sets[0].Name != "addresses" {
+		t.Errorf("name = %q", sets[0].Name)
+	}
+	want := []string{"77 Mass Ave Boston MA", "5th St 02115 Seattle WA"}
+	if !reflect.DeepEqual(sets[0].Elements, want) {
+		t.Errorf("elements = %v, want %v", sets[0].Elements, want)
+	}
+	if !strings.HasPrefix(sets[1].Name, "set") {
+		t.Errorf("unnamed set should get a default name, got %q", sets[1].Name)
+	}
+	if len(sets[1].Elements) != 2 {
+		t.Errorf("second set elements = %v", sets[1].Elements)
+	}
+}
+
+func TestReadRawSetsNameWithSpacesNotAName(t *testing.T) {
+	// A colon inside text with spaces before it is data, not a set name.
+	sets, err := ReadRawSets(strings.NewReader("note to self: buy milk | eggs\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sets) != 1 {
+		t.Fatalf("sets = %d", len(sets))
+	}
+	if sets[0].Elements[0] != "note to self: buy milk" {
+		t.Errorf("colon handling wrong: %v", sets[0].Elements)
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	orig := []RawSet{
+		{Name: "alpha", Elements: []string{"one two", "three"}},
+		{Name: "beta", Elements: []string{"four five six"}},
+	}
+	var buf bytes.Buffer
+	if err := WriteRawSets(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRawSets(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, orig) {
+		t.Errorf("round trip mismatch:\n got %v\nwant %v", got, orig)
+	}
+}
+
+func TestWriteReadFileRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sets.txt")
+	orig := []RawSet{{Name: "x", Elements: []string{"a b", "c"}}}
+	if err := WriteRawSetsFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadRawSetsFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, orig) {
+		t.Errorf("file round trip mismatch: %v", got)
+	}
+}
+
+func TestReadRawSetsFileMissing(t *testing.T) {
+	if _, err := ReadRawSetsFile(filepath.Join(t.TempDir(), "nope.txt")); err == nil {
+		t.Error("expected error for missing file")
+	}
+}
+
+func TestReadCSVColumns(t *testing.T) {
+	in := "city,state\nBoston,MA\nSeattle,WA\nBoston,MA\nChicago,IL\n"
+	cols, err := ReadCSVColumns(strings.NewReader(in), "places")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 {
+		t.Fatalf("cols = %d, want 2", len(cols))
+	}
+	if cols[0].Name != "places.city" || cols[1].Name != "places.state" {
+		t.Errorf("names = %q, %q", cols[0].Name, cols[1].Name)
+	}
+	// Distinct values only: Boston appears twice in input.
+	if !reflect.DeepEqual(cols[0].Elements, []string{"Boston", "Seattle", "Chicago"}) {
+		t.Errorf("city column = %v", cols[0].Elements)
+	}
+	if !reflect.DeepEqual(cols[1].Elements, []string{"MA", "WA", "IL"}) {
+		t.Errorf("state column = %v", cols[1].Elements)
+	}
+}
+
+func TestReadCSVColumnsRaggedRows(t *testing.T) {
+	in := "a,b\n1,2,3\n4\n"
+	cols, err := ReadCSVColumns(strings.NewReader(in), "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cols) != 2 {
+		t.Fatalf("cols = %d", len(cols))
+	}
+	if !reflect.DeepEqual(cols[0].Elements, []string{"1", "4"}) {
+		t.Errorf("col a = %v", cols[0].Elements)
+	}
+	if !reflect.DeepEqual(cols[1].Elements, []string{"2"}) {
+		t.Errorf("col b = %v", cols[1].Elements)
+	}
+	if cols[0].Name != "a" {
+		t.Errorf("no-table name = %q", cols[0].Name)
+	}
+}

@@ -1,0 +1,123 @@
+package dataset
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"silkmoth/internal/tokens"
+)
+
+// persisted is the gob wire form of a tokenized collection. Token ids are
+// dictionary-dense, so storing the dictionary's string table by position
+// reconstructs the ids exactly.
+type persisted struct {
+	Version int
+	Mode    TokenMode
+	Q       int
+	Words   []string
+	Sets    []persistedSet
+}
+
+type persistedSet struct {
+	Name     string
+	Elements []persistedElement
+}
+
+type persistedElement struct {
+	Raw    string
+	Tokens []int32
+	Chunks []int32
+	Length int
+}
+
+const persistVersion = 1
+
+// SaveCollection writes a tokenized collection to w in a self-contained
+// binary form (gob). Loading it back avoids re-tokenizing large corpora.
+func SaveCollection(w io.Writer, c *Collection) error {
+	p := persisted{
+		Version: persistVersion,
+		Mode:    c.Mode,
+		Q:       c.Q,
+		Words:   make([]string, c.Dict.Size()),
+		Sets:    make([]persistedSet, len(c.Sets)),
+	}
+	for i := 0; i < c.Dict.Size(); i++ {
+		p.Words[i] = c.Dict.String(tokens.ID(i))
+	}
+	for i := range c.Sets {
+		s := &c.Sets[i]
+		ps := persistedSet{Name: s.Name, Elements: make([]persistedElement, len(s.Elements))}
+		for j := range s.Elements {
+			e := &s.Elements[j]
+			ps.Elements[j] = persistedElement{
+				Raw:    e.Raw,
+				Tokens: idsToInts(e.Tokens),
+				Chunks: idsToInts(e.Chunks),
+				Length: e.Length,
+			}
+		}
+		p.Sets[i] = ps
+	}
+	return gob.NewEncoder(w).Encode(&p)
+}
+
+// LoadCollection reads a collection written by SaveCollection. The returned
+// collection owns a fresh dictionary with the persisted token table.
+func LoadCollection(r io.Reader) (*Collection, error) {
+	var p persisted
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("dataset: loading collection: %w", err)
+	}
+	if p.Version != persistVersion {
+		return nil, fmt.Errorf("dataset: unsupported collection version %d", p.Version)
+	}
+	dict := tokens.NewDictionary()
+	for i, w := range p.Words {
+		if id := dict.Intern(w); int(id) != i {
+			return nil, fmt.Errorf("dataset: corrupt token table at %d (duplicate %q)", i, w)
+		}
+	}
+	c := &Collection{Dict: dict, Mode: p.Mode, Q: p.Q, Sets: make([]Set, len(p.Sets))}
+	for i, ps := range p.Sets {
+		s := Set{Name: ps.Name, Elements: make([]Element, len(ps.Elements))}
+		for j, pe := range ps.Elements {
+			s.Elements[j] = Element{
+				Raw:    pe.Raw,
+				Tokens: intsToIDs(pe.Tokens),
+				Chunks: intsToIDs(pe.Chunks),
+				Length: pe.Length,
+			}
+			for _, id := range s.Elements[j].Tokens {
+				if int(id) >= dict.Size() {
+					return nil, fmt.Errorf("dataset: token id %d out of range", id)
+				}
+			}
+		}
+		c.Sets[i] = s
+	}
+	return c, nil
+}
+
+func idsToInts(ids []tokens.ID) []int32 {
+	if ids == nil {
+		return nil
+	}
+	out := make([]int32, len(ids))
+	for i, id := range ids {
+		out[i] = int32(id)
+	}
+	return out
+}
+
+func intsToIDs(ints []int32) []tokens.ID {
+	if ints == nil {
+		return nil
+	}
+	out := make([]tokens.ID, len(ints))
+	for i, v := range ints {
+		out[i] = tokens.ID(v)
+	}
+	return out
+}

@@ -1,0 +1,118 @@
+package dataset
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"silkmoth/internal/tokens"
+)
+
+func TestSaveLoadWordCollection(t *testing.T) {
+	dict := tokens.NewDictionary()
+	orig := BuildWord(dict, []RawSet{
+		{Name: "A", Elements: []string{"77 Mass Ave", "5th St", ""}},
+		{Name: "B", Elements: []string{"77 5th St Chicago IL"}},
+	})
+	var buf bytes.Buffer
+	if err := SaveCollection(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCollection(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Mode != orig.Mode || got.Q != orig.Q {
+		t.Errorf("mode/q = %v/%d", got.Mode, got.Q)
+	}
+	if got.Dict.Size() != orig.Dict.Size() {
+		t.Errorf("dict size = %d, want %d", got.Dict.Size(), orig.Dict.Size())
+	}
+	compareSets(t, got.Sets, orig.Sets)
+	// Token ids must resolve to the same strings.
+	for i := 0; i < orig.Dict.Size(); i++ {
+		if got.Dict.String(tokens.ID(i)) != orig.Dict.String(tokens.ID(i)) {
+			t.Fatalf("token %d renamed", i)
+		}
+	}
+}
+
+func TestSaveLoadQGramCollection(t *testing.T) {
+	dict := tokens.NewDictionary()
+	orig := BuildQGram(dict, []RawSet{
+		{Name: "A", Elements: []string{"Database", "Systems"}},
+	}, 3)
+	var buf bytes.Buffer
+	if err := SaveCollection(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadCollection(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Q != 3 || got.Mode != ModeQGram {
+		t.Errorf("q/mode = %d/%v", got.Q, got.Mode)
+	}
+	compareSets(t, got.Sets, orig.Sets)
+}
+
+// compareSets compares collections semantically: gob decodes empty slices
+// as nil, which reflect.DeepEqual would flag spuriously.
+func compareSets(t *testing.T, got, want []Set) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("set count %d vs %d", len(got), len(want))
+	}
+	for i := range got {
+		g, w := &got[i], &want[i]
+		if g.Name != w.Name || len(g.Elements) != len(w.Elements) {
+			t.Fatalf("set %d shape differs", i)
+		}
+		for j := range g.Elements {
+			ge, we := &g.Elements[j], &w.Elements[j]
+			if ge.Raw != we.Raw || ge.Length != we.Length ||
+				!reflect.DeepEqual(append([]tokens.ID{}, ge.Tokens...), append([]tokens.ID{}, we.Tokens...)) ||
+				!reflect.DeepEqual(append([]tokens.ID{}, ge.Chunks...), append([]tokens.ID{}, we.Chunks...)) {
+				t.Fatalf("set %d element %d differs: %+v vs %+v", i, j, ge, we)
+			}
+		}
+	}
+}
+
+func TestLoadCorrupt(t *testing.T) {
+	if _, err := LoadCollection(bytes.NewReader([]byte{1, 2, 3})); err == nil {
+		t.Error("corrupt stream should fail")
+	}
+	if _, err := LoadCollection(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream should fail")
+	}
+}
+
+func TestAppend(t *testing.T) {
+	dict := tokens.NewDictionary()
+	c := BuildWord(dict, []RawSet{{Name: "A", Elements: []string{"x y"}}})
+	from := Append(c, []RawSet{
+		{Name: "B", Elements: []string{"x z"}},
+		{Name: "C", Elements: []string{"fresh words"}},
+	})
+	if from != 1 || len(c.Sets) != 3 {
+		t.Fatalf("from=%d len=%d", from, len(c.Sets))
+	}
+	// Shared tokens keep their ids; new tokens extend the dictionary.
+	idX, ok := dict.Lookup("x")
+	if !ok {
+		t.Fatal("x missing")
+	}
+	foundX := false
+	for _, id := range c.Sets[1].Elements[0].Tokens {
+		if id == idX {
+			foundX = true
+		}
+	}
+	if !foundX {
+		t.Error("appended set does not share dictionary ids")
+	}
+	if _, ok := dict.Lookup("fresh"); !ok {
+		t.Error("new tokens not interned")
+	}
+}

@@ -1,0 +1,49 @@
+package dataset
+
+import "fmt"
+
+// Stats summarizes a collection the way the paper's Table 3 does.
+type Stats struct {
+	NumSets        int
+	NumElements    int
+	DistinctTokens int
+	ElemsPerSet    float64 // mean elements per set
+	TokensPerElem  float64 // mean index tokens per element
+	MaxSetSize     int
+	MinSetSize     int
+}
+
+// ComputeStats scans the collection and returns its summary statistics.
+func ComputeStats(c *Collection) Stats {
+	st := Stats{NumSets: len(c.Sets), DistinctTokens: c.Dict.Size()}
+	if len(c.Sets) == 0 {
+		return st
+	}
+	st.MinSetSize = c.Sets[0].Size()
+	totalTokens := 0
+	for i := range c.Sets {
+		s := &c.Sets[i]
+		n := s.Size()
+		st.NumElements += n
+		if n > st.MaxSetSize {
+			st.MaxSetSize = n
+		}
+		if n < st.MinSetSize {
+			st.MinSetSize = n
+		}
+		for j := range s.Elements {
+			totalTokens += len(s.Elements[j].Tokens)
+		}
+	}
+	st.ElemsPerSet = float64(st.NumElements) / float64(st.NumSets)
+	if st.NumElements > 0 {
+		st.TokensPerElem = float64(totalTokens) / float64(st.NumElements)
+	}
+	return st
+}
+
+// String renders the statistics as a single report line.
+func (st Stats) String() string {
+	return fmt.Sprintf("sets=%d elements=%d elems/set=%.1f tokens/elem=%.1f distinct-tokens=%d set-size=[%d,%d]",
+		st.NumSets, st.NumElements, st.ElemsPerSet, st.TokensPerElem, st.DistinctTokens, st.MinSetSize, st.MaxSetSize)
+}

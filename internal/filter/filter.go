@@ -1,0 +1,180 @@
+// Package filter implements SilkMoth's candidate selection and refinement
+// stages (paper §5): the check filter of Algorithm 1 and the nearest-
+// neighbor filter of Algorithm 2, including the efficient index-based
+// nearest-neighbor search, computation reuse, and early termination.
+//
+// All pruning in this package is conservative: a candidate is dropped only
+// when a sound upper bound on its maximum matching score sits below the
+// pruning threshold supplied by the caller, so no truly related set is ever
+// lost (the engine's exactness guarantee).
+package filter
+
+import (
+	"silkmoth/internal/dataset"
+	"silkmoth/internal/index"
+	"silkmoth/internal/signature"
+)
+
+// SimFunc computes φ_α between a reference element and a candidate element.
+type SimFunc func(r, s *dataset.Element) float64
+
+// Candidate carries one candidate set through the refinement stages along
+// with the check-filter state reused by the nearest-neighbor filter
+// (the "computation reuse" of §5.2).
+type Candidate struct {
+	// Set indexes the candidate in the indexed collection.
+	Set int32
+	// BestSim[i] is the highest φ_α seen between reference element i and
+	// any candidate element sharing one of i's signature tokens, or -1
+	// when no such element was probed.
+	BestSim []float64
+	// Passed[i] reports whether element i passed the check filter:
+	// BestSim[i] ≥ Bound_i and BestSim[i] > 0. For passed elements
+	// BestSim[i] is exactly the nearest-neighbor similarity (§5.2).
+	Passed []bool
+	// NumPassed counts true entries of Passed.
+	NumPassed int
+}
+
+// Options configures candidate collection.
+type Options struct {
+	// Accept, when non-nil, is consulted once per distinct set id;
+	// sets that fail it never become candidates (self-join ordering and
+	// size filters live here).
+	Accept func(set int32) bool
+	// CheckFilter enables the φ-bound test of Algorithm 1 lines 5-6.
+	// When disabled, every accepted set sharing a signature token
+	// becomes a candidate and no similarities are computed.
+	CheckFilter bool
+	// PruneThreshold is the score bound below which a candidate may be
+	// discarded (θ minus the engine's pruning slack).
+	PruneThreshold float64
+}
+
+// Collector runs candidate selection over one inverted index, reusing its
+// per-set scratch across search passes (discovery runs one pass per
+// reference set, so per-pass map allocations would dominate). It is not
+// safe for concurrent use; create one per worker.
+type Collector struct {
+	ix *index.Inverted
+	// Per-set scratch, epoch-stamped so clearing is O(1) per pass.
+	seen     []uint32 // last epoch the set was touched
+	rejected []bool   // valid when seen[set] == epoch
+	cand     []*Candidate
+	epoch    uint32
+	// order records touched set ids so output order is deterministic
+	// (first-touch order) and iteration avoids scanning all sets.
+	order []int32
+}
+
+// NewCollector returns a collector over the given index.
+func NewCollector(ix *index.Inverted) *Collector {
+	n := len(ix.Collection().Sets)
+	return &Collector{
+		ix:       ix,
+		seen:     make([]uint32, n),
+		rejected: make([]bool, n),
+		cand:     make([]*Candidate, n),
+	}
+}
+
+// Collect implements candidate selection plus the check filter
+// (Algorithm 1). It probes the inverted index with every signature token,
+// computes φ_α for the probed ⟨reference element, candidate element⟩ pairs
+// (at most once per pair), and returns the surviving candidates.
+//
+// A candidate is dropped only when no pair passed its element bound test
+// and the signature's SumBound proves every such set unrelated
+// (SumBound < PruneThreshold). Signatures whose SumBound exceeds θ — the
+// CombUnweighted baseline — therefore keep all matching candidates, which
+// reproduces the baseline's larger candidate sets.
+//
+// The second result is the raw candidate count: accepted sets sharing at
+// least one signature token, before the check filter's rejection.
+func (cl *Collector) Collect(r *dataset.Set, sig *signature.Signature, phi SimFunc, opts Options) ([]*Candidate, int) {
+	coll := cl.ix.Collection()
+	if n := len(coll.Sets); n > len(cl.seen) {
+		// The collection grew (incremental appends); grow the scratch.
+		cl.seen = append(cl.seen, make([]uint32, n-len(cl.seen))...)
+		cl.rejected = append(cl.rejected, make([]bool, n-len(cl.rejected))...)
+		cl.cand = append(cl.cand, make([]*Candidate, n-len(cl.cand))...)
+	}
+	cl.epoch++
+	if cl.epoch == 0 { // wrapped: reset stamps
+		for i := range cl.seen {
+			cl.seen[i] = 0
+		}
+		cl.epoch = 1
+	}
+	cl.order = cl.order[:0]
+	n := len(r.Elements)
+
+	for i := range sig.Elements {
+		esig := &sig.Elements[i]
+		if len(esig.Tokens) == 0 {
+			continue
+		}
+		rElem := &r.Elements[i]
+		for _, t := range esig.Tokens {
+			for _, p := range cl.ix.List(t) {
+				var c *Candidate
+				if cl.seen[p.Set] == cl.epoch {
+					if cl.rejected[p.Set] {
+						continue
+					}
+					c = cl.cand[p.Set]
+				} else {
+					cl.seen[p.Set] = cl.epoch
+					if opts.Accept != nil && !opts.Accept(p.Set) {
+						cl.rejected[p.Set] = true
+						continue
+					}
+					cl.rejected[p.Set] = false
+					c = newCandidate(p.Set, n)
+					cl.cand[p.Set] = c
+					cl.order = append(cl.order, p.Set)
+				}
+				if !opts.CheckFilter {
+					continue
+				}
+				sElem := &coll.Sets[p.Set].Elements[p.Elem]
+				score := phi(rElem, sElem)
+				if score > c.BestSim[i] {
+					c.BestSim[i] = score
+					if !c.Passed[i] && score > 0 && score >= esig.Bound {
+						c.Passed[i] = true
+						c.NumPassed++
+					}
+				}
+			}
+		}
+	}
+
+	out := make([]*Candidate, 0, len(cl.order))
+	for _, set := range cl.order {
+		c := cl.cand[set]
+		cl.cand[set] = nil // release for GC; Candidate escapes to caller
+		if opts.CheckFilter && c.NumPassed == 0 && sig.SumBound < opts.PruneThreshold {
+			continue // Algorithm 1's rejection: bounds prove it unrelated
+		}
+		out = append(out, c)
+	}
+	return out, len(cl.order)
+}
+
+// Collect is the single-shot convenience form of Collector.Collect.
+func Collect(r *dataset.Set, sig *signature.Signature, ix *index.Inverted, phi SimFunc, opts Options) ([]*Candidate, int) {
+	return NewCollector(ix).Collect(r, sig, phi, opts)
+}
+
+func newCandidate(set int32, n int) *Candidate {
+	c := &Candidate{
+		Set:     set,
+		BestSim: make([]float64, n),
+		Passed:  make([]bool, n),
+	}
+	for i := range c.BestSim {
+		c.BestSim[i] = -1
+	}
+	return c
+}

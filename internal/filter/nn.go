@@ -1,0 +1,133 @@
+package filter
+
+import (
+	"silkmoth/internal/dataset"
+	"silkmoth/internal/index"
+	"silkmoth/internal/signature"
+)
+
+// NNSearcher finds nearest neighbors of reference elements inside one
+// candidate set via the inverted index (§5.2, adapting the prefix-filter
+// technique of Xiao et al.): it walks the reference element's tokens,
+// locates the candidate set's postings by binary search, and evaluates φ_α
+// against each distinct candidate element found. It is not safe for
+// concurrent use; create one per worker.
+type NNSearcher struct {
+	ix  *index.Inverted
+	phi SimFunc
+	// visited implements O(1) per-element dedup across calls: an element
+	// is visited when visited[elem] == epoch.
+	visited []uint32
+	epoch   uint32
+}
+
+// NewNNSearcher returns a searcher over the given index and similarity.
+func NewNNSearcher(ix *index.Inverted, phi SimFunc) *NNSearcher {
+	return &NNSearcher{ix: ix, phi: phi}
+}
+
+// Search returns the largest φ_α between r and any element of candidate set
+// `set` that shares at least one token with r. Elements sharing no token are
+// not probed; callers must account for them with a no-share floor.
+func (s *NNSearcher) Search(r *dataset.Element, set int32) float64 {
+	coll := s.ix.Collection()
+	elems := coll.Sets[set].Elements
+	if len(s.visited) < len(elems) {
+		s.visited = append(s.visited, make([]uint32, len(elems)-len(s.visited))...)
+	}
+	s.epoch++
+	if s.epoch == 0 { // wrapped: stale marks could collide, reset
+		for i := range s.visited {
+			s.visited[i] = 0
+		}
+		s.epoch = 1
+	}
+	best := 0.0
+	for _, t := range r.Tokens {
+		for _, p := range s.ix.SetRange(t, set) {
+			if s.visited[p.Elem] == s.epoch {
+				continue
+			}
+			s.visited[p.Elem] = s.epoch
+			if score := s.phi(r, &elems[p.Elem]); score > best {
+				best = score
+			}
+		}
+	}
+	return best
+}
+
+// NNFilter applies the nearest-neighbor filter (Algorithm 2) to one
+// candidate. It starts from the signature's bound sum, substitutes exact
+// nearest-neighbor similarities — reusing the check filter's computations
+// for passed elements — and terminates early once the running upper bound
+// drops below pruneThreshold. It returns true when the candidate survives.
+//
+// noShareFloor[i] is a sound upper bound on φ_α(r_i, s) for candidate
+// elements sharing no token with r_i: 0 under Jaccard, the chunk-count bound
+// |r|/(|r|+⌈|r|/q⌉) (thresholded by α and capped at Bound_i) under edit
+// similarity.
+func NNFilter(r *dataset.Set, sig *signature.Signature, c *Candidate, ns *NNSearcher, noShareFloor []float64, pruneThreshold float64) bool {
+	total := sig.SumBound
+	// Computation reuse: for passed elements the check filter's best
+	// similarity is exactly the nearest-neighbor similarity (§5.2).
+	for i, passed := range c.Passed {
+		if passed {
+			total += c.BestSim[i] - sig.Elements[i].Bound
+		}
+	}
+	if total < pruneThreshold {
+		return false
+	}
+	// Remaining elements: replace each bound by the true nearest-neighbor
+	// similarity, terminating as soon as the estimate falls below the
+	// threshold (Algorithm 2 lines 6-9).
+	for i := range c.Passed {
+		if c.Passed[i] {
+			continue
+		}
+		esig := &sig.Elements[i]
+		if esig.Bound == 0 {
+			continue // bound already tight: nothing to gain
+		}
+		nn := ns.Search(&r.Elements[i], c.Set)
+		if floor := noShareFloor[i]; floor > nn {
+			nn = floor
+		}
+		if nn > esig.Bound {
+			nn = esig.Bound // bounds are sound; never increase the estimate
+		}
+		total += nn - esig.Bound
+		if total < pruneThreshold {
+			return false
+		}
+	}
+	return true
+}
+
+// NoShareFloors precomputes NNFilter's per-element no-share floors for a
+// reference set. Under ModeWord elements sharing no token have Jaccard 0.
+// Under ModeQGram an element sharing no q-gram with r_i has at least
+// ⌈|r_i|/q⌉ mismatching q-chunks, so Eds ≤ |r_i|/(|r_i|+⌈|r_i|/q⌉)
+// (and NEds ≤ Eds, §7.1); a value below α collapses to 0.
+func NoShareFloors(r *dataset.Set, sig *signature.Signature, mode dataset.TokenMode, alpha float64) []float64 {
+	floors := make([]float64, len(r.Elements))
+	if mode == dataset.ModeWord {
+		return floors
+	}
+	for i := range r.Elements {
+		el := &r.Elements[i]
+		if el.Length == 0 || len(el.Chunks) == 0 {
+			continue
+		}
+		raw := float64(el.Length) / float64(el.Length+len(el.Chunks))
+		if raw < alpha {
+			raw = 0
+		}
+		if b := sig.Elements[i].Bound; raw > b {
+			raw = b
+		}
+		floors[i] = raw
+	}
+	return floors
+}

@@ -1,0 +1,274 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"silkmoth/internal/core"
+	"silkmoth/internal/signature"
+)
+
+// tinyScale keeps harness tests fast; shapes are asserted, not magnitudes.
+const tinyScale = 0.05
+
+func TestBuildWorkloadShapes(t *testing.T) {
+	sm := BuildWorkload(StringMatching, tinyScale, 0.75, 0.8, 1)
+	if !sm.SelfJoin || sm.Search {
+		t.Error("string matching should be self-join discovery")
+	}
+	if sm.Base.Sim != core.Eds || sm.Base.Q != 3 {
+		t.Errorf("string matching base = %+v, want Eds q=3", sm.Base)
+	}
+	sch := BuildWorkload(SchemaMatching, tinyScale, 0.75, 0, 1)
+	if sch.Base.Sim != core.Jaccard || sch.Base.Metric != core.SetSimilarity {
+		t.Errorf("schema matching base = %+v", sch.Base)
+	}
+	inc := BuildWorkload(InclusionDependency, tinyScale, 0.75, 0.5, 1)
+	if !inc.Search || inc.Base.Metric != core.SetContainment {
+		t.Errorf("inclusion dependency should be containment search: %+v", inc.Base)
+	}
+	if inc.Index == nil {
+		t.Error("search workload must carry a prebuilt index")
+	}
+	if len(inc.Refs.Sets) == 0 || len(inc.Refs.Sets) > len(inc.Coll.Sets) {
+		t.Errorf("refs = %d of %d", len(inc.Refs.Sets), len(inc.Coll.Sets))
+	}
+}
+
+func TestRunConfigDiscovery(t *testing.T) {
+	w := BuildWorkload(SchemaMatching, tinyScale, 0.75, 0, 1)
+	opts := core.DefaultOptions(w.Base.Metric, w.Base.Sim, 0.75, 0)
+	row := RunConfig(w, opts, "OPT", "test")
+	if row.Sets != len(w.Coll.Sets) || row.TimeSec < 0 {
+		t.Errorf("row = %+v", row)
+	}
+	if row.Results == 0 {
+		t.Error("schema workload should contain related pairs (planted dups)")
+	}
+	if row.Candidates < row.AfterCheck || row.AfterCheck < row.AfterNN {
+		t.Errorf("funnel not monotone: %+v", row)
+	}
+}
+
+func TestRunConfigSearch(t *testing.T) {
+	w := BuildWorkload(InclusionDependency, tinyScale, 0.75, 0.5, 1)
+	opts := core.DefaultOptions(w.Base.Metric, w.Base.Sim, 0.75, 0.5)
+	row := RunConfig(w, opts, "OPT", "test")
+	if row.Results == 0 {
+		t.Error("inclusion workload should find planted containments")
+	}
+}
+
+// Filters must never change results, only the funnel and runtime — the
+// harness-level restatement of the exactness property.
+func TestVariantsAgreeOnResults(t *testing.T) {
+	for _, app := range []App{SchemaMatching, InclusionDependency} {
+		alpha := 0.0
+		if app == InclusionDependency {
+			alpha = 0.5
+		}
+		w := BuildWorkload(app, tinyScale, 0.75, alpha, 2)
+		var results []int
+		for _, scheme := range []signature.Kind{signature.Weighted, signature.CombUnweighted, signature.Dichotomy} {
+			for _, nn := range []bool{false, true} {
+				opts := core.Options{
+					Delta: 0.75, Alpha: alpha, Scheme: scheme,
+					CheckFilter: nn, NNFilter: nn,
+				}
+				row := RunConfig(w, opts, "x", "t")
+				results = append(results, row.Results)
+			}
+		}
+		for _, r := range results[1:] {
+			if r != results[0] {
+				t.Fatalf("%v: variants disagree on results: %v", app, results)
+			}
+		}
+	}
+}
+
+func TestRunFigureUnknown(t *testing.T) {
+	if _, err := RunFigure("fig99", 1, 1, nil); err == nil {
+		t.Error("unknown figure should error")
+	}
+}
+
+func TestRunTable3(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := RunFigure("table3", tinyScale, 1, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("table3 rows = %d", len(rows))
+	}
+	if !strings.Contains(buf.String(), "string-matching") {
+		t.Error("table3 output missing apps")
+	}
+}
+
+func TestRunFig5cSmall(t *testing.T) {
+	var buf bytes.Buffer
+	rows, err := RunFigure("fig5c", tinyScale, 1, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 deltas × 4 schemes.
+	if len(rows) != 16 {
+		t.Fatalf("fig5c rows = %d, want 16", len(rows))
+	}
+	// All schemes must agree on result counts at each δ (exactness).
+	byDelta := map[float64]map[int]bool{}
+	for _, r := range rows {
+		if byDelta[r.Delta] == nil {
+			byDelta[r.Delta] = map[int]bool{}
+		}
+		byDelta[r.Delta][r.Results] = true
+	}
+	for d, set := range byDelta {
+		if len(set) != 1 {
+			t.Errorf("schemes disagree at δ=%v: %v", d, set)
+		}
+	}
+	// The weighted-family schemes must produce no more candidates than
+	// COMBUNWEIGHTED (the headline of §8.2) at the default δ.
+	cands := map[string]int64{}
+	for _, r := range rows {
+		if r.Delta == 0.75 {
+			cands[r.Variant] = r.Candidates
+		}
+	}
+	if cands["DICHOTOMY"] > cands["COMBUNWEIGHTED"] {
+		t.Errorf("dichotomy produced more candidates than the baseline: %v", cands)
+	}
+}
+
+func TestRunFig6cSmall(t *testing.T) {
+	rows, err := RunFigure("fig6c", tinyScale, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("fig6c rows = %d, want 12", len(rows))
+	}
+	// Verified counts must shrink monotonically NOFILTER ≥ CHECK ≥ NN.
+	byDelta := map[float64]map[string]int64{}
+	for _, r := range rows {
+		if byDelta[r.Delta] == nil {
+			byDelta[r.Delta] = map[string]int64{}
+		}
+		byDelta[r.Delta][r.Variant] = r.Verified
+	}
+	for d, m := range byDelta {
+		if m[VariantNoFilter] < m[VariantCheck] || m[VariantCheck] < m[VariantNN] {
+			t.Errorf("filter funnel broken at δ=%v: %v", d, m)
+		}
+	}
+}
+
+func TestRunFig7Small(t *testing.T) {
+	rows, err := RunFigure("fig7", tinyScale, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("fig7 rows = %d, want 8", len(rows))
+	}
+	// Reduction must not change results.
+	for i := 0; i < len(rows); i += 2 {
+		if rows[i].Results != rows[i+1].Results {
+			t.Errorf("reduction changed results: %+v vs %+v", rows[i], rows[i+1])
+		}
+	}
+}
+
+func TestAppString(t *testing.T) {
+	if StringMatching.String() != "string-matching" ||
+		SchemaMatching.String() != "schema-matching" ||
+		InclusionDependency.String() != "inclusion-dependency" {
+		t.Error("App strings broken")
+	}
+	if App(9).String() == "" {
+		t.Error("unknown app should render")
+	}
+}
+
+func TestWriteHeaderAndRow(t *testing.T) {
+	var buf bytes.Buffer
+	WriteHeader(&buf)
+	Row{Figure: "figX", App: "a", Variant: "v"}.Write(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("output = %q", buf.String())
+	}
+	if !strings.HasPrefix(lines[0], "figure") || !strings.HasPrefix(lines[1], "figX") {
+		t.Errorf("alignment broken: %q", buf.String())
+	}
+}
+
+func TestRunFig4Small(t *testing.T) {
+	rows, err := RunFigure("fig4", tinyScale, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("fig4 rows = %d, want 6", len(rows))
+	}
+	// NOOPT and OPT must agree on results per app (exactness), and OPT
+	// must verify no more candidates than NOOPT.
+	for i := 0; i < len(rows); i += 2 {
+		noopt, opt := rows[i], rows[i+1]
+		if noopt.Results != opt.Results {
+			t.Errorf("%s: NOOPT %d results vs OPT %d", noopt.App, noopt.Results, opt.Results)
+		}
+		if opt.Verified > noopt.Verified {
+			t.Errorf("%s: OPT verified more than NOOPT: %d vs %d", noopt.App, opt.Verified, noopt.Verified)
+		}
+	}
+}
+
+func TestRunFig8bSmall(t *testing.T) {
+	rows, err := RunFigure("fig8b", tinyScale, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 { // 4 alphas × 2 systems
+		t.Fatalf("fig8b rows = %d, want 8", len(rows))
+	}
+	for i := 0; i < len(rows); i += 2 {
+		if rows[i].Results != rows[i+1].Results {
+			t.Errorf("α=%v: SILKMOTH %d results vs FASTJOIN %d",
+				rows[i].Alpha, rows[i].Results, rows[i+1].Results)
+		}
+	}
+}
+
+func TestRunFig9cSmall(t *testing.T) {
+	rows, err := RunFigure("fig9c", 0.03, 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ScaleSweep)*len(DeltaSweep) {
+		t.Fatalf("fig9c rows = %d", len(rows))
+	}
+	// Corpus sizes must grow along the scale sweep.
+	for i := len(DeltaSweep); i < len(rows); i++ {
+		if rows[i].Sets < rows[i-len(DeltaSweep)].Sets {
+			t.Errorf("scale sweep not monotone at row %d", i)
+		}
+	}
+}
+
+func TestRefsFromLargeSets(t *testing.T) {
+	w := BuildWorkload(InclusionDependency, tinyScale, 0.75, 0, 1)
+	w2 := RefsFromLargeSets(w, 50, 5)
+	if len(w2.Refs.Sets) > 5 {
+		t.Errorf("refs = %d, want ≤ 5", len(w2.Refs.Sets))
+	}
+	for _, s := range w2.Refs.Sets {
+		if len(s.Elements) < 50 {
+			t.Errorf("ref %s has %d elements, want ≥ 50", s.Name, len(s.Elements))
+		}
+	}
+}

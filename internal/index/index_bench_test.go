@@ -1,0 +1,52 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"silkmoth/internal/dataset"
+	"silkmoth/internal/tokens"
+)
+
+func benchCollection(numSets int) *dataset.Collection {
+	rng := rand.New(rand.NewSource(4))
+	var raws []dataset.RawSet
+	for i := 0; i < numSets; i++ {
+		elems := make([]string, 10)
+		for j := range elems {
+			s := ""
+			for k := 0; k < 5; k++ {
+				if k > 0 {
+					s += " "
+				}
+				s += fmt.Sprintf("w%d", rng.Intn(3000))
+			}
+			elems[j] = s
+		}
+		raws = append(raws, dataset.RawSet{Name: fmt.Sprintf("S%d", i), Elements: elems})
+	}
+	return dataset.BuildWord(tokens.NewDictionary(), raws)
+}
+
+// BenchmarkBuild measures inverted index construction, the fixed setup cost
+// discovery timings include (§8.2).
+func BenchmarkBuild(b *testing.B) {
+	coll := benchCollection(5000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Build(coll)
+	}
+}
+
+// BenchmarkSetRange measures the binary-search range lookup the NN search
+// leans on (paper footnote 7).
+func BenchmarkSetRange(b *testing.B) {
+	coll := benchCollection(5000)
+	ix := Build(coll)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ix.SetRange(tokens.ID(i%ix.NumTokens()), int32(i%len(coll.Sets)))
+	}
+}

@@ -1,0 +1,119 @@
+// Package index implements SilkMoth's inverted index (paper §3): for each
+// token t, I[t] is the list of ⟨set, element⟩ pairs containing t, used for
+// candidate selection, the check filter, and nearest-neighbor search.
+package index
+
+import (
+	"sort"
+
+	"silkmoth/internal/dataset"
+	"silkmoth/internal/tokens"
+)
+
+// Posting locates one element occurrence of a token: element Elem of set Set
+// in the indexed collection.
+type Posting struct {
+	Set  int32
+	Elem int32
+}
+
+// Inverted is an immutable inverted index over a tokenized collection.
+// Posting lists are sorted by (Set, Elem), which Build guarantees by
+// construction, so per-set ranges can be located by binary search
+// (paper footnote 7).
+type Inverted struct {
+	lists [][]Posting
+	coll  *dataset.Collection
+}
+
+// Build indexes every element token of every set in c. Element token slices
+// are deduplicated (dataset builders guarantee this), so each ⟨set, elem⟩
+// appears at most once per list, matching the paper's deduplicated index
+// (footnote 4).
+func Build(c *dataset.Collection) *Inverted {
+	// First pass: list lengths, so each list is allocated exactly once.
+	counts := make([]int32, c.Dict.Size())
+	for i := range c.Sets {
+		for j := range c.Sets[i].Elements {
+			for _, t := range c.Sets[i].Elements[j].Tokens {
+				counts[t]++
+			}
+		}
+	}
+	lists := make([][]Posting, c.Dict.Size())
+	for t, n := range counts {
+		if n > 0 {
+			lists[t] = make([]Posting, 0, n)
+		}
+	}
+	for i := range c.Sets {
+		for j := range c.Sets[i].Elements {
+			for _, t := range c.Sets[i].Elements[j].Tokens {
+				lists[t] = append(lists[t], Posting{Set: int32(i), Elem: int32(j)})
+			}
+		}
+	}
+	return &Inverted{lists: lists, coll: c}
+}
+
+// Collection returns the collection this index was built over.
+func (ix *Inverted) Collection() *dataset.Collection { return ix.coll }
+
+// List returns the posting list for token t, or nil when t never occurs in
+// the indexed collection (including ids interned after Build).
+func (ix *Inverted) List(t tokens.ID) []Posting {
+	if int(t) >= len(ix.lists) {
+		return nil
+	}
+	return ix.lists[t]
+}
+
+// ListLen returns |I[t]|, the signature selection cost of token t
+// (paper §4.3).
+func (ix *Inverted) ListLen(t tokens.ID) int {
+	if int(t) >= len(ix.lists) {
+		return 0
+	}
+	return len(ix.lists[t])
+}
+
+// SetRange returns the postings of token t that belong to the given set,
+// located by binary search within the sorted list.
+func (ix *Inverted) SetRange(t tokens.ID, set int32) []Posting {
+	l := ix.List(t)
+	lo := sort.Search(len(l), func(i int) bool { return l[i].Set >= set })
+	hi := sort.Search(len(l), func(i int) bool { return l[i].Set > set })
+	return l[lo:hi]
+}
+
+// AppendSets indexes the collection's sets from index `from` onward,
+// extending the token dimension to the dictionary's current size. Because
+// new sets carry the largest ids, appending their postings preserves each
+// list's (Set, Elem) order, so lookups stay correct without re-sorting.
+// Not safe concurrently with readers.
+func (ix *Inverted) AppendSets(from int) {
+	c := ix.coll
+	for len(ix.lists) < c.Dict.Size() {
+		ix.lists = append(ix.lists, nil)
+	}
+	for i := from; i < len(c.Sets); i++ {
+		for j := range c.Sets[i].Elements {
+			for _, t := range c.Sets[i].Elements[j].Tokens {
+				ix.lists[t] = append(ix.lists[t], Posting{Set: int32(i), Elem: int32(j)})
+			}
+		}
+	}
+}
+
+// NumTokens returns the number of token ids the index covers.
+func (ix *Inverted) NumTokens() int { return len(ix.lists) }
+
+// TotalPostings returns the total number of postings across all lists,
+// which is the index's dominant memory cost.
+func (ix *Inverted) TotalPostings() int {
+	n := 0
+	for _, l := range ix.lists {
+		n += len(l)
+	}
+	return n
+}

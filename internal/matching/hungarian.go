@@ -1,0 +1,144 @@
+// Package matching implements maximum-weight bipartite matching, the |R ∩̃ S|
+// computation at the heart of SilkMoth's relatedness metrics (paper §2.1),
+// plus the triangle-inequality reduction of §5.3 and an exhaustive oracle
+// used by tests.
+package matching
+
+import "math"
+
+// MaxWeightScore returns the score of the maximum-weight bipartite matching
+// of the weight matrix w, where w[i][j] ≥ 0 is the weight of the edge between
+// left vertex i and right vertex j. Each vertex is matched at most once.
+//
+// Because weights are non-negative, some maximum-weight matching saturates
+// the smaller side, so the problem reduces to the rectangular assignment
+// problem, solved here with the Jonker-Volgenant style Hungarian algorithm in
+// O(n²·m) time for n = min rows, m = max.
+func MaxWeightScore(w [][]float64) float64 {
+	assign, score := Assign(w)
+	_ = assign
+	return score
+}
+
+// Assign solves the same problem as MaxWeightScore and additionally returns
+// the assignment: for each left vertex i (row of w), assign[i] is the index
+// of the matched right vertex, or -1 when w has more rows than columns and
+// row i went unmatched. Edges of weight 0 in the returned assignment carry
+// no score and may be treated as unmatched.
+func Assign(w [][]float64) ([]int, float64) {
+	n := len(w)
+	if n == 0 {
+		return nil, 0
+	}
+	m := len(w[0])
+	if m == 0 {
+		return make([]int, n), 0
+	}
+
+	transposed := false
+	rows, cols := n, m
+	get := func(i, j int) float64 { return w[i][j] }
+	if rows > cols {
+		transposed = true
+		rows, cols = cols, rows
+		get = func(i, j int) float64 { return w[j][i] }
+	}
+
+	// Hungarian algorithm with potentials, minimizing cost = maxW - w.
+	// All rows (the smaller side) end up assigned; converting back, zero
+	// padding is implicit because cost is bounded by maxW.
+	maxW := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			if w[i][j] > maxW {
+				maxW = w[i][j]
+			}
+			if w[i][j] < 0 {
+				panic("matching: negative weight")
+			}
+		}
+	}
+
+	cost := func(i, j int) float64 { return maxW - get(i, j) }
+
+	const inf = math.MaxFloat64
+	u := make([]float64, rows+1)
+	v := make([]float64, cols+1)
+	p := make([]int, cols+1) // p[j] = row assigned to column j (1-based), 0 = free
+	way := make([]int, cols+1)
+
+	for i := 1; i <= rows; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, cols+1)
+		used := make([]bool, cols+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := -1
+			for j := 1; j <= cols; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost(i0-1, j-1) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= cols; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+			if j0 == 0 {
+				break
+			}
+		}
+	}
+
+	rowTo := make([]int, rows)
+	for j := 1; j <= cols; j++ {
+		if p[j] != 0 {
+			rowTo[p[j]-1] = j - 1
+		}
+	}
+
+	assign := make([]int, n)
+	score := 0.0
+	if !transposed {
+		for i := 0; i < rows; i++ {
+			assign[i] = rowTo[i]
+			score += get(i, rowTo[i])
+		}
+	} else {
+		for i := range assign {
+			assign[i] = -1
+		}
+		for i := 0; i < rows; i++ { // i indexes original columns here
+			assign[rowTo[i]] = i
+			score += get(i, rowTo[i])
+		}
+	}
+	return assign, score
+}

@@ -1,0 +1,195 @@
+package matching
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+const eps = 1e-9
+
+func TestAssignKnownSquare(t *testing.T) {
+	w := [][]float64{
+		{0.9, 0.1},
+		{0.2, 0.8},
+	}
+	got := MaxWeightScore(w)
+	if math.Abs(got-1.7) > eps {
+		t.Errorf("score = %v, want 1.7", got)
+	}
+}
+
+func TestAssignCrossing(t *testing.T) {
+	// The greedy diagonal (0.9 + 0) loses to the crossing (0.8 + 0.7).
+	w := [][]float64{
+		{0.9, 0.8},
+		{0.7, 0.0},
+	}
+	got := MaxWeightScore(w)
+	if math.Abs(got-1.5) > eps {
+		t.Errorf("score = %v, want 1.5", got)
+	}
+}
+
+func TestAssignRectangularWide(t *testing.T) {
+	w := [][]float64{
+		{0.1, 0.9, 0.3, 0.2},
+	}
+	if got := MaxWeightScore(w); math.Abs(got-0.9) > eps {
+		t.Errorf("score = %v, want 0.9", got)
+	}
+}
+
+func TestAssignRectangularTall(t *testing.T) {
+	w := [][]float64{
+		{0.5},
+		{0.9},
+		{0.3},
+	}
+	if got := MaxWeightScore(w); math.Abs(got-0.9) > eps {
+		t.Errorf("score = %v, want 0.9", got)
+	}
+}
+
+func TestAssignEmpty(t *testing.T) {
+	if MaxWeightScore(nil) != 0 {
+		t.Error("empty matrix should score 0")
+	}
+	if MaxWeightScore([][]float64{}) != 0 {
+		t.Error("zero-row matrix should score 0")
+	}
+	if MaxWeightScore([][]float64{{}}) != 0 {
+		t.Error("zero-column matrix should score 0")
+	}
+}
+
+func TestAssignZeroMatrix(t *testing.T) {
+	w := [][]float64{{0, 0}, {0, 0}}
+	if MaxWeightScore(w) != 0 {
+		t.Error("all-zero matrix should score 0")
+	}
+}
+
+func TestAssignPaperExample2(t *testing.T) {
+	// Paper Example 2: |R ∩̃ S4| = Jac(r1,s41)+Jac(r2,s42)+Jac(r3,s43)
+	//                = 0.8 + 1 + 3/7 = 2.2286...
+	w := [][]float64{
+		// s41        s42        s43
+		{0.8, computeJac(5, 5, 1), computeJac(5, 5, 2)},       // r1
+		{computeJac(5, 5, 0), 1.0, computeJac(5, 5, 2)},       // r2
+		{computeJac(5, 4, 1), computeJac(5, 5, 2), 3.0 / 7.0}, // r3
+	}
+	got := MaxWeightScore(w)
+	want := 0.8 + 1.0 + 3.0/7.0
+	if math.Abs(got-want) > eps {
+		t.Errorf("Example 2 matching score = %v, want %v", got, want)
+	}
+}
+
+// computeJac returns the Jaccard similarity of two sets with the given sizes
+// and intersection size.
+func computeJac(a, b, inter int) float64 {
+	return float64(inter) / float64(a+b-inter)
+}
+
+func TestAssignReturnsValidAssignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(5) + 1
+		m := rng.Intn(5) + 1
+		w := randMatrix(rng, n, m)
+		assign, score := Assign(w)
+		if len(assign) != n {
+			t.Fatalf("assignment length %d, want %d", len(assign), n)
+		}
+		seen := make(map[int]bool)
+		sum := 0.0
+		for i, j := range assign {
+			if j == -1 {
+				continue
+			}
+			if j < 0 || j >= m {
+				t.Fatalf("assignment out of range: %d", j)
+			}
+			if seen[j] {
+				t.Fatalf("column %d assigned twice", j)
+			}
+			seen[j] = true
+			sum += w[i][j]
+		}
+		if math.Abs(sum-score) > eps {
+			t.Fatalf("assignment sum %v != reported score %v", sum, score)
+		}
+	}
+}
+
+func randMatrix(rng *rand.Rand, n, m int) [][]float64 {
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, m)
+		for j := range w[i] {
+			// Discretized weights avoid fragile float comparisons.
+			w[i][j] = float64(rng.Intn(11)) / 10
+		}
+	}
+	return w
+}
+
+// Property: Hungarian matches the exhaustive oracle on random rectangular
+// matrices.
+func TestAssignMatchesOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 1500; trial++ {
+		n := rng.Intn(6) + 1
+		m := rng.Intn(6) + 1
+		w := randMatrix(rng, n, m)
+		got := MaxWeightScore(w)
+		want := BruteForceScore(w)
+		if math.Abs(got-want) > eps {
+			t.Fatalf("trial %d: Hungarian %v != oracle %v for %v", trial, got, want, w)
+		}
+	}
+}
+
+func TestAssignLargerRandomAgainstOracle(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 100; trial++ {
+		n := rng.Intn(3) + 6 // 6..8
+		m := rng.Intn(3) + 6
+		w := randMatrix(rng, n, m)
+		got := MaxWeightScore(w)
+		want := BruteForceScore(w)
+		if math.Abs(got-want) > eps {
+			t.Fatalf("trial %d: Hungarian %v != oracle %v", trial, got, want)
+		}
+	}
+}
+
+func TestScoreMatchesMaxWeightScore(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		n := rng.Intn(5) + 1
+		m := rng.Intn(5) + 1
+		w := randMatrix(rng, n, m)
+		got := Score(n, m, func(i, j int) float64 { return w[i][j] })
+		want := MaxWeightScore(w)
+		if math.Abs(got-want) > eps {
+			t.Fatalf("Score %v != MaxWeightScore %v", got, want)
+		}
+	}
+}
+
+func TestScoreEmptySides(t *testing.T) {
+	if Score(0, 3, nil) != 0 || Score(3, 0, nil) != 0 {
+		t.Error("empty side should score 0")
+	}
+}
+
+func TestNegativeWeightPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on negative weight")
+		}
+	}()
+	MaxWeightScore([][]float64{{-0.1}})
+}

@@ -1,0 +1,49 @@
+package matching
+
+// BruteForceScore computes the maximum-weight bipartite matching score by
+// exhaustive search over all matchings. It is exponential and exists only as
+// a test oracle for small inputs (min side ≤ ~8).
+func BruteForceScore(w [][]float64) float64 {
+	n := len(w)
+	if n == 0 {
+		return 0
+	}
+	m := len(w[0])
+	if m == 0 {
+		return 0
+	}
+	if n > m {
+		// Transpose so recursion is over the smaller side.
+		t := make([][]float64, m)
+		for j := 0; j < m; j++ {
+			t[j] = make([]float64, n)
+			for i := 0; i < n; i++ {
+				t[j][i] = w[i][j]
+			}
+		}
+		w = t
+		n, m = m, n
+	}
+	usedCols := make([]bool, m)
+	var rec func(row int) float64
+	rec = func(row int) float64 {
+		if row == n {
+			return 0
+		}
+		// Option 1: leave this row unmatched.
+		best := rec(row + 1)
+		for j := 0; j < m; j++ {
+			if usedCols[j] {
+				continue
+			}
+			usedCols[j] = true
+			s := w[row][j] + rec(row+1)
+			usedCols[j] = false
+			if s > best {
+				best = s
+			}
+		}
+		return best
+	}
+	return rec(0)
+}

@@ -1,0 +1,81 @@
+package matching
+
+// ScoreWithReduction computes the maximum-weight bipartite matching score
+// between nR left elements and nS right elements, first removing pairs of
+// identical elements per the triangle-inequality reduction of paper §5.3:
+// when the dual distance 1-φ is a metric, every pair of identical elements
+// appears in some maximum matching, so identical pairs can be matched
+// outright (score 1 each) and the O(n³) matching run only on the remainder.
+//
+// keyR[i] and keyS[j] are exact content keys: two elements are identical iff
+// their keys are equal and non-empty. An empty key marks an element that can
+// never be reduced (e.g. an element with no tokens, whose self-similarity is
+// 0 by convention). sim(i, j) returns φ_α between left element i and right
+// element j and is only invoked for unreduced elements.
+//
+// The caller is responsible for only using this when 1-φ satisfies the
+// triangle inequality and α = 0 (paper §6.5): Jaccard and Eds qualify,
+// NEds and any α > 0 do not.
+func ScoreWithReduction(keyR, keyS []string, sim func(i, j int) float64) float64 {
+	// Index right elements by key.
+	byKey := make(map[string][]int, len(keyS))
+	for j, k := range keyS {
+		if k == "" {
+			continue
+		}
+		byKey[k] = append(byKey[k], j)
+	}
+
+	usedS := make([]bool, len(keyS))
+	var leftRest []int
+	identical := 0
+	for i, k := range keyR {
+		if k != "" {
+			if js := byKey[k]; len(js) > 0 {
+				j := js[len(js)-1]
+				byKey[k] = js[:len(js)-1]
+				usedS[j] = true
+				identical++
+				continue
+			}
+		}
+		leftRest = append(leftRest, i)
+	}
+	var rightRest []int
+	for j := range keyS {
+		if !usedS[j] {
+			rightRest = append(rightRest, j)
+		}
+	}
+
+	score := float64(identical)
+	if len(leftRest) == 0 || len(rightRest) == 0 {
+		return score
+	}
+	w := make([][]float64, len(leftRest))
+	for a, i := range leftRest {
+		row := make([]float64, len(rightRest))
+		for b, j := range rightRest {
+			row[b] = sim(i, j)
+		}
+		w[a] = row
+	}
+	return score + MaxWeightScore(w)
+}
+
+// Score computes the maximum-weight bipartite matching score between nR and
+// nS elements without the reduction, materializing the full weight matrix.
+func Score(nR, nS int, sim func(i, j int) float64) float64 {
+	if nR == 0 || nS == 0 {
+		return 0
+	}
+	w := make([][]float64, nR)
+	for i := 0; i < nR; i++ {
+		row := make([]float64, nS)
+		for j := 0; j < nS; j++ {
+			row[j] = sim(i, j)
+		}
+		w[i] = row
+	}
+	return MaxWeightScore(w)
+}

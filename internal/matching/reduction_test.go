@@ -1,0 +1,211 @@
+package matching
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"silkmoth/internal/sim"
+	"silkmoth/internal/tokens"
+)
+
+// randTokenSets builds n random sorted token-id sets over a small alphabet,
+// so duplicates across sets are common and the reduction actually triggers.
+func randTokenSets(rng *rand.Rand, n int) [][]tokens.ID {
+	sets := make([][]tokens.ID, n)
+	for i := range sets {
+		k := rng.Intn(4) + 1
+		ids := make([]tokens.ID, k)
+		for j := range ids {
+			ids[j] = tokens.ID(rng.Intn(6))
+		}
+		sets[i] = tokens.SortUnique(ids)
+	}
+	return sets
+}
+
+func keyOf(ids []tokens.ID) string {
+	if len(ids) == 0 {
+		return ""
+	}
+	b := make([]byte, 0, len(ids)*4)
+	for _, id := range ids {
+		b = append(b, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return string(b)
+}
+
+// Property: reduction-based score equals plain matching score under Jaccard
+// (whose dual distance is a metric), per paper §5.3.
+func TestReductionMatchesPlainJaccard(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for trial := 0; trial < 2000; trial++ {
+		r := randTokenSets(rng, rng.Intn(5)+1)
+		s := randTokenSets(rng, rng.Intn(5)+1)
+		simFn := func(i, j int) float64 { return sim.JaccardSorted(r[i], s[j]) }
+		keyR := make([]string, len(r))
+		for i := range r {
+			keyR[i] = keyOf(r[i])
+		}
+		keyS := make([]string, len(s))
+		for j := range s {
+			keyS[j] = keyOf(s[j])
+		}
+		plain := Score(len(r), len(s), simFn)
+		reduced := ScoreWithReduction(keyR, keyS, simFn)
+		if math.Abs(plain-reduced) > eps {
+			t.Fatalf("trial %d: reduced %v != plain %v\nR=%v\nS=%v", trial, reduced, plain, r, s)
+		}
+	}
+}
+
+// Property: the reduction is also exact under Eds on strings.
+func TestReductionMatchesPlainEds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5150))
+	randStr := func() string {
+		letters := "abc"
+		n := rng.Intn(4) + 1
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = letters[rng.Intn(len(letters))]
+		}
+		return string(b)
+	}
+	for trial := 0; trial < 2000; trial++ {
+		nR, nS := rng.Intn(4)+1, rng.Intn(4)+1
+		r := make([]string, nR)
+		s := make([]string, nS)
+		for i := range r {
+			r[i] = randStr()
+		}
+		for j := range s {
+			s[j] = randStr()
+		}
+		simFn := func(i, j int) float64 { return sim.Eds(r[i], s[j]) }
+		plain := Score(nR, nS, simFn)
+		reduced := ScoreWithReduction(r, s, simFn)
+		if math.Abs(plain-reduced) > eps {
+			t.Fatalf("trial %d: reduced %v != plain %v\nR=%v S=%v", trial, reduced, plain, r, s)
+		}
+	}
+}
+
+func TestReductionAllIdentical(t *testing.T) {
+	keys := []string{"a", "b", "c"}
+	called := false
+	got := ScoreWithReduction(keys, keys, func(i, j int) float64 {
+		called = true
+		return 0
+	})
+	if got != 3 {
+		t.Errorf("score = %v, want 3", got)
+	}
+	if called {
+		t.Error("sim should not be called when everything reduces")
+	}
+}
+
+func TestReductionEmptyKeysNeverPair(t *testing.T) {
+	// Elements with empty keys (empty elements) must not be paired as
+	// identical even though their keys are equal.
+	keyR := []string{""}
+	keyS := []string{""}
+	got := ScoreWithReduction(keyR, keyS, func(i, j int) float64 { return 0 })
+	if got != 0 {
+		t.Errorf("empty elements paired as identical: score %v", got)
+	}
+}
+
+func TestReductionDuplicateMultiplicity(t *testing.T) {
+	// R has two copies of "x", S has one: only one pair may reduce.
+	keyR := []string{"x", "x"}
+	keyS := []string{"x", "y"}
+	simCalls := 0
+	got := ScoreWithReduction(keyR, keyS, func(i, j int) float64 {
+		simCalls++
+		return 0.25
+	})
+	// One identical pair (1.0) plus best match of remaining 1x1 (0.25).
+	if math.Abs(got-1.25) > eps {
+		t.Errorf("score = %v, want 1.25", got)
+	}
+	if simCalls != 1 {
+		t.Errorf("sim called %d times, want 1", simCalls)
+	}
+}
+
+func TestReductionDeterministicAcrossOrders(t *testing.T) {
+	// Shuffling input order must not change the score.
+	rng := rand.New(rand.NewSource(31))
+	r := randTokenSets(rng, 6)
+	s := randTokenSets(rng, 6)
+	score := func(r, s [][]tokens.ID) float64 {
+		keyR := make([]string, len(r))
+		for i := range r {
+			keyR[i] = keyOf(r[i])
+		}
+		keyS := make([]string, len(s))
+		for j := range s {
+			keyS[j] = keyOf(s[j])
+		}
+		return ScoreWithReduction(keyR, keyS, func(i, j int) float64 {
+			return sim.JaccardSorted(r[i], s[j])
+		})
+	}
+	base := score(r, s)
+	for trial := 0; trial < 20; trial++ {
+		r2 := append([][]tokens.ID(nil), r...)
+		s2 := append([][]tokens.ID(nil), s...)
+		rng.Shuffle(len(r2), func(i, j int) { r2[i], r2[j] = r2[j], r2[i] })
+		rng.Shuffle(len(s2), func(i, j int) { s2[i], s2[j] = s2[j], s2[i] })
+		if got := score(r2, s2); math.Abs(got-base) > eps {
+			t.Fatalf("order-dependent score: %v vs %v", got, base)
+		}
+	}
+}
+
+func TestBruteForceScoreSmall(t *testing.T) {
+	w := [][]float64{
+		{0.9, 0.8},
+		{0.7, 0.0},
+	}
+	if got := BruteForceScore(w); math.Abs(got-1.5) > eps {
+		t.Errorf("oracle = %v, want 1.5", got)
+	}
+	if BruteForceScore(nil) != 0 {
+		t.Error("oracle of empty should be 0")
+	}
+}
+
+// Sanity: oracle handles the tall case by transposition.
+func TestBruteForceTall(t *testing.T) {
+	w := [][]float64{{0.2}, {0.9}, {0.5}}
+	if got := BruteForceScore(w); math.Abs(got-0.9) > eps {
+		t.Errorf("oracle tall = %v, want 0.9", got)
+	}
+}
+
+// Fuzz the key encoding helper used across tests: distinct id slices must
+// produce distinct keys.
+func TestKeyOfInjective(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	seen := make(map[string][]tokens.ID)
+	for i := 0; i < 5000; i++ {
+		s := randTokenSets(rng, 1)[0]
+		k := keyOf(s)
+		if prev, ok := seen[k]; ok {
+			if fmt.Sprint(prev) != fmt.Sprint(s) {
+				t.Fatalf("key collision: %v vs %v", prev, s)
+			}
+		}
+		seen[k] = s
+	}
+	// Also ensure sortedness of inputs (precondition).
+	for _, s := range seen {
+		if !sort.SliceIsSorted(s, func(i, j int) bool { return s[i] < s[j] }) {
+			t.Fatal("test inputs must be sorted")
+		}
+	}
+}

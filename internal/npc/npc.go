@@ -1,0 +1,321 @@
+// Package npc makes the paper's appendix executable: the NP-completeness of
+// optimal valid signature selection (Theorem 2) is proved by reducing
+// 3-CNF-SAT to an inverse-prime subset sum problem (Lemma 3) and that to the
+// decision version of signature selection (Theorem 6). This package
+// constructs both reductions with exact rational arithmetic, so tests can
+// verify the equivalences end-to-end on small instances — including the
+// appendix's own worked example (Tables 4-6).
+package npc
+
+import (
+	"fmt"
+	"math/big"
+)
+
+// Literal is a 3-CNF literal: a 1-based variable index, negative when
+// negated.
+type Literal int
+
+// Clause is a disjunction of exactly three literals.
+type Clause [3]Literal
+
+// Formula is a 3-CNF formula over variables 1..NumVars.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// Satisfiable reports whether the formula has a satisfying assignment, by
+// exhaustive search (test-oracle use only; exponential).
+func (f Formula) Satisfiable() (bool, []bool) {
+	n := f.NumVars
+	for mask := 0; mask < 1<<n; mask++ {
+		assign := make([]bool, n+1)
+		for v := 1; v <= n; v++ {
+			assign[v] = mask&(1<<(v-1)) != 0
+		}
+		if f.eval(assign) {
+			return true, assign
+		}
+	}
+	return false, nil
+}
+
+func (f Formula) eval(assign []bool) bool {
+	for _, c := range f.Clauses {
+		ok := false
+		for _, lit := range c {
+			v := int(lit)
+			if v > 0 && assign[v] || v < 0 && !assign[-v] {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Primes returns the first n primes starting from 7 (the paper's p_i is the
+// (i+3)rd prime: p_1 = 7, p_2 = 11, ...).
+func Primes(n int) []int64 {
+	var out []int64
+	cand := int64(7)
+	for len(out) < n {
+		if isPrime(cand) {
+			out = append(out, cand)
+		}
+		cand += 2
+	}
+	return out
+}
+
+func isPrime(n int64) bool {
+	if n < 2 {
+		return false
+	}
+	for d := int64(2); d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// SubsetSum is an inverse-prime subset sum instance ⟨A, s, l⟩: every number
+// of A is a sum of reciprocals of distinct primes from P = {p_1..p_l}, and
+// the question is whether some subset of A sums exactly to S.
+type SubsetSum struct {
+	A []*big.Rat
+	S *big.Rat
+	L int
+	// PrimeSets[i] records which primes compose A[i], for inspection.
+	PrimeSets [][]int64
+}
+
+// Solvable reports whether some subset of A sums to S, by exhaustive search
+// (exponential; test-oracle use only), returning the subset's indices.
+func (p SubsetSum) Solvable() (bool, []int) {
+	n := len(p.A)
+	for mask := 0; mask < 1<<n; mask++ {
+		sum := new(big.Rat)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				sum.Add(sum, p.A[i])
+			}
+		}
+		if sum.Cmp(p.S) == 0 {
+			var idx []int
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					idx = append(idx, i)
+				}
+			}
+			return true, idx
+		}
+	}
+	return false, nil
+}
+
+// ReduceSATToSubsetSum builds the Lemma 3 instance for a 3-CNF formula:
+// l = n+m primes; a "true" number t_i (1/p_i plus 1/p_{n+j} for each clause
+// c_j containing x_i) and a "false" number f_i (the same with ¬x_i) per
+// variable; two padding numbers u_j = v_j = 1/p_{n+j} per clause; and target
+// S = Σ_{i≤n} 1/p_i + 3·Σ_{j} 1/p_{n+j}.
+func ReduceSATToSubsetSum(f Formula) SubsetSum {
+	n, m := f.NumVars, len(f.Clauses)
+	primes := Primes(n + m)
+	inv := func(p int64) *big.Rat { return new(big.Rat).SetFrac64(1, p) }
+
+	var a []*big.Rat
+	var primeSets [][]int64
+	addNumber := func(ps []int64) {
+		sum := new(big.Rat)
+		for _, p := range ps {
+			sum.Add(sum, inv(p))
+		}
+		a = append(a, sum)
+		primeSets = append(primeSets, ps)
+	}
+
+	for v := 1; v <= n; v++ {
+		tSet := []int64{primes[v-1]}
+		fSet := []int64{primes[v-1]}
+		for j, c := range f.Clauses {
+			// Deduplicate repeated literals within a clause: each
+			// number must be a sum over a *set* of primes.
+			inT, inF := false, false
+			for _, lit := range c {
+				inT = inT || int(lit) == v
+				inF = inF || int(lit) == -v
+			}
+			if inT {
+				tSet = append(tSet, primes[n+j])
+			}
+			if inF {
+				fSet = append(fSet, primes[n+j])
+			}
+		}
+		addNumber(tSet)
+		addNumber(fSet)
+	}
+	for j := 0; j < m; j++ {
+		addNumber([]int64{primes[n+j]}) // u_j
+		addNumber([]int64{primes[n+j]}) // v_j
+	}
+
+	s := new(big.Rat)
+	for v := 1; v <= n; v++ {
+		s.Add(s, inv(primes[v-1]))
+	}
+	three := new(big.Rat).SetInt64(3)
+	for j := 0; j < m; j++ {
+		s.Add(s, new(big.Rat).Mul(three, inv(primes[n+j])))
+	}
+	return SubsetSum{A: a, S: s, L: n + m, PrimeSets: primeSets}
+}
+
+// SignatureDecision is the Theorem 6 instance ⟨I, R, δ, k⟩: a reference set
+// R of elements, per-token inverted list lengths, and the question of
+// whether some valid signature (weighted scheme, Definition 5) has total
+// cost at most K.
+type SignatureDecision struct {
+	// Elements[e] lists the candidate token ids of element e; every
+	// element also carries DummyPad[e] dummy tokens whose inverted lists
+	// are arbitrarily long (they can never profitably join a signature).
+	Elements [][]int
+	// ElemSize[e] is |r_e| including dummies.
+	ElemSize []int
+	// Cost[t] is |I[t]| for candidate token t.
+	Cost []*big.Rat
+	// Delta is the relatedness threshold δ.
+	Delta *big.Rat
+	// K is the cost budget.
+	K *big.Rat
+}
+
+// ReduceSubsetSumToSignature builds the Theorem 6 instance: one token t_i
+// per number a_i with |I[t_i]| = a_i·Πp; one element r_i^p of size p per
+// prime p ∈ P_i, containing t_i and p-1 dummies; K = S·Πp; and
+// δ = 1 - (S - ε)/Σ|P_i|.
+func ReduceSubsetSumToSignature(p SubsetSum) SignatureDecision {
+	prodP := new(big.Rat).SetInt64(1)
+	primes := Primes(p.L)
+	for _, pr := range primes {
+		prodP.Mul(prodP, new(big.Rat).SetInt64(pr))
+	}
+
+	var elements [][]int
+	var elemSize []int
+	totalElems := 0
+	cost := make([]*big.Rat, len(p.A))
+	for i, ai := range p.A {
+		cost[i] = new(big.Rat).Mul(ai, prodP)
+		for _, pr := range p.PrimeSets[i] {
+			elements = append(elements, []int{i})
+			elemSize = append(elemSize, int(pr))
+			totalElems++
+		}
+	}
+
+	k := new(big.Rat).Mul(p.S, prodP)
+
+	// δ = 1 - (S - ε)/|R| with ε below the smallest representable gap:
+	// sums of 1/p over l primes differ by at least 1/Πp, so ε = 1/(2Πp).
+	eps := new(big.Rat).Inv(new(big.Rat).Mul(new(big.Rat).SetInt64(2), prodP))
+	sMinusEps := new(big.Rat).Sub(p.S, eps)
+	nR := new(big.Rat).SetInt64(int64(totalElems))
+	delta := new(big.Rat).Sub(new(big.Rat).SetInt64(1), new(big.Rat).Quo(sMinusEps, nR))
+
+	return SignatureDecision{
+		Elements: elements,
+		ElemSize: elemSize,
+		Cost:     cost,
+		Delta:    delta,
+		K:        k,
+	}
+}
+
+// Decide answers the decision problem by exhaustive search over candidate
+// token subsets (dummy tokens never help: their cost is unbounded), using
+// exact rational arithmetic throughout. Test-oracle use only; exponential.
+func (d SignatureDecision) Decide() (bool, []int) {
+	numTokens := len(d.Cost)
+	nR := int64(len(d.Elements))
+	theta := new(big.Rat).Mul(d.Delta, new(big.Rat).SetInt64(nR))
+	for mask := 0; mask < 1<<numTokens; mask++ {
+		cost := new(big.Rat)
+		for t := 0; t < numTokens; t++ {
+			if mask&(1<<t) != 0 {
+				cost.Add(cost, d.Cost[t])
+			}
+		}
+		if cost.Cmp(d.K) > 0 {
+			continue
+		}
+		// Validity: Σ (|r_e| - |k_e|)/|r_e| < θ, where |k_e| = 1 when
+		// the element's token is selected (dummies never selected).
+		sum := new(big.Rat)
+		for e, toks := range d.Elements {
+			size := int64(d.ElemSize[e])
+			kept := int64(0)
+			for _, t := range toks {
+				if mask&(1<<t) != 0 {
+					kept++
+				}
+			}
+			sum.Add(sum, new(big.Rat).SetFrac64(size-kept, size))
+		}
+		if sum.Cmp(theta) < 0 {
+			var idx []int
+			for t := 0; t < numTokens; t++ {
+				if mask&(1<<t) != 0 {
+					idx = append(idx, t)
+				}
+			}
+			return true, idx
+		}
+	}
+	return false, nil
+}
+
+// PaperExampleFormula returns the appendix's worked example, reconstructed
+// from Table 4: c1 = (x1 ∨ x2 ∨ x3), c2 = (¬x1 ∨ ¬x2 ∨ x3),
+// c3 = (¬x1 ∨ x2 ∨ ¬x3), c4 = (x1 ∨ ¬x2 ∨ x3). The all-true assignment
+// satisfies it, matching the appendix's chosen subset (Table 6).
+func PaperExampleFormula() Formula {
+	return Formula{
+		NumVars: 3,
+		Clauses: []Clause{
+			{1, 2, 3},
+			{-1, -2, 3},
+			{-1, 2, -3},
+			{1, -2, 3},
+		},
+	}
+}
+
+// String renders a formula in conventional notation.
+func (f Formula) String() string {
+	out := ""
+	for j, c := range f.Clauses {
+		if j > 0 {
+			out += " ∧ "
+		}
+		out += "("
+		for i, lit := range c {
+			if i > 0 {
+				out += " ∨ "
+			}
+			if lit < 0 {
+				out += fmt.Sprintf("¬x%d", -lit)
+			} else {
+				out += fmt.Sprintf("x%d", lit)
+			}
+		}
+		out += ")"
+	}
+	return out
+}

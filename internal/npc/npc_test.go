@@ -1,0 +1,195 @@
+package npc
+
+import (
+	"math/big"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestPrimes(t *testing.T) {
+	got := Primes(7)
+	want := []int64{7, 11, 13, 17, 19, 23, 29}
+	for i, p := range want {
+		if got[i] != p {
+			t.Fatalf("Primes[%d] = %d, want %d", i, got[i], p)
+		}
+	}
+}
+
+// The appendix's worked example: n = 3, m = 4, satisfied by all-true.
+func TestPaperExampleFormula(t *testing.T) {
+	f := PaperExampleFormula()
+	sat, assign := f.Satisfiable()
+	if !sat {
+		t.Fatal("paper example must be satisfiable")
+	}
+	if !assign[1] || !assign[2] || !assign[3] {
+		// All-true satisfies it (the appendix's chosen assignment);
+		// exhaustive search scans masks in order so all-true (mask 7)
+		// may not be first. Check it directly instead.
+		all := []bool{false, true, true, true}
+		if !f.eval(all) {
+			t.Error("all-true must satisfy the paper's formula")
+		}
+	}
+	if !strings.Contains(f.String(), "¬x1") {
+		t.Errorf("String() = %q", f.String())
+	}
+}
+
+// Lemma 3 on the worked example: the numbers of Tables 4-5 and target s
+// come out exactly, and the instance is solvable (Table 6's subset).
+func TestReduceSATToSubsetSumPaperExample(t *testing.T) {
+	f := PaperExampleFormula()
+	p := ReduceSATToSubsetSum(f)
+	if p.L != 7 {
+		t.Fatalf("l = %d, want 7", p.L)
+	}
+	if len(p.A) != 2*3+2*4 {
+		t.Fatalf("|A| = %d, want 14", len(p.A))
+	}
+	// t1 = 1/7 + 1/17 + 1/29 (x1 ∈ c1, c4).
+	want := new(big.Rat)
+	want.Add(want, big.NewRat(1, 7))
+	want.Add(want, big.NewRat(1, 17))
+	want.Add(want, big.NewRat(1, 29))
+	if p.A[0].Cmp(want) != 0 {
+		t.Errorf("t1 = %v, want %v", p.A[0], want)
+	}
+	// f1 = 1/7 + 1/19 + 1/23 (¬x1 ∈ c2, c3).
+	want = new(big.Rat)
+	want.Add(want, big.NewRat(1, 7))
+	want.Add(want, big.NewRat(1, 19))
+	want.Add(want, big.NewRat(1, 23))
+	if p.A[1].Cmp(want) != 0 {
+		t.Errorf("f1 = %v, want %v", p.A[1], want)
+	}
+	// s = 1/7 + 1/11 + 1/13 + 3(1/17 + 1/19 + 1/23 + 1/29).
+	s := new(big.Rat)
+	for _, d := range []int64{7, 11, 13} {
+		s.Add(s, big.NewRat(1, d))
+	}
+	for _, d := range []int64{17, 19, 23, 29} {
+		s.Add(s, big.NewRat(3, d))
+	}
+	if p.S.Cmp(s) != 0 {
+		t.Errorf("s = %v, want %v", p.S, s)
+	}
+	ok, subset := p.Solvable()
+	if !ok {
+		t.Fatal("paper instance must be solvable")
+	}
+	if len(subset) == 0 {
+		t.Fatal("empty solving subset")
+	}
+}
+
+// The Lemma 3 equivalence: φ satisfiable ⟺ the subset sum instance is
+// solvable, across random small formulas.
+func TestSATSubsetSumEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 60; trial++ {
+		n := rng.Intn(2) + 2 // 2-3 variables
+		m := rng.Intn(3) + 1 // 1-3 clauses
+		f := Formula{NumVars: n}
+		for j := 0; j < m; j++ {
+			var c Clause
+			for i := range c {
+				v := rng.Intn(n) + 1
+				if rng.Intn(2) == 0 {
+					v = -v
+				}
+				c[i] = Literal(v)
+			}
+			f.Clauses = append(f.Clauses, c)
+		}
+		sat, _ := f.Satisfiable()
+		p := ReduceSATToSubsetSum(f)
+		solvable, _ := p.Solvable()
+		if sat != solvable {
+			t.Fatalf("equivalence broken for %s: sat=%v solvable=%v", f, sat, solvable)
+		}
+	}
+}
+
+// A tiny unsatisfiable formula must produce an unsolvable instance.
+func TestUnsatFormula(t *testing.T) {
+	f := Formula{
+		NumVars: 1,
+		Clauses: []Clause{
+			{1, 1, 1},
+			{-1, -1, -1},
+		},
+	}
+	if sat, _ := f.Satisfiable(); sat {
+		t.Fatal("formula should be unsatisfiable")
+	}
+	p := ReduceSATToSubsetSum(f)
+	if ok, _ := p.Solvable(); ok {
+		t.Error("reduction of an UNSAT formula must be unsolvable")
+	}
+}
+
+// Theorem 6's equivalence: the subset sum instance is solvable ⟺ the
+// signature decision instance is a yes-instance.
+func TestSubsetSumSignatureEquivalence(t *testing.T) {
+	cases := []Formula{
+		PaperExampleFormula(),
+		{NumVars: 1, Clauses: []Clause{{1, 1, 1}, {-1, -1, -1}}}, // UNSAT
+		{NumVars: 2, Clauses: []Clause{{1, 2, 2}}},               // SAT
+		{NumVars: 2, Clauses: []Clause{{1, -2, -2}, {-1, 2, 2}}}, // SAT
+	}
+	for ci, f := range cases {
+		p := ReduceSATToSubsetSum(f)
+		if len(p.A) > 16 {
+			t.Fatalf("case %d too large for the oracle", ci)
+		}
+		solvable, _ := p.Solvable()
+		d := ReduceSubsetSumToSignature(p)
+		yes, tokens := d.Decide()
+		if yes != solvable {
+			t.Fatalf("case %d (%s): subset-sum %v but signature decision %v",
+				ci, f, solvable, yes)
+		}
+		if yes && len(tokens) == 0 && p.S.Sign() != 0 {
+			t.Fatalf("case %d: yes-instance with empty signature", ci)
+		}
+	}
+}
+
+// The full chain on the paper's example: SAT ⟹ subset sum ⟹ cheap valid
+// signature; and the decision's selected tokens sum to exactly k.
+func TestFullChainPaperExample(t *testing.T) {
+	f := PaperExampleFormula()
+	p := ReduceSATToSubsetSum(f)
+	d := ReduceSubsetSumToSignature(p)
+	yes, tokens := d.Decide()
+	if !yes {
+		t.Fatal("paper example must be a yes-instance")
+	}
+	cost := new(big.Rat)
+	for _, tk := range tokens {
+		cost.Add(cost, d.Cost[tk])
+	}
+	if cost.Cmp(d.K) > 0 {
+		t.Errorf("selected cost %v exceeds k %v", cost, d.K)
+	}
+	// The chosen numbers sum exactly to s (the equivalence's witness).
+	sum := new(big.Rat)
+	for _, tk := range tokens {
+		sum.Add(sum, p.A[tk])
+	}
+	if sum.Cmp(p.S) != 0 {
+		t.Errorf("witness subset sums to %v, want %v", sum, p.S)
+	}
+}
+
+func TestIsPrime(t *testing.T) {
+	if isPrime(1) || isPrime(0) || isPrime(9) {
+		t.Error("composite accepted")
+	}
+	if !isPrime(2) || !isPrime(31) {
+		t.Error("prime rejected")
+	}
+}

@@ -1,0 +1,68 @@
+// Package paperdata reproduces the running example of the paper's Table 2:
+// a reference set R (the Location column) and a collection S = {S1..S4},
+// with token names t1..t12 in decreasing order of frequency. Tests and the
+// quickstart example use it as ground truth: at δ = 0.7 under
+// SET-CONTAINMENT with Jaccard and α = 0, only S4 is related to R, with
+// |R ∩̃ S4| = 0.8 + 1 + 3/7 ≈ 2.229 and containment ≈ 0.743.
+package paperdata
+
+import "silkmoth/internal/dataset"
+
+// Token names t1..t12 from the paper (t1="77", ..., t12="IL").
+var tokenNames = map[string]string{
+	"t1": "77", "t2": "Mass", "t3": "Ave", "t4": "5th",
+	"t5": "St", "t6": "Boston", "t7": "02115", "t8": "MA",
+	"t9": "Seattle", "t10": "WA", "t11": "Chicago", "t12": "IL",
+}
+
+func elem(ts ...string) string {
+	out := ""
+	for i, t := range ts {
+		if i > 0 {
+			out += " "
+		}
+		out += tokenNames[t]
+	}
+	return out
+}
+
+// ReferenceR returns the reference set R = Location of Table 2.
+func ReferenceR() dataset.RawSet {
+	return dataset.RawSet{
+		Name: "R",
+		Elements: []string{
+			elem("t1", "t2", "t3", "t6", "t8"),   // r1
+			elem("t4", "t5", "t7", "t9", "t10"),  // r2
+			elem("t1", "t4", "t5", "t11", "t12"), // r3
+		},
+	}
+}
+
+// CollectionS returns the collection S = {S1, S2, S3, S4} of Table 2.
+func CollectionS() []dataset.RawSet {
+	return []dataset.RawSet{
+		{Name: "S1", Elements: []string{
+			elem("t2", "t3", "t5", "t6", "t7"),
+			elem("t1", "t2", "t4", "t5", "t6"),
+			elem("t1", "t2", "t3", "t4", "t7"),
+		}},
+		{Name: "S2", Elements: []string{
+			elem("t1", "t6", "t8"),
+			elem("t1", "t4", "t5", "t6", "t7"),
+			elem("t1", "t2", "t3", "t7", "t9"),
+		}},
+		{Name: "S3", Elements: []string{
+			elem("t1", "t2", "t3", "t4", "t6", "t8"),
+			elem("t2", "t3", "t11", "t12"),
+			elem("t1", "t2", "t3", "t5"),
+		}},
+		{Name: "S4", Elements: []string{
+			elem("t1", "t2", "t3", "t8"),
+			elem("t4", "t5", "t7", "t9", "t10"),
+			elem("t1", "t4", "t5", "t6", "t9"),
+		}},
+	}
+}
+
+// TokenName resolves a paper token label like "t8" to its string ("MA").
+func TokenName(label string) string { return tokenNames[label] }

@@ -1,0 +1,294 @@
+package signature
+
+import (
+	"container/heap"
+	"math"
+	"sort"
+
+	"silkmoth/internal/dataset"
+	"silkmoth/internal/index"
+	"silkmoth/internal/tokens"
+)
+
+// elemState tracks one reference element during greedy selection.
+type elemState struct {
+	length    int  // |r_i|: token count (word) or rune length (edit)
+	totalOcc  int  // available signature token occurrences
+	picked    int  // occurrences picked so far
+	satSize   int  // sim-thresh occurrence count, when satOK
+	satOK     bool // whether saturation is attainable
+	saturated bool
+	contrib   float64 // current Bound_i contribution
+	// distinct picked tokens and their per-element occurrence counts
+	pickedTokens []tokens.ID
+	pickedOccs   []int
+}
+
+// tokEntry is one distinct candidate signature token.
+type tokEntry struct {
+	id    tokens.ID
+	cost  float64 // |I[t]|
+	elems []int   // reference elements containing the token
+	occs  []int   // occurrences per element (chunks can repeat)
+	value float64 // value at the time of the last heap push
+}
+
+// contribAfter returns Bound_i when k signature token occurrences of an
+// element of size `length` are picked: the family's sound upper bound on
+// φ(r, s) for any s containing none of them.
+func contribAfter(f Family, length, k int) float64 {
+	if length == 0 {
+		return 0
+	}
+	l, kk := float64(length), float64(k)
+	switch f {
+	case FamilyJaccard:
+		// (|r|-k)/|r| (§4.2); k never exceeds |r| because occurrences
+		// are distinct word tokens.
+		return (l - kk) / l
+	case FamilyEdit:
+		// |r|/(|r|+k) (§7.1, Definition 11).
+		return l / (l + kk)
+	case FamilyDice:
+		// 2(|r|-k)/(2|r|-k): the worst case |s| = |r∩s| = |r|-k.
+		return 2 * (l - kk) / (2*l - kk)
+	case FamilyCosine:
+		// √((|r|-k)/|r|): from |∩|/√(|r||s|) ≤ √(|∩|/|r|).
+		return math.Sqrt((l - kk) / l)
+	default:
+		panic("signature: unknown family")
+	}
+}
+
+// tokenValue recomputes the current marginal value of t: the total decrease
+// of Σ Bound_i from picking it now, skipping saturated elements.
+func tokenValue(f Family, es []elemState, t *tokEntry) float64 {
+	v := 0.0
+	for x, e := range t.elems {
+		s := &es[e]
+		if s.saturated || s.length == 0 {
+			continue
+		}
+		v += s.contrib - contribAfter(f, s.length, s.picked+t.occs[x])
+	}
+	return v
+}
+
+// ratioHeap is a min-heap over cost/value. Entries may be stale; pops
+// revalidate against the current value (lazy deletion). Ratios are compared
+// as cost₁·value₂ < cost₂·value₁ to avoid dividing by tiny values.
+type ratioHeap []*tokEntry
+
+func (h ratioHeap) Len() int { return len(h) }
+func (h ratioHeap) Less(i, j int) bool {
+	a, b := h[i].cost*h[j].value, h[j].cost*h[i].value
+	if a != b {
+		return a < b
+	}
+	// Deterministic tie-breaks: cheaper token first, then smaller id.
+	if h[i].cost != h[j].cost {
+		return h[i].cost < h[j].cost
+	}
+	return h[i].id < h[j].id
+}
+func (h ratioHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *ratioHeap) Push(x interface{}) { *h = append(*h, x.(*tokEntry)) }
+func (h *ratioHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// buildStates prepares the element states and candidate tokens for r.
+func buildStates(r *dataset.Set, p Params, ix *index.Inverted, q int) ([]elemState, []*tokEntry, float64) {
+	n := len(r.Elements)
+	es := make([]elemState, n)
+	byToken := make(map[tokens.ID]*tokEntry)
+	remaining := 0.0
+	for i := range r.Elements {
+		el := &r.Elements[i]
+		s := &es[i]
+		s.length = el.Length
+		addOcc := func(t tokens.ID, occ int) {
+			e := byToken[t]
+			if e == nil {
+				e = &tokEntry{id: t, cost: float64(ix.ListLen(t))}
+				byToken[t] = e
+			}
+			e.elems = append(e.elems, i)
+			e.occs = append(e.occs, occ)
+		}
+		if !p.Family.usesChunks() {
+			// Word tokens are already distinct: no occurrence map needed.
+			s.totalOcc = len(el.Tokens)
+			for _, t := range el.Tokens {
+				addOcc(t, 1)
+			}
+		} else {
+			s.totalOcc = len(el.Chunks)
+			occCount := make(map[tokens.ID]int, len(el.Chunks))
+			for _, t := range el.Chunks {
+				occCount[t]++
+			}
+			for t, occ := range occCount {
+				addOcc(t, occ)
+			}
+		}
+		s.satSize, s.satOK = simThreshSize(p.Family, p.Alpha, s.length, s.totalOcc)
+		s.contrib = contribAfter(p.Family, s.length, 0)
+		remaining += s.contrib
+	}
+	entries := make([]*tokEntry, 0, len(byToken))
+	for _, e := range byToken {
+		entries = append(entries, e)
+	}
+	// Deterministic processing order independent of map iteration.
+	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
+	return es, entries, remaining
+}
+
+// generateGreedy implements the cost/value greedy of §4.3 over the weighted
+// scheme, and with dichotomy=true the advanced heuristic of §6.4 in which an
+// element whose picked occurrences reach the sim-thresh size saturates: its
+// bound drops to 0 and it stops attracting signature tokens.
+func generateGreedy(r *dataset.Set, p Params, ix *index.Inverted, q int, dichotomy bool) Signature {
+	n := len(r.Elements)
+	// Stop only once the bound sum sits a full ValiditySlack below θ, so
+	// float drift in `remaining` cannot admit an invalid signature.
+	target := p.Theta(n) - ValiditySlack
+	es, entries, remaining := buildStates(r, p, ix, q)
+
+	h := make(ratioHeap, 0, len(entries))
+	for _, e := range entries {
+		e.value = tokenValue(p.Family, es, e)
+		if e.value > 0 {
+			h = append(h, e)
+		}
+	}
+	heap.Init(&h)
+
+	const valueEps = 1e-15
+	for remaining >= target && h.Len() > 0 {
+		e := heap.Pop(&h).(*tokEntry)
+		cur := tokenValue(p.Family, es, e)
+		if cur <= 0 {
+			continue // all its elements saturated; drop
+		}
+		if cur < e.value-valueEps {
+			e.value = cur // stale: value shrank, ratio grew; reinsert
+			heap.Push(&h, e)
+			continue
+		}
+		// Pick e for every unsaturated element containing it.
+		for x, ei := range e.elems {
+			s := &es[ei]
+			if s.saturated || s.length == 0 {
+				continue
+			}
+			after := contribAfter(p.Family, s.length, s.picked+e.occs[x])
+			remaining -= s.contrib - after
+			s.contrib = after
+			s.picked += e.occs[x]
+			s.pickedTokens = append(s.pickedTokens, e.id)
+			s.pickedOccs = append(s.pickedOccs, e.occs[x])
+			if dichotomy && s.satOK && s.picked >= s.satSize {
+				remaining -= s.contrib
+				s.contrib = 0
+				s.saturated = true
+			}
+		}
+	}
+
+	sig := Signature{Elements: make([]ElemSig, n), Valid: remaining < target}
+	for i := range es {
+		s := &es[i]
+		sig.Elements[i] = ElemSig{
+			Tokens: tokens.SortUnique(append([]tokens.ID(nil), s.pickedTokens...)),
+			Bound:  s.contrib,
+		}
+		sig.SumBound += s.contrib
+	}
+	return sig
+}
+
+// applySkylineCut post-processes a weighted signature into a skyline
+// signature (§6.3): any element whose signature tokens reach the sim-thresh
+// size is cut down to the cheapest sim-thresh-sized subset and its bound
+// drops to 0.
+func applySkylineCut(sig *Signature, r *dataset.Set, p Params, ix *index.Inverted, q int) {
+	if !sig.Valid {
+		return
+	}
+	sum := 0.0
+	for i := range sig.Elements {
+		el := &r.Elements[i]
+		esig := &sig.Elements[i]
+		available := len(el.Tokens)
+		if p.Family.usesChunks() {
+			available = len(el.Chunks)
+		}
+		satSize, ok := simThreshSize(p.Family, p.Alpha, el.Length, available)
+		if ok {
+			cut, covered := cheapestCovering(esig.Tokens, el, p.Family, satSize, ix)
+			if covered {
+				esig.Tokens = cut
+				esig.Bound = 0
+			}
+		}
+		sum += esig.Bound
+	}
+	sig.SumBound = sum
+}
+
+// cheapestCovering returns the cheapest subset of candidate tokens whose
+// occurrence count within el reaches need, and whether that is possible.
+// Under word mode every token counts one occurrence; under edit mode a chunk
+// token counts its multiplicity in el.
+func cheapestCovering(candidates []tokens.ID, el *dataset.Element, f Family, need int, ix *index.Inverted) ([]tokens.ID, bool) {
+	type tc struct {
+		id   tokens.ID
+		cost int
+		occ  int
+	}
+	var occOf map[tokens.ID]int
+	if f.usesChunks() {
+		occOf = make(map[tokens.ID]int, len(el.Chunks))
+		for _, c := range el.Chunks {
+			occOf[c]++
+		}
+	}
+	tcs := make([]tc, 0, len(candidates))
+	total := 0
+	for _, t := range candidates {
+		occ := 1
+		if occOf != nil {
+			occ = occOf[t]
+			if occ == 0 {
+				occ = 1 // defensive: token not a chunk of el
+			}
+		}
+		tcs = append(tcs, tc{id: t, cost: ix.ListLen(t), occ: occ})
+		total += occ
+	}
+	if total < need {
+		return nil, false
+	}
+	sort.Slice(tcs, func(i, j int) bool {
+		if tcs[i].cost != tcs[j].cost {
+			return tcs[i].cost < tcs[j].cost
+		}
+		return tcs[i].id < tcs[j].id
+	})
+	var out []tokens.ID
+	covered := 0
+	for _, t := range tcs {
+		if covered >= need {
+			break
+		}
+		out = append(out, t.id)
+		covered += t.occ
+	}
+	return tokens.SortUnique(out), true
+}

@@ -1,0 +1,74 @@
+package signature
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"silkmoth/internal/dataset"
+	"silkmoth/internal/index"
+	"silkmoth/internal/tokens"
+)
+
+// benchSetup builds a 2000-set corpus with realistic Zipf-ish skew and one
+// reference set, the shape one signature generation sees in discovery.
+func benchSetup(setSize int) (*dataset.Set, *index.Inverted) {
+	rng := rand.New(rand.NewSource(3))
+	var raws []dataset.RawSet
+	mkElem := func() string {
+		s := ""
+		for i := 0; i < 8; i++ {
+			if i > 0 {
+				s += " "
+			}
+			// Skewed vocabulary: low ids much more frequent.
+			s += fmt.Sprintf("w%d", rng.Intn(rng.Intn(400)+1))
+		}
+		return s
+	}
+	for i := 0; i < 2000; i++ {
+		elems := make([]string, 5)
+		for j := range elems {
+			elems[j] = mkElem()
+		}
+		raws = append(raws, dataset.RawSet{Name: fmt.Sprintf("S%d", i), Elements: elems})
+	}
+	dict := tokens.NewDictionary()
+	coll := dataset.BuildWord(dict, raws)
+	ix := index.Build(coll)
+	relems := make([]string, setSize)
+	for j := range relems {
+		relems[j] = mkElem()
+	}
+	refColl := dataset.BuildWord(dict, []dataset.RawSet{{Name: "R", Elements: relems}})
+	return &refColl.Sets[0], ix
+}
+
+// BenchmarkGenerate measures one signature generation per scheme — the
+// fixed cost of every search pass. The paper reports it as negligible
+// against candidate verification; these numbers confirm that.
+func BenchmarkGenerate(b *testing.B) {
+	r, ix := benchSetup(20)
+	for _, kind := range []Kind{Weighted, CombUnweighted, Skyline, Dichotomy} {
+		for _, alpha := range []float64{0, 0.7} {
+			b.Run(fmt.Sprintf("%s/alpha=%.1f", kind, alpha), func(b *testing.B) {
+				p := Params{Delta: 0.75, Alpha: alpha}
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					Generate(kind, r, p, ix)
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkGenerateLargeSet is the lazy-heap stress case: a reference set
+// with hundreds of elements and thousands of candidate tokens.
+func BenchmarkGenerateLargeSet(b *testing.B) {
+	r, ix := benchSetup(200)
+	p := Params{Delta: 0.75, Alpha: 0.7}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Generate(Dichotomy, r, p, ix)
+	}
+}

@@ -1,0 +1,231 @@
+package signature
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"silkmoth/internal/dataset"
+	"silkmoth/internal/index"
+	"silkmoth/internal/matching"
+	"silkmoth/internal/sim"
+	"silkmoth/internal/tokens"
+)
+
+// vocabWord returns the name for word id v; ids overlap heavily across sets
+// so signatures face realistic frequency skew.
+func vocabWord(v int) string { return fmt.Sprintf("w%02d", v) }
+
+func randRawSet(rng *rand.Rand, name string, vocab int) dataset.RawSet {
+	n := rng.Intn(4) + 1
+	elems := make([]string, n)
+	for i := range elems {
+		k := rng.Intn(5) + 1
+		words := make(map[string]bool)
+		for len(words) < k {
+			words[vocabWord(rng.Intn(vocab))] = true
+		}
+		s := ""
+		for w := range words {
+			if s != "" {
+				s += " "
+			}
+			s += w
+		}
+		elems[i] = s
+	}
+	return dataset.RawSet{Name: name, Elements: elems}
+}
+
+// adversarialValidityCheck verifies Lemma 1 / Theorem 3 behaviour for one
+// generated signature: for an adversarial set S built from R's elements with
+// every signature token removed (the Lemma 2 construction), the maximum
+// matching score under φ_α stays below θ. This must hold for every scheme
+// whose SumBound < θ; for CombUnweighted (whose validity argument is the
+// count argument, not the bound sum) it must hold whenever S shares no token
+// with the signature, which the construction guarantees too.
+func adversarialValidityCheck(t *testing.T, kind Kind, rng *rand.Rand) {
+	t.Helper()
+	vocab := 20
+	var raws []dataset.RawSet
+	for i := 0; i < 8; i++ {
+		raws = append(raws, randRawSet(rng, fmt.Sprintf("S%d", i), vocab))
+	}
+	dict := tokens.NewDictionary()
+	coll := dataset.BuildWord(dict, raws)
+	ix := index.Build(coll)
+
+	refColl := dataset.BuildWord(dict, []dataset.RawSet{randRawSet(rng, "R", vocab)})
+	r := &refColl.Sets[0]
+
+	deltas := []float64{0.5, 0.7, 0.85}
+	alphas := []float64{0, 0.4, 0.7}
+	for _, delta := range deltas {
+		for _, alpha := range alphas {
+			p := Params{Delta: delta, Alpha: alpha}
+			sig := Generate(kind, r, p, ix)
+			if !sig.Valid {
+				t.Fatalf("%v: signature invalid under Jaccard (δ=%v α=%v)", kind, delta, alpha)
+			}
+			theta := p.Theta(len(r.Elements))
+
+			// Lemma 2 adversary: s_i = r_i \ K^T.
+			sigTokens := make(map[tokens.ID]bool)
+			for _, id := range sig.TokenSet() {
+				sigTokens[id] = true
+			}
+			adv := make([][]tokens.ID, len(r.Elements))
+			for i, el := range r.Elements {
+				for _, tok := range el.Tokens {
+					if !sigTokens[tok] {
+						adv[i] = append(adv[i], tok)
+					}
+				}
+			}
+			score := matching.Score(len(r.Elements), len(adv), func(i, j int) float64 {
+				return sim.Alpha(sim.JaccardSorted(r.Elements[i].Tokens, adv[j]), alpha)
+			})
+			if score >= theta {
+				t.Fatalf("%v δ=%v α=%v: adversarial set scores %v ≥ θ=%v (signature not valid)",
+					kind, delta, alpha, score, theta)
+			}
+		}
+	}
+}
+
+func TestAdversarialValidityWeighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for i := 0; i < 150; i++ {
+		adversarialValidityCheck(t, Weighted, rng)
+	}
+}
+
+func TestAdversarialValiditySkyline(t *testing.T) {
+	rng := rand.New(rand.NewSource(102))
+	for i := 0; i < 150; i++ {
+		adversarialValidityCheck(t, Skyline, rng)
+	}
+}
+
+func TestAdversarialValidityDichotomy(t *testing.T) {
+	rng := rand.New(rand.NewSource(103))
+	for i := 0; i < 150; i++ {
+		adversarialValidityCheck(t, Dichotomy, rng)
+	}
+}
+
+func TestAdversarialValidityCombUnweighted(t *testing.T) {
+	rng := rand.New(rand.NewSource(104))
+	for i := 0; i < 150; i++ {
+		adversarialValidityCheck(t, CombUnweighted, rng)
+	}
+}
+
+// The per-element Bound must be sound: any element sharing no signature
+// token with element i has φ_α ≤ Bound_i. Exercise it with adversarial
+// per-element probes.
+func TestElementBoundSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(105))
+	for trial := 0; trial < 200; trial++ {
+		vocab := 15
+		var raws []dataset.RawSet
+		for i := 0; i < 6; i++ {
+			raws = append(raws, randRawSet(rng, fmt.Sprintf("S%d", i), vocab))
+		}
+		dict := tokens.NewDictionary()
+		coll := dataset.BuildWord(dict, raws)
+		ix := index.Build(coll)
+		refColl := dataset.BuildWord(dict, []dataset.RawSet{randRawSet(rng, "R", vocab)})
+		r := &refColl.Sets[0]
+
+		for _, kind := range []Kind{Weighted, Skyline, Dichotomy, CombUnweighted} {
+			alpha := []float64{0, 0.5, 0.75}[rng.Intn(3)]
+			sig := Generate(kind, r, Params{Delta: 0.7, Alpha: alpha}, ix)
+			for i, es := range sig.Elements {
+				sigSet := make(map[tokens.ID]bool)
+				for _, id := range es.Tokens {
+					sigSet[id] = true
+				}
+				// Probe: r_i with signature tokens stripped plus noise.
+				var probe []tokens.ID
+				for _, tok := range r.Elements[i].Tokens {
+					if !sigSet[tok] {
+						probe = append(probe, tok)
+					}
+				}
+				probe = append(probe, tokens.ID(dict.Size()+rng.Intn(3))) // unseen token
+				probe = tokens.SortUnique(probe)
+				phi := sim.Alpha(sim.JaccardSorted(r.Elements[i].Tokens, probe), alpha)
+				if phi > es.Bound+1e-12 {
+					t.Fatalf("%v: element %d bound %v violated by probe with φ=%v",
+						kind, i, es.Bound, phi)
+				}
+			}
+		}
+	}
+}
+
+// Under edit similarity, the adversarial construction uses strings sharing
+// no q-chunk with the signature: mutate every signature chunk's characters.
+func TestEditSchemeValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(106))
+	q := 2
+	letters := "abcdefgh"
+	randStr := func(n int) string {
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = letters[rng.Intn(len(letters))]
+		}
+		return string(b)
+	}
+	for trial := 0; trial < 100; trial++ {
+		var raws []dataset.RawSet
+		for i := 0; i < 5; i++ {
+			raws = append(raws, dataset.RawSet{
+				Name:     fmt.Sprintf("S%d", i),
+				Elements: []string{randStr(rng.Intn(6) + 4), randStr(rng.Intn(6) + 4)},
+			})
+		}
+		dict := tokens.NewDictionary()
+		coll := dataset.BuildQGram(dict, raws, q)
+		ix := index.Build(coll)
+		refColl := dataset.BuildQGram(dict, []dataset.RawSet{{
+			Name:     "R",
+			Elements: []string{randStr(rng.Intn(6) + 4), randStr(rng.Intn(6) + 4), randStr(rng.Intn(6) + 4)},
+		}}, q)
+		r := &refColl.Sets[0]
+
+		for _, kind := range []Kind{Weighted, Skyline, Dichotomy} {
+			p := Params{Delta: 0.6, Alpha: 0, Family: FamilyEdit}
+			sig := Generate(kind, r, p, ix)
+			if !sig.Valid {
+				continue // infeasible is allowed under edit similarity
+			}
+			theta := p.Theta(len(r.Elements))
+			if sig.SumBound >= theta {
+				t.Fatalf("%v: valid edit signature with SumBound %v ≥ θ %v", kind, sig.SumBound, theta)
+			}
+			// An adversary sharing no q-gram at all: strings over a
+			// disjoint alphabet. Its matching score must be < θ.
+			adv := make([]string, len(r.Elements))
+			for i := range adv {
+				adv[i] = randUpper(rng, len(r.Elements[i].Raw))
+			}
+			score := matching.Score(len(r.Elements), len(adv), func(i, j int) float64 {
+				return sim.Eds(r.Elements[i].Raw, adv[j])
+			})
+			if score >= theta {
+				t.Fatalf("%v: disjoint-alphabet adversary scores %v ≥ θ %v", kind, score, theta)
+			}
+		}
+	}
+}
+
+func randUpper(rng *rand.Rand, n int) string {
+	letters := "QRSTUVWX"
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[rng.Intn(len(letters))]
+	}
+	return string(b)
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzLevenshteinBounded cross-checks the banded edit distance against the
+// plain dynamic program on arbitrary inputs, including invalid UTF-8 and
+// control characters.
+func FuzzLevenshteinBounded(f *testing.F) {
+	f.Add("kitten", "sitting", 3)
+	f.Add("", "abc", 0)
+	f.Add("héllo", "hello", 1)
+	f.Add("aaaa", "aaab", 10)
+	f.Add("\x00\x1f", "\x1f\x00", 2)
+	f.Fuzz(func(t *testing.T, a, b string, maxDist int) {
+		if len(a) > 64 {
+			a = a[:64]
+		}
+		if len(b) > 64 {
+			b = b[:64]
+		}
+		if maxDist < -2 || maxDist > 80 {
+			maxDist %= 80
+		}
+		exact := Levenshtein(a, b)
+		got := LevenshteinBounded(a, b, maxDist)
+		if exact <= maxDist {
+			if got != exact {
+				t.Fatalf("LevenshteinBounded(%q,%q,%d) = %d, want %d", a, b, maxDist, got, exact)
+			}
+		} else if got <= maxDist {
+			t.Fatalf("LevenshteinBounded(%q,%q,%d) = %d, but exact is %d", a, b, maxDist, got, exact)
+		}
+	})
+}
+
+// FuzzEditSimilarities checks the invariants every φ must keep on arbitrary
+// inputs: range, symmetry, and the thresholded variants matching their
+// unthresholded definitions.
+func FuzzEditSimilarities(f *testing.F) {
+	f.Add("abc", "abd", 0.5)
+	f.Add("", "", 0.7)
+	f.Add("日本語", "日本", 0.8)
+	f.Fuzz(func(t *testing.T, a, b string, alpha float64) {
+		if len(a) > 48 {
+			a = a[:48]
+		}
+		if len(b) > 48 {
+			b = b[:48]
+		}
+		if alpha < 0 || alpha >= 1 || math.IsNaN(alpha) {
+			alpha = 0.6
+		}
+		e := Eds(a, b)
+		n := NEds(a, b)
+		if e < 0 || e > 1 || n < 0 || n > 1 {
+			t.Fatalf("similarity out of range: Eds=%v NEds=%v for %q,%q", e, n, a, b)
+		}
+		if Eds(b, a) != e || NEds(b, a) != n {
+			t.Fatalf("asymmetric: %q, %q", a, b)
+		}
+		if math.Abs(EdsAlpha(a, b, alpha)-Alpha(e, alpha)) > 1e-12 {
+			t.Fatalf("EdsAlpha mismatch for %q,%q α=%v", a, b, alpha)
+		}
+		if math.Abs(NEdsAlpha(a, b, alpha)-Alpha(n, alpha)) > 1e-12 {
+			t.Fatalf("NEdsAlpha mismatch for %q,%q α=%v", a, b, alpha)
+		}
+		// Rune-level: the distance never exceeds the longer rune count.
+		la, lb := utf8.RuneCountInString(a), utf8.RuneCountInString(b)
+		m := la
+		if lb > m {
+			m = lb
+		}
+		if d := Levenshtein(a, b); d > m {
+			t.Fatalf("LD(%q,%q) = %d > max rune len %d", a, b, d, m)
+		}
+	})
+}

@@ -1,0 +1,47 @@
+// Package sim implements the element-level similarity functions SilkMoth
+// supports (paper §2.1): token-based Jaccard similarity and the two
+// character-based edit similarities Eds and NEds, plus the similarity
+// threshold wrapper φ_α.
+package sim
+
+import "silkmoth/internal/tokens"
+
+// JaccardSorted returns |a∩b| / |a∪b| for two sorted, duplicate-free token
+// id slices. Two empty slices have similarity 0 (there is nothing to match).
+func JaccardSorted(a, b []tokens.ID) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := IntersectSizeSorted(a, b)
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// IntersectSizeSorted returns |a∩b| for two sorted, duplicate-free token id
+// slices using a linear merge.
+func IntersectSizeSorted(a, b []tokens.ID) int {
+	n := 0
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// Alpha applies the similarity threshold α to a raw similarity score,
+// returning 0 when the score falls below α (the φ_α of paper §2.1).
+func Alpha(score, alpha float64) float64 {
+	if score < alpha {
+		return 0
+	}
+	return score
+}

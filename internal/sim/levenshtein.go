@@ -1,0 +1,148 @@
+package sim
+
+// Levenshtein returns the edit distance between a and b: the minimum number
+// of single-rune insertions, deletions, and substitutions transforming one
+// into the other. It runs in O(|a|·|b|) time and O(min(|a|,|b|)) space.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	return levenshteinRunes(ra, rb)
+}
+
+func levenshteinRunes(ra, rb []rune) int {
+	if len(ra) < len(rb) {
+		ra, rb = rb, ra
+	}
+	// rb is the shorter string; the DP row has len(rb)+1 entries.
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	row := make([]int, len(rb)+1)
+	for j := range row {
+		row[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		prev := row[0] // row[i-1][0]
+		row[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cur := row[j]
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			row[j] = min3(row[j]+1, row[j-1]+1, prev+cost)
+			prev = cur
+		}
+	}
+	return row[len(rb)]
+}
+
+// LevenshteinBounded returns the edit distance between a and b if it is at
+// most maxDist, and otherwise returns maxDist+1. It uses a banded dynamic
+// program of width O(maxDist), running in O(maxDist·min(|a|,|b|)) time,
+// which is the standard early-termination trick for thresholded edit
+// similarity. A negative maxDist always reports exceeded.
+func LevenshteinBounded(a, b string, maxDist int) int {
+	if maxDist < 0 {
+		return maxDist + 1
+	}
+	ra, rb := []rune(a), []rune(b)
+	if len(ra) < len(rb) {
+		ra, rb = rb, ra
+	}
+	if len(ra)-len(rb) > maxDist {
+		return maxDist + 1
+	}
+	if len(rb) == 0 {
+		if len(ra) > maxDist {
+			return maxDist + 1
+		}
+		return len(ra)
+	}
+	const inf = int(^uint(0) >> 2)
+	n, m := len(ra), len(rb)
+	// row[j] = edit distance between ra[:i] and rb[:j], computed only inside
+	// the diagonal band |i-j| ≤ maxDist.
+	row := make([]int, m+1)
+	for j := 0; j <= m; j++ {
+		if j > maxDist {
+			row[j] = inf
+		} else {
+			row[j] = j
+		}
+	}
+	for i := 1; i <= n; i++ {
+		lo := i - maxDist
+		if lo < 1 {
+			lo = 1
+		}
+		hi := i + maxDist
+		if hi > m {
+			hi = m
+		}
+		var prev int // row[i-1][lo-1]
+		if lo-1 >= 0 {
+			prev = row[lo-1]
+		}
+		if lo == 1 {
+			if i > maxDist {
+				row[0] = inf
+			} else {
+				row[0] = i
+			}
+		}
+		if lo-2 >= 0 {
+			row[lo-2] = inf // outside band for subsequent rows
+		}
+		best := inf
+		for j := lo; j <= hi; j++ {
+			cur := row[j]
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			up := inf
+			if j <= i-1+maxDist { // row[i-1][j] inside previous band
+				up = cur
+			}
+			left := inf
+			if j-1 >= lo || j-1 == 0 {
+				left = row[j-1]
+			}
+			v := prev + cost
+			if up+1 < v {
+				v = up + 1
+			}
+			if left+1 < v {
+				v = left + 1
+			}
+			if v > inf {
+				v = inf
+			}
+			row[j] = v
+			if v < best {
+				best = v
+			}
+			prev = cur
+		}
+		if hi < m {
+			row[hi+1] = inf
+		}
+		if best > maxDist {
+			return maxDist + 1
+		}
+	}
+	if row[m] > maxDist {
+		return maxDist + 1
+	}
+	return row[m]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}

@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"silkmoth/internal/tokens"
+)
+
+func benchStrings(n, length int) []string {
+	rng := rand.New(rand.NewSource(1))
+	out := make([]string, n)
+	for i := range out {
+		out[i] = randString(rng, length)
+	}
+	return out
+}
+
+// Ablation: the banded edit distance against the full dynamic program at a
+// realistic α = 0.8 threshold. The band is what makes thresholded edit
+// similarity affordable inside the check and NN filters.
+func BenchmarkLevenshteinPlain(b *testing.B) {
+	ss := benchStrings(64, 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := ss[i%len(ss)]
+		c := ss[(i+7)%len(ss)]
+		Levenshtein(a, c)
+	}
+}
+
+func BenchmarkLevenshteinBounded(b *testing.B) {
+	ss := benchStrings(64, 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := ss[i%len(ss)]
+		c := ss[(i+7)%len(ss)]
+		LevenshteinBounded(a, c, 5)
+	}
+}
+
+func BenchmarkEdsAlphaThresholded(b *testing.B) {
+	ss := benchStrings(64, 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		EdsAlpha(ss[i%len(ss)], ss[(i+7)%len(ss)], 0.8)
+	}
+}
+
+func BenchmarkEdsUnthresholded(b *testing.B) {
+	ss := benchStrings(64, 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Eds(ss[i%len(ss)], ss[(i+7)%len(ss)])
+	}
+}
+
+func benchTokenSets(n, size, vocab int) [][]tokens.ID {
+	rng := rand.New(rand.NewSource(2))
+	out := make([][]tokens.ID, n)
+	for i := range out {
+		ids := make([]tokens.ID, size)
+		for j := range ids {
+			ids[j] = tokens.ID(rng.Intn(vocab))
+		}
+		out[i] = tokens.SortUnique(ids)
+	}
+	return out
+}
+
+func BenchmarkJaccardSorted(b *testing.B) {
+	sets := benchTokenSets(64, 12, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		JaccardSorted(sets[i%len(sets)], sets[(i+9)%len(sets)])
+	}
+}
+
+func BenchmarkDiceSorted(b *testing.B) {
+	sets := benchTokenSets(64, 12, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		DiceSorted(sets[i%len(sets)], sets[(i+9)%len(sets)])
+	}
+}
+
+func BenchmarkCosineSorted(b *testing.B) {
+	sets := benchTokenSets(64, 12, 200)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		CosineSorted(sets[i%len(sets)], sets[(i+9)%len(sets)])
+	}
+}

@@ -1,0 +1,28 @@
+package sim
+
+import (
+	"math"
+
+	"silkmoth/internal/tokens"
+)
+
+// DiceSorted returns the Dice coefficient 2|a∩b| / (|a|+|b|) for two sorted,
+// duplicate-free token id slices. Two empty slices have similarity 0.
+func DiceSorted(a, b []tokens.ID) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := IntersectSizeSorted(a, b)
+	return 2 * float64(inter) / float64(len(a)+len(b))
+}
+
+// CosineSorted returns the set cosine similarity |a∩b| / √(|a|·|b|) for two
+// sorted, duplicate-free token id slices. Two empty slices have
+// similarity 0.
+func CosineSorted(a, b []tokens.ID) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := IntersectSizeSorted(a, b)
+	return float64(inter) / math.Sqrt(float64(len(a))*float64(len(b)))
+}

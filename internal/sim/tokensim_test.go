@@ -1,0 +1,110 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"silkmoth/internal/tokens"
+)
+
+func TestDiceKnown(t *testing.T) {
+	a := toksOf("p", "q", "r")
+	b := toksOf("q", "r", "s")
+	// 2·2/(3+3) = 2/3.
+	if got := DiceSorted(a, b); math.Abs(got-2.0/3.0) > 1e-12 {
+		t.Errorf("Dice = %v, want 2/3", got)
+	}
+	if DiceSorted(a, a) != 1 {
+		t.Error("Dice(a,a) should be 1")
+	}
+	if DiceSorted(a, nil) != 0 || DiceSorted(nil, nil) != 0 {
+		t.Error("Dice with empty side should be 0")
+	}
+}
+
+func TestCosineKnown(t *testing.T) {
+	a := toksOf("aa", "bb", "cc", "dd")
+	b := toksOf("cc")
+	// 1/√(4·1) = 0.5.
+	if got := CosineSorted(a, b); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Cosine = %v, want 0.5", got)
+	}
+	if CosineSorted(a, a) != 1 {
+		t.Error("Cosine(a,a) should be 1")
+	}
+	if CosineSorted(nil, b) != 0 {
+		t.Error("Cosine with empty side should be 0")
+	}
+}
+
+// Property: Dice and Cosine are symmetric, in [0,1], and sandwich Jaccard:
+// Jac ≤ Dice ≤ 1 and Jac ≤ Cos (standard inequalities on set overlap).
+func TestTokenSimilarityOrderings(t *testing.T) {
+	f := func(ra, rb []uint8) bool {
+		a := make([]tokens.ID, len(ra))
+		for i, v := range ra {
+			a[i] = tokens.ID(v % 24)
+		}
+		b := make([]tokens.ID, len(rb))
+		for i, v := range rb {
+			b[i] = tokens.ID(v % 24)
+		}
+		a, b = tokens.SortUnique(a), tokens.SortUnique(b)
+		jac := JaccardSorted(a, b)
+		dice := DiceSorted(a, b)
+		cos := CosineSorted(a, b)
+		if dice != DiceSorted(b, a) || cos != CosineSorted(b, a) {
+			return false
+		}
+		if dice < 0 || dice > 1 || cos < 0 || cos > 1+1e-12 {
+			return false
+		}
+		// Jac = ∩/(a+b-∩) ≤ 2∩/(a+b) = Dice; Jac ≤ ∩/√(ab) = Cos.
+		return jac <= dice+1e-12 && jac <= cos+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The signature-family bounds must be sound for Dice and Cosine: an element
+// s missing k tokens of r has Dice ≤ 2(|r|-k)/(2|r|-k) and
+// Cos ≤ √((|r|-k)/|r|). Probe with random survivors.
+func TestDiceCosineBoundSoundness(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 5000; trial++ {
+		n := rng.Intn(8) + 1
+		r := make([]tokens.ID, n)
+		for i := range r {
+			r[i] = tokens.ID(i) // distinct
+		}
+		k := rng.Intn(n + 1)
+		// s keeps at most n-k of r's tokens (missing the "signature" k),
+		// plus arbitrary outside tokens.
+		var s []tokens.ID
+		for i := k; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				s = append(s, r[i])
+			}
+		}
+		extra := rng.Intn(4)
+		for i := 0; i < extra; i++ {
+			s = append(s, tokens.ID(100+rng.Intn(50)))
+		}
+		s = tokens.SortUnique(s)
+
+		dice := DiceSorted(r, s)
+		cos := CosineSorted(r, s)
+		l := float64(n)
+		diceBound := 2 * (l - float64(k)) / (2*l - float64(k))
+		cosBound := math.Sqrt((l - float64(k)) / l)
+		if dice > diceBound+1e-12 {
+			t.Fatalf("Dice bound violated: %v > %v (n=%d k=%d s=%v)", dice, diceBound, n, k, s)
+		}
+		if cos > cosBound+1e-12 {
+			t.Fatalf("Cosine bound violated: %v > %v (n=%d k=%d s=%v)", cos, cosBound, n, k, s)
+		}
+	}
+}

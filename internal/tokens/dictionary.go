@@ -1,0 +1,53 @@
+// Package tokens provides tokenization primitives for SilkMoth: a string
+// interning dictionary that maps tokens to dense integer ids, whitespace word
+// tokenization for Jaccard similarity, and q-gram / q-chunk tokenization for
+// edit similarity (paper §3 and §7).
+package tokens
+
+// ID is a dense integer identifier for an interned token string.
+// Dense ids let the inverted index be a plain slice instead of a map.
+type ID int32
+
+// Dictionary interns token strings and assigns each distinct string a dense
+// ID starting from zero. It also tracks how many times each token was
+// interned, which approximates collection frequency.
+type Dictionary struct {
+	ids   map[string]ID
+	strs  []string
+	count []int64
+}
+
+// NewDictionary returns an empty dictionary.
+func NewDictionary() *Dictionary {
+	return &Dictionary{ids: make(map[string]ID)}
+}
+
+// Intern returns the ID for s, assigning a fresh one if s is new, and bumps
+// its frequency counter.
+func (d *Dictionary) Intern(s string) ID {
+	if id, ok := d.ids[s]; ok {
+		d.count[id]++
+		return id
+	}
+	id := ID(len(d.strs))
+	d.ids[s] = id
+	d.strs = append(d.strs, s)
+	d.count = append(d.count, 1)
+	return id
+}
+
+// Lookup returns the ID for s without interning. The second return value
+// reports whether s is known.
+func (d *Dictionary) Lookup(s string) (ID, bool) {
+	id, ok := d.ids[s]
+	return id, ok
+}
+
+// String returns the token string for id. It panics if id is out of range.
+func (d *Dictionary) String(id ID) string { return d.strs[id] }
+
+// Count returns how many times the token with this id has been interned.
+func (d *Dictionary) Count(id ID) int64 { return d.count[id] }
+
+// Size returns the number of distinct tokens interned so far.
+func (d *Dictionary) Size() int { return len(d.strs) }

@@ -1,0 +1,50 @@
+package tokens
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzQGramChunkConsistency checks the structural invariants of gram/chunk
+// extraction on arbitrary input, including multi-byte runes: n runes yield n
+// grams and ⌈n/q⌉ chunks, every chunk is the gram at its own offset, and the
+// chunks re-cover the padded string.
+func FuzzQGramChunkConsistency(f *testing.F) {
+	f.Add("50 Vassar St MA", 4)
+	f.Add("日本語テキスト", 2)
+	f.Add("", 3)
+	f.Add("a", 1)
+	f.Fuzz(func(t *testing.T, s string, q int) {
+		if q <= 0 || q > 8 {
+			q = q&7 + 1
+		}
+		s = strings.ReplaceAll(s, string(Pad), "")
+		if len(s) > 64 {
+			s = s[:64]
+		}
+		runes := []rune(s)
+		grams := QGrams(s, q)
+		chunks := QChunks(s, q)
+		if len(grams) != len(runes) {
+			t.Fatalf("grams = %d, want %d for %q q=%d", len(grams), len(runes), s, q)
+		}
+		if len(chunks) != NumQChunks(len(runes), q) {
+			t.Fatalf("chunks = %d, want %d", len(chunks), NumQChunks(len(runes), q))
+		}
+		for i, c := range chunks {
+			if len([]rune(c)) != q {
+				t.Fatalf("chunk %d has %d runes, want %d", i, len([]rune(c)), q)
+			}
+			if i*q < len(grams) && grams[i*q] != c {
+				t.Fatalf("chunk %d != gram at offset %d", i, i*q)
+			}
+		}
+		// Re-cover check at the rune level: invalid UTF-8 bytes are
+		// normalized to U+FFFD by rune conversion on both sides, so the
+		// invariant holds for string(runes), not the raw bytes.
+		joined := strings.Join(chunks, "")
+		if len(runes) > 0 && !strings.HasPrefix(joined, string(runes)) {
+			t.Fatalf("chunks do not re-cover %q", s)
+		}
+	})
+}

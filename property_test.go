@@ -1,0 +1,75 @@
+package silkmoth
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// The public-API exactness property: Discover's pairs are exactly the pairs
+// whose pairwise Compare clears Delta — no more (soundness of verification)
+// and no fewer (no false negatives from signatures or filters).
+func TestDiscoverAgreesWithPairwiseCompare(t *testing.T) {
+	rng := rand.New(rand.NewSource(424242))
+	mkSet := func(name string) Set {
+		n := rng.Intn(3) + 1
+		elems := make([]string, n)
+		for i := range elems {
+			k := rng.Intn(4) + 1
+			s := ""
+			for j := 0; j < k; j++ {
+				if j > 0 {
+					s += " "
+				}
+				s += fmt.Sprintf("w%d", rng.Intn(14))
+			}
+			elems[i] = s
+		}
+		return Set{Name: name, Elements: elems}
+	}
+
+	for trial := 0; trial < 10; trial++ {
+		sets := make([]Set, 16)
+		for i := range sets {
+			sets[i] = mkSet(fmt.Sprintf("S%d", i))
+		}
+		for _, simFn := range []Similarity{Jaccard, Dice, Cosine} {
+			for _, metric := range []Metric{SetSimilarity, SetContainment} {
+				for _, delta := range []float64{0.4, 0.7} {
+					cfg := Config{Metric: metric, Similarity: simFn, Delta: delta}
+					eng, err := NewEngine(sets, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := make(map[[2]int]bool)
+					for _, p := range eng.Discover() {
+						got[[2]int{p.R, p.S}] = true
+					}
+					for r := 0; r < len(sets); r++ {
+						for s := 0; s < len(sets); s++ {
+							if r == s {
+								continue
+							}
+							if metric == SetSimilarity && s < r {
+								continue // unordered pairs reported once
+							}
+							rel, err := Compare(sets[r], sets[s], cfg)
+							if err != nil {
+								t.Fatal(err)
+							}
+							want := rel >= delta-1e-9
+							if metric == SetContainment &&
+								len(sets[r].Elements) > len(sets[s].Elements) {
+								want = false // Definition 2: |R| ≤ |S|
+							}
+							if got[[2]int{r, s}] != want {
+								t.Fatalf("trial %d %v %v δ=%v: pair (%d,%d) Compare=%v, Discover=%v",
+									trial, simFn, metric, delta, r, s, rel, got[[2]int{r, s}])
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

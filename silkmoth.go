@@ -1,0 +1,220 @@
+// Package silkmoth discovers related sets under maximum matching
+// constraints, implementing Deng, Kim, Madden & Stonebraker, "SILKMOTH: An
+// Efficient Method for Finding Related Sets with Maximum Matching
+// Constraints" (VLDB 2017).
+//
+// Two sets are related when the score of the maximum-weight bipartite
+// matching between their elements — weighted by an element similarity
+// function — clears a threshold. Unlike exact set overlap, this tolerates
+// dirty data: "77 Mass Ave Boston MA" still aligns with "77 Massachusetts
+// Avenue Boston MA". SilkMoth finds all related pairs exactly (identical
+// output to brute force) but prunes the vast majority of comparisons with
+// valid signatures, a check filter, a nearest-neighbor filter, and a
+// triangle-inequality reduction of the final matching computation.
+//
+// # Quick start
+//
+//	sets := []silkmoth.Set{
+//		{Name: "addresses", Elements: []string{"77 Mass Ave Boston MA", "5th St Seattle WA"}},
+//		{Name: "locations", Elements: []string{"77 Massachusetts Ave Boston MA", "Fifth St Seattle WA"}},
+//	}
+//	eng, err := silkmoth.NewEngine(sets, silkmoth.Config{
+//		Metric:     silkmoth.SetSimilarity,
+//		Similarity: silkmoth.Jaccard,
+//		Delta:      0.7,
+//	})
+//	if err != nil { ... }
+//	pairs := eng.Discover() // all related pairs within sets
+//
+// Search mode finds everything related to one reference set:
+//
+//	matches, err := eng.Search(silkmoth.Set{Elements: []string{...}})
+//
+// # Metrics, similarities, thresholds
+//
+// Metric selects SET-SIMILARITY (approximate set equality) or
+// SET-CONTAINMENT (approximate subset, |R| ≤ |S|). Similarity selects the
+// element-level φ: Jaccard, Dice, or Cosine over whitespace words, or the
+// edit similarities Eds and NEds over characters. Delta ∈ (0, 1] is the
+// relatedness threshold; Alpha ∈ [0, 1) optionally zeroes element
+// similarities below it. Engines additionally support top-k search,
+// incremental Add, collection persistence, and direct pairwise Compare.
+package silkmoth
+
+import (
+	"fmt"
+
+	"silkmoth/internal/core"
+	"silkmoth/internal/signature"
+)
+
+// Set is a named collection of raw string elements. How elements are
+// tokenized depends on the engine's Similarity: whitespace words for
+// Jaccard, q-grams/q-chunks for the edit similarities.
+type Set struct {
+	Name     string
+	Elements []string
+}
+
+// Metric selects the set relatedness metric.
+type Metric int
+
+const (
+	// SetSimilarity relates R and S when
+	// |R ∩̃ S| / (|R|+|S|-|R ∩̃ S|) ≥ Delta.
+	SetSimilarity Metric = iota
+	// SetContainment relates R and S (|R| ≤ |S|) when
+	// |R ∩̃ S| / |R| ≥ Delta.
+	SetContainment
+)
+
+// Similarity selects the element similarity function φ.
+type Similarity int
+
+const (
+	// Jaccard treats each element as a set of whitespace-delimited words.
+	Jaccard Similarity = iota
+	// Eds is the edit similarity 1 - 2·LD/(|x|+|y|+LD); its dual distance
+	// is a metric, enabling the verification reduction.
+	Eds
+	// NEds is the normalized edit similarity 1 - LD/max(|x|,|y|).
+	NEds
+	// Dice treats elements as sets of whitespace words compared with the
+	// Dice coefficient 2|∩|/(|a|+|b|).
+	Dice
+	// Cosine treats elements as sets of whitespace words compared with
+	// the set cosine similarity |∩|/√(|a||b|).
+	Cosine
+)
+
+// Scheme selects the signature scheme used to prune the search space.
+type Scheme int
+
+const (
+	// SchemeDichotomy (default) is the paper's best performer: the
+	// cost/value greedy with sim-thresh saturation (§6.4).
+	SchemeDichotomy Scheme = iota
+	// SchemeSkyline post-cuts a weighted signature by the similarity
+	// threshold (§6.3); strongest at small α.
+	SchemeSkyline
+	// SchemeWeighted is the pure weighted scheme of §4.2.
+	SchemeWeighted
+	// SchemeCombUnweighted is the FastJoin-style baseline of §6.2.
+	SchemeCombUnweighted
+)
+
+// Config configures an Engine. The zero value is not valid: Delta must be
+// positive. Filters and the verification reduction are on by default and
+// can be disabled for experimentation.
+type Config struct {
+	// Metric is the relatedness metric; default SetSimilarity.
+	Metric Metric
+	// Similarity is the element similarity; default Jaccard.
+	Similarity Similarity
+	// Delta ∈ (0, 1] is the relatedness threshold δ.
+	Delta float64
+	// Alpha ∈ [0, 1) is the element similarity threshold α; element
+	// similarities below Alpha count as zero. Optional.
+	Alpha float64
+	// Q is the gram length for edit similarities; 0 picks the largest
+	// sound value automatically.
+	Q int
+	// Scheme is the signature scheme; default SchemeDichotomy.
+	Scheme Scheme
+	// DisableCheckFilter turns off the check filter (§5.1).
+	DisableCheckFilter bool
+	// DisableNNFilter turns off the nearest-neighbor filter (§5.2).
+	DisableNNFilter bool
+	// DisableReduction turns off reduction-based verification (§5.3).
+	// The reduction only applies at Alpha = 0 under Jaccard or Eds.
+	DisableReduction bool
+	// Concurrency bounds parallel search passes in Discover; values < 1
+	// mean single-threaded.
+	Concurrency int
+}
+
+func (c Config) coreOptions() (core.Options, error) {
+	var metric core.Metric
+	switch c.Metric {
+	case SetSimilarity:
+		metric = core.SetSimilarity
+	case SetContainment:
+		metric = core.SetContainment
+	default:
+		return core.Options{}, fmt.Errorf("silkmoth: unknown metric %d", int(c.Metric))
+	}
+	var simKind core.SimKind
+	switch c.Similarity {
+	case Jaccard:
+		simKind = core.Jaccard
+	case Eds:
+		simKind = core.Eds
+	case NEds:
+		simKind = core.NEds
+	case Dice:
+		simKind = core.Dice
+	case Cosine:
+		simKind = core.Cosine
+	default:
+		return core.Options{}, fmt.Errorf("silkmoth: unknown similarity %d", int(c.Similarity))
+	}
+	var scheme signature.Kind
+	switch c.Scheme {
+	case SchemeDichotomy:
+		scheme = signature.Dichotomy
+	case SchemeSkyline:
+		scheme = signature.Skyline
+	case SchemeWeighted:
+		scheme = signature.Weighted
+	case SchemeCombUnweighted:
+		scheme = signature.CombUnweighted
+	default:
+		return core.Options{}, fmt.Errorf("silkmoth: unknown scheme %d", int(c.Scheme))
+	}
+	return core.Options{
+		Metric:      metric,
+		Sim:         simKind,
+		Delta:       c.Delta,
+		Alpha:       c.Alpha,
+		Q:           c.Q,
+		Scheme:      scheme,
+		CheckFilter: !c.DisableCheckFilter,
+		NNFilter:    !c.DisableNNFilter,
+		Reduction:   !c.DisableReduction,
+		Concurrency: c.Concurrency,
+	}, nil
+}
+
+// Match is one search result.
+type Match struct {
+	// Index locates the related set in the engine's collection.
+	Index int
+	// Name is the related set's name.
+	Name string
+	// Relatedness is the metric value, ≥ Delta.
+	Relatedness float64
+	// MatchingScore is the underlying maximum matching score |R ∩̃ S|.
+	MatchingScore float64
+}
+
+// Pair is one discovery result.
+type Pair struct {
+	R, S          int
+	RName, SName  string
+	Relatedness   float64
+	MatchingScore float64
+}
+
+// Stats reports the pruning funnel of an engine's work so far.
+type Stats struct {
+	// SearchPasses is the number of reference sets processed.
+	SearchPasses int64
+	// Candidates counts sets matched by signatures before refinement.
+	Candidates int64
+	// AfterCheck counts candidates surviving the check filter.
+	AfterCheck int64
+	// AfterNN counts candidates surviving the nearest-neighbor filter.
+	AfterNN int64
+	// Verified counts maximum-matching computations performed.
+	Verified int64
+}
