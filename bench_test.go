@@ -8,11 +8,18 @@ package silkmoth_test
 
 import (
 	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
 	"testing"
 
+	"silkmoth"
 	"silkmoth/internal/core"
+	"silkmoth/internal/datagen"
 	"silkmoth/internal/dataset"
 	"silkmoth/internal/harness"
+	"silkmoth/internal/server"
 	"silkmoth/internal/signature"
 )
 
@@ -220,4 +227,123 @@ func BenchmarkFigure9bScaleSchema(b *testing.B) {
 
 func BenchmarkFigure9cScaleInclusion(b *testing.B) {
 	benchFigure9(b, harness.InclusionDependency, harness.DefaultAlphaInclusion)
+}
+
+// BenchmarkDiscoverParallel measures RELATED SET DISCOVERY at increasing
+// worker counts over one schema-matching corpus — the speedup the
+// silkmothd serving layer leans on. workers=1 is the serial baseline.
+func BenchmarkDiscoverParallel(b *testing.B) {
+	w := harness.BuildWorkload(harness.SchemaMatching, 0.5, 0.6, 0, benchSeed)
+	counts := []int{1, 2, 4}
+	if n := runtime.GOMAXPROCS(0); n > 4 {
+		counts = append(counts, n)
+	}
+	for _, workers := range counts {
+		opts := core.DefaultOptions(w.Base.Metric, w.Base.Sim, 0.6, 0)
+		opts.Concurrency = workers
+		eng, err := core.NewEngine(w.Coll, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var pairs int
+			for i := 0; i < b.N; i++ {
+				pairs = len(eng.Discover(w.Coll))
+			}
+			b.ReportMetric(float64(pairs), "pairs")
+		})
+	}
+}
+
+// benchServer builds a silkmothd serving layer over a schema-matching
+// corpus for throughput benchmarks.
+func benchServer(b *testing.B, cacheSize int) (*server.Server, []string) {
+	b.Helper()
+	raws := datagen.WebTableSchemas(datagen.SchemaConfig{NumTables: 1500, Seed: benchSeed})
+	sets := make([]silkmoth.Set, len(raws))
+	for i, r := range raws {
+		sets[i] = silkmoth.Set{Name: r.Name, Elements: r.Elements}
+	}
+	cfg := silkmoth.Config{
+		Metric:     silkmoth.SetSimilarity,
+		Similarity: silkmoth.Jaccard,
+		Delta:      0.7,
+	}
+	eng, err := silkmoth.NewEngine(sets, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	srv := server.New(eng, cfg, server.Options{CacheSize: cacheSize})
+	// Pre-marshal a rotating query mix from real corpus sets.
+	bodies := make([]string, 64)
+	for i := range bodies {
+		set := raws[(i*37)%len(raws)]
+		var sb strings.Builder
+		sb.WriteString(`{"set": {"elements": [`)
+		for j, el := range set.Elements {
+			if j > 0 {
+				sb.WriteString(",")
+			}
+			fmt.Fprintf(&sb, "%q", el)
+		}
+		sb.WriteString(`]}}`)
+		bodies[i] = sb.String()
+	}
+	return srv, bodies
+}
+
+// BenchmarkServerSearchThroughput measures concurrent /v1/search request
+// throughput through the full serving stack (JSON decode, worker pool,
+// engine query, JSON encode), with the result cache defeated by rotating
+// queries — the engine-bound number.
+func BenchmarkServerSearchThroughput(b *testing.B) {
+	srv, bodies := benchServer(b, -1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			body := bodies[i%len(bodies)]
+			i++
+			req := httptest.NewRequest(http.MethodPost, "/v1/search", strings.NewReader(body))
+			w := httptest.NewRecorder()
+			srv.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Errorf("code %d: %s", w.Code, w.Body)
+				return
+			}
+		}
+	})
+}
+
+// BenchmarkServerSearchCached measures the cache-hit path: identical
+// queries served from the LRU without touching the engine.
+func BenchmarkServerSearchCached(b *testing.B) {
+	srv, bodies := benchServer(b, 1024)
+	// Warm the cache.
+	for _, body := range bodies {
+		req := httptest.NewRequest(http.MethodPost, "/v1/search", strings.NewReader(body))
+		w := httptest.NewRecorder()
+		srv.ServeHTTP(w, req)
+		if w.Code != http.StatusOK {
+			b.Fatalf("warm: code %d: %s", w.Code, w.Body)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			body := bodies[i%len(bodies)]
+			i++
+			req := httptest.NewRequest(http.MethodPost, "/v1/search", strings.NewReader(body))
+			w := httptest.NewRecorder()
+			srv.ServeHTTP(w, req)
+			if w.Code != http.StatusOK {
+				b.Errorf("code %d: %s", w.Code, w.Body)
+				return
+			}
+		}
+	})
 }

@@ -15,6 +15,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -29,9 +30,16 @@ func main() {
 	)
 	flag.Parse()
 
-	harness.WriteHeader(os.Stdout)
-	if _, err := harness.RunFigure(*figure, *scale, *seed, os.Stdout); err != nil {
+	if err := run(*figure, *scale, *seed, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(1)
 	}
+}
+
+// run prints the header and executes one figure (or all) at the given
+// scale, writing rows to out.
+func run(figure string, scale float64, seed int64, out io.Writer) error {
+	harness.WriteHeader(out)
+	_, err := harness.RunFigure(figure, scale, seed, out)
+	return err
 }

@@ -1,0 +1,35 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunFigure regenerates one cheap figure at tiny scale and checks the
+// report's shape: a header line plus at least one data row per variant.
+func TestRunFigure(t *testing.T) {
+	var buf strings.Builder
+	if err := run("fig4", 0.02, 1, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("expected header plus rows, got:\n%s", out)
+	}
+	if !strings.HasPrefix(lines[0], "figure") {
+		t.Fatalf("missing header: %q", lines[0])
+	}
+	for _, variant := range []string{"NOOPT", "OPT"} {
+		if !strings.Contains(out, variant) {
+			t.Errorf("output missing variant %s:\n%s", variant, out)
+		}
+	}
+}
+
+func TestRunUnknownFigure(t *testing.T) {
+	var buf strings.Builder
+	if err := run("fig99", 0.02, 1, &buf); err == nil {
+		t.Fatal("unknown figure should fail")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"silkmoth"
 	"silkmoth/internal/dataset"
@@ -89,6 +90,9 @@ func main() {
 }
 
 func buildConfig(metric, simName, scheme string, delta, alpha float64, q int, noCheck, noNN, noRed bool, workers int) (silkmoth.Config, error) {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	cfg := silkmoth.Config{
 		Delta: delta, Alpha: alpha, Q: q,
 		DisableCheckFilter: noCheck,

@@ -1,0 +1,203 @@
+// Command silkmothd serves related-set queries over HTTP/JSON. It loads a
+// collection at startup — from a plain-text set file, CSV columns, a JSON
+// set array, or a previously saved binary collection — builds the engine
+// once, and serves the full library surface concurrently:
+//
+//	POST /v1/search            related sets for one reference set
+//	POST /v1/topk              the k best of the above
+//	POST /v1/discover-against  all related pairs vs. a batch of references
+//	POST /v1/compare           raw relatedness of two sets
+//	POST /v1/sets              incrementally index more sets
+//	GET  /v1/stats             engine pruning funnel + cache stats
+//	GET  /healthz              liveness
+//	GET  /metrics              Prometheus text metrics
+//
+// Usage:
+//
+//	silkmothd -input sets.txt -metric similarity -delta 0.8
+//	silkmothd -csv table.csv -metric containment -delta 0.9 -addr :8080
+//	silkmothd -json sets.json -sim eds -delta 0.75 -timeout 10s
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"silkmoth"
+	"silkmoth/internal/dataset"
+	"silkmoth/internal/server"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":7133", "listen address")
+		input     = flag.String("input", "", "set file to index (one set per line)")
+		csvFile   = flag.String("csv", "", "CSV file whose columns become sets")
+		jsonFile  = flag.String("json", "", "JSON file with an array of {name, elements} sets")
+		saved     = flag.String("saved", "", "binary collection previously written by the library's SaveCollection")
+		metric    = flag.String("metric", "similarity", "similarity or containment")
+		simName   = flag.String("sim", "jaccard", "element similarity: jaccard, eds, neds, dice, or cosine")
+		delta     = flag.Float64("delta", 0.7, "relatedness threshold δ in (0,1]")
+		alpha     = flag.Float64("alpha", 0, "element similarity threshold α in [0,1)")
+		q         = flag.Int("q", 0, "gram length for edit similarities (0 = auto)")
+		scheme    = flag.String("scheme", "dichotomy", "signature scheme: dichotomy, skyline, weighted, combunweighted")
+		workers   = flag.Int("workers", 0, "per-query verification parallelism (0 = GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout (negative disables)")
+		inflight  = flag.Int("max-inflight", 0, "max concurrently executing queries (0 = 2*GOMAXPROCS)")
+		cacheSize = flag.Int("cache-size", 1024, "result cache entries (negative disables)")
+	)
+	flag.Parse()
+
+	cfg, err := buildConfig(*metric, *simName, *scheme, *delta, *alpha, *q, *workers)
+	if err != nil {
+		fatal(err)
+	}
+
+	eng, n, err := buildEngine(cfg, *input, *csvFile, *jsonFile, *saved)
+	if err != nil {
+		fatal(err)
+	}
+	log.Printf("silkmothd: indexed %d sets (metric=%s sim=%s delta=%g alpha=%g)",
+		n, cfg.Metric, cfg.Similarity, cfg.Delta, cfg.Alpha)
+
+	srv := server.New(eng, cfg, server.Options{
+		RequestTimeout: *timeout,
+		MaxInFlight:    *inflight,
+		CacheSize:      *cacheSize,
+	})
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests.
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("silkmothd: listening on %s", *addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	case sig := <-sigc:
+		log.Printf("silkmothd: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// buildEngine loads the startup collection from exactly one source and
+// builds the engine over it, returning the indexed set count.
+func buildEngine(cfg silkmoth.Config, input, csvFile, jsonFile, saved string) (*silkmoth.Engine, int, error) {
+	sources := 0
+	for _, s := range []string{input, csvFile, jsonFile, saved} {
+		if s != "" {
+			sources++
+		}
+	}
+	if sources != 1 {
+		return nil, 0, fmt.Errorf("exactly one of -input, -csv, -json, or -saved is required")
+	}
+
+	if saved != "" {
+		f, err := os.Open(saved)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer f.Close()
+		eng, err := silkmoth.NewEngineFromSaved(f, cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		return eng, eng.Len(), nil
+	}
+
+	var raws []dataset.RawSet
+	var err error
+	switch {
+	case input != "":
+		raws, err = dataset.ReadRawSetsFile(input)
+	case csvFile != "":
+		var f *os.File
+		f, err = os.Open(csvFile)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer f.Close()
+		raws, err = dataset.ReadCSVColumns(f, "")
+	case jsonFile != "":
+		raws, err = dataset.ReadJSONSetsFile(jsonFile)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	sets := make([]silkmoth.Set, len(raws))
+	for i, r := range raws {
+		sets[i] = silkmoth.Set{Name: r.Name, Elements: r.Elements}
+	}
+	eng, err := silkmoth.NewEngine(sets, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	return eng, len(sets), nil
+}
+
+func buildConfig(metric, simName, scheme string, delta, alpha float64, q, workers int) (silkmoth.Config, error) {
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cfg := silkmoth.Config{Delta: delta, Alpha: alpha, Q: q, Concurrency: workers}
+	switch metric {
+	case "similarity":
+		cfg.Metric = silkmoth.SetSimilarity
+	case "containment":
+		cfg.Metric = silkmoth.SetContainment
+	default:
+		return cfg, fmt.Errorf("unknown -metric %q", metric)
+	}
+	switch simName {
+	case "jaccard":
+		cfg.Similarity = silkmoth.Jaccard
+	case "eds":
+		cfg.Similarity = silkmoth.Eds
+	case "neds":
+		cfg.Similarity = silkmoth.NEds
+	case "dice":
+		cfg.Similarity = silkmoth.Dice
+	case "cosine":
+		cfg.Similarity = silkmoth.Cosine
+	default:
+		return cfg, fmt.Errorf("unknown -sim %q", simName)
+	}
+	switch scheme {
+	case "dichotomy":
+		cfg.Scheme = silkmoth.SchemeDichotomy
+	case "skyline":
+		cfg.Scheme = silkmoth.SchemeSkyline
+	case "weighted":
+		cfg.Scheme = silkmoth.SchemeWeighted
+	case "combunweighted":
+		cfg.Scheme = silkmoth.SchemeCombUnweighted
+	default:
+		return cfg, fmt.Errorf("unknown -scheme %q", scheme)
+	}
+	return cfg, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "silkmothd:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"silkmoth"
+)
+
+func TestBuildConfig(t *testing.T) {
+	cfg, err := buildConfig("containment", "eds", "skyline", 0.8, 0.6, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Metric != silkmoth.SetContainment || cfg.Similarity != silkmoth.Eds ||
+		cfg.Scheme != silkmoth.SchemeSkyline || cfg.Delta != 0.8 || cfg.Alpha != 0.6 ||
+		cfg.Q != 3 || cfg.Concurrency != 4 {
+		t.Fatalf("cfg = %+v", cfg)
+	}
+
+	if cfg, err := buildConfig("similarity", "jaccard", "dichotomy", 0.7, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	} else if cfg.Concurrency < 1 {
+		t.Fatalf("workers 0 should resolve to GOMAXPROCS, got %d", cfg.Concurrency)
+	}
+
+	for _, bad := range [][3]string{
+		{"nope", "jaccard", "dichotomy"},
+		{"similarity", "nope", "dichotomy"},
+		{"similarity", "jaccard", "nope"},
+	} {
+		if _, err := buildConfig(bad[0], bad[1], bad[2], 0.7, 0, 0, 1); err == nil {
+			t.Errorf("buildConfig(%v) should fail", bad)
+		}
+	}
+}
+
+func TestBuildEngineSources(t *testing.T) {
+	dir := t.TempDir()
+	cfg, _ := buildConfig("similarity", "jaccard", "dichotomy", 0.5, 0, 0, 1)
+
+	// No source and two sources are both rejected.
+	if _, _, err := buildEngine(cfg, "", "", "", ""); err == nil {
+		t.Error("no source should fail")
+	}
+	if _, _, err := buildEngine(cfg, "a", "b", "", ""); err == nil {
+		t.Error("two sources should fail")
+	}
+
+	setFile := filepath.Join(dir, "sets.txt")
+	os.WriteFile(setFile, []byte("a: 77 Mass Ave | 5th St\nb: 77 Mass Ave | Elm St\n"), 0o644)
+	eng, n, err := buildEngine(cfg, setFile, "", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || eng.Len() != 2 {
+		t.Fatalf("set file: %d sets indexed", n)
+	}
+
+	csvFile := filepath.Join(dir, "t.csv")
+	os.WriteFile(csvFile, []byte("city,state\nBoston,MA\nSeattle,WA\n"), 0o644)
+	_, n, err = buildEngine(cfg, "", csvFile, "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("csv: %d sets, want 2 columns", n)
+	}
+
+	jsonFile := filepath.Join(dir, "sets.json")
+	os.WriteFile(jsonFile, []byte(`[{"name": "j1", "elements": ["x y", "z w"]}]`), 0o644)
+	eng, n, err = buildEngine(cfg, "", "", jsonFile, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || eng.SetName(0) != "j1" {
+		t.Fatalf("json: n=%d name=%q", n, eng.SetName(0))
+	}
+
+	// Round-trip through a saved collection.
+	savedFile := filepath.Join(dir, "coll.bin")
+	f, err := os.Create(savedFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := eng.SaveCollection(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	eng2, n, err := buildEngine(cfg, "", "", "", savedFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 || eng2.SetName(0) != "j1" {
+		t.Fatalf("saved: n=%d name=%q", n, eng2.SetName(0))
+	}
+}

@@ -1,6 +1,7 @@
 package silkmoth
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"sync"
@@ -12,13 +13,15 @@ import (
 
 // Engine indexes a collection of sets and answers related-set searches and
 // discoveries over it. Build once, query many times; an Engine is safe for
-// concurrent use.
+// concurrent use, including Add concurrent with queries. Queries never
+// block each other: the token dictionary is internally synchronized, so
+// parallel searches proceed without a shared engine lock.
 type Engine struct {
 	eng  *core.Engine
 	coll *dataset.Collection
-	// mu guards query-time tokenization, which interns new tokens into
-	// the shared dictionary.
-	mu sync.Mutex
+	// mu serializes mutations (Add) against queries: mutators take the
+	// write side, queries the read side.
+	mu sync.RWMutex
 }
 
 // NewEngine tokenizes the collection according to cfg and builds the
@@ -57,10 +60,10 @@ func toRaw(sets []Set) []dataset.RawSet {
 	return raws
 }
 
-// tokenizeQuery tokenizes query sets against the engine's dictionary.
+// tokenizeQuery tokenizes query sets against the engine's dictionary. The
+// dictionary synchronizes its own interning; callers must hold at least the
+// engine's read lock (against concurrent Add).
 func (e *Engine) tokenizeQuery(sets []Set) *dataset.Collection {
-	e.mu.Lock()
-	defer e.mu.Unlock()
 	raws := toRaw(sets)
 	if e.coll.Mode == dataset.ModeWord {
 		return dataset.BuildWord(e.coll.Dict, raws)
@@ -72,8 +75,20 @@ func (e *Engine) tokenizeQuery(sets []Set) *dataset.Collection {
 // sorted by descending relatedness (ties by index). This is the paper's
 // RELATED SET SEARCH (Problem 2).
 func (e *Engine) Search(ref Set) ([]Match, error) {
+	return e.SearchContext(context.Background(), ref)
+}
+
+// SearchContext is Search with cancellation: the pass aborts and returns
+// ctx.Err() when ctx is done. With Config.Concurrency > 1 the pass's
+// candidate verification is sharded across a worker pool.
+func (e *Engine) SearchContext(ctx context.Context, ref Set) ([]Match, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	qc := e.tokenizeQuery([]Set{ref})
-	ms := e.eng.Search(&qc.Sets[0])
+	ms, err := e.eng.SearchContext(ctx, &qc.Sets[0])
+	if err != nil {
+		return nil, err
+	}
 	out := make([]Match, len(ms))
 	for i, m := range ms {
 		out[i] = Match{
@@ -98,14 +113,39 @@ func (e *Engine) Search(ref Set) ([]Match, error) {
 // ordered pair ⟨R, S⟩ with |R| ≤ |S| is considered. Pairs are sorted by
 // (R, S).
 func (e *Engine) Discover() []Pair {
-	return e.toPairs(e.eng.Discover(e.coll), e.coll)
+	ps, _ := e.DiscoverContext(context.Background())
+	return ps
+}
+
+// DiscoverContext is Discover with cancellation: it aborts and returns
+// ctx.Err() when ctx is done. Reference passes run on Config.Concurrency
+// workers; the sorted output is identical to the serial path's.
+func (e *Engine) DiscoverContext(ctx context.Context) ([]Pair, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	ps, err := e.eng.DiscoverContext(ctx, e.coll)
+	if err != nil {
+		return nil, err
+	}
+	return e.toPairs(ps, e.coll), nil
 }
 
 // DiscoverAgainst finds all related pairs ⟨R, S⟩ with R from refs and S from
 // the engine's collection.
 func (e *Engine) DiscoverAgainst(refs []Set) ([]Pair, error) {
+	return e.DiscoverAgainstContext(context.Background(), refs)
+}
+
+// DiscoverAgainstContext is DiscoverAgainst with cancellation.
+func (e *Engine) DiscoverAgainstContext(ctx context.Context, refs []Set) ([]Pair, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	qc := e.tokenizeQuery(refs)
-	return e.toPairs(e.eng.Discover(qc), qc), nil
+	ps, err := e.eng.DiscoverContext(ctx, qc)
+	if err != nil {
+		return nil, err
+	}
+	return e.toPairs(ps, qc), nil
 }
 
 func (e *Engine) toPairs(ps []core.Pair, refs *dataset.Collection) []Pair {
@@ -129,10 +169,18 @@ func (e *Engine) toPairs(ps []core.Pair, refs *dataset.Collection) []Pair {
 }
 
 // Len returns the number of sets in the engine's collection.
-func (e *Engine) Len() int { return len(e.coll.Sets) }
+func (e *Engine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.coll.Sets)
+}
 
 // SetName returns the name of collection set i.
-func (e *Engine) SetName(i int) string { return e.coll.Sets[i].Name }
+func (e *Engine) SetName(i int) string {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.coll.Sets[i].Name
+}
 
 // Stats returns the engine's cumulative pruning funnel.
 func (e *Engine) Stats() Stats {

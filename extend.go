@@ -1,6 +1,7 @@
 package silkmoth
 
 import (
+	"context"
 	"errors"
 	"io"
 	"sort"
@@ -12,10 +13,15 @@ import (
 // SearchTopK returns the k most related sets to ref among those whose
 // relatedness reaches Delta, ordered by descending relatedness.
 func (e *Engine) SearchTopK(ref Set, k int) ([]Match, error) {
+	return e.SearchTopKContext(context.Background(), ref, k)
+}
+
+// SearchTopKContext is SearchTopK with cancellation.
+func (e *Engine) SearchTopKContext(ctx context.Context, ref Set, k int) ([]Match, error) {
 	if k <= 0 {
 		return nil, nil
 	}
-	ms, err := e.Search(ref)
+	ms, err := e.SearchContext(ctx, ref)
 	if err != nil {
 		return nil, err
 	}
@@ -26,8 +32,9 @@ func (e *Engine) SearchTopK(ref Set, k int) ([]Match, error) {
 }
 
 // Add tokenizes and indexes additional sets, growing the engine's
-// collection in place. Appends are serialized against query-time
-// tokenization but must not run concurrently with Search or Discover calls.
+// collection in place. Add is safe to call concurrently with queries: it
+// takes the engine's write lock, so in-flight searches complete first and
+// later ones see the grown collection.
 func (e *Engine) Add(sets []Set) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
@@ -39,8 +46,8 @@ func (e *Engine) Add(sets []Set) {
 // self-contained binary form. Reload it with NewEngineFromSaved to skip
 // re-tokenizing large corpora.
 func (e *Engine) SaveCollection(w io.Writer) error {
-	e.mu.Lock()
-	defer e.mu.Unlock()
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return dataset.SaveCollection(w, e.coll)
 }
 

@@ -1,0 +1,3 @@
+module silkmoth
+
+go 1.22

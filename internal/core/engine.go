@@ -1,8 +1,10 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"sync"
+	"sync/atomic"
 
 	"silkmoth/internal/dataset"
 	"silkmoth/internal/filter"
@@ -26,6 +28,16 @@ const (
 	// sizeEps guards the set-size filters' boundaries.
 	sizeEps = 1e-9
 )
+
+// cancelCheckStride is how many verification-loop iterations pass between
+// context checks. Verification is the expensive stage (O(n³) matching), so
+// a small stride keeps cancellation latency near one matching computation.
+const cancelCheckStride = 8
+
+// parallelCandMin is the minimum surviving-candidate count before a single
+// search pass shards its verification loop across goroutines; below it the
+// goroutine overhead outweighs the matching work.
+const parallelCandMin = 16
 
 // Match is one search result: a related set and its relatedness value.
 type Match struct {
@@ -124,14 +136,32 @@ func (e *Engine) Collection() *dataset.Collection { return e.coll }
 // Search runs one related-set search pass (paper §3) for reference set r,
 // which must be tokenized against the engine collection's dictionary.
 func (e *Engine) Search(r *dataset.Set) []Match {
-	return e.searchPass(r, -1, e.newWorker())
+	ms, _ := e.SearchContext(context.Background(), r)
+	return ms
+}
+
+// SearchContext is Search with cancellation: it aborts between verification
+// steps when ctx is done and returns ctx.Err(). When the engine's
+// Concurrency allows, the candidate-verification loop of the pass is
+// sharded across a worker pool; results are identical to the serial path.
+func (e *Engine) SearchContext(ctx context.Context, r *dataset.Set) ([]Match, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	w := e.newWorker()
+	ms, err := e.searchPass(ctx, r, -1, w, true)
+	e.st.merge(&w.st)
+	return ms, err
 }
 
 // worker bundles the per-goroutine scratch of search passes: the candidate
-// collector and the nearest-neighbor searcher.
+// collector, the nearest-neighbor searcher, and a private stats shard that
+// is merged into the engine's counters when the worker retires (so hot
+// loops never contend on shared atomics).
 type worker struct {
 	cl *filter.Collector
 	ns *filter.NNSearcher
+	st Stats
 }
 
 func (e *Engine) newWorker() *worker {
@@ -139,6 +169,14 @@ func (e *Engine) newWorker() *worker {
 		cl: filter.NewCollector(e.ix),
 		ns: filter.NewNNSearcher(e.ix, e.phi),
 	}
+}
+
+// newVerifyWorker returns a worker for verification-only shards: no
+// collector (whose scratch is O(collection size) and unused after
+// candidate collection), just the nearest-neighbor searcher and a stats
+// shard.
+func (e *Engine) newVerifyWorker() *worker {
+	return &worker{ns: filter.NewNNSearcher(e.ix, e.phi)}
 }
 
 // sizeAccept reports whether a set of size nS can possibly be related to a
@@ -158,12 +196,15 @@ func (e *Engine) sizeAccept(nR, nS int) bool {
 // searchPass generates r's signature, collects and refines candidates, and
 // verifies survivors. Candidate sets with index ≤ selfSkip are excluded
 // (selfSkip = the reference's own index during self-join discovery under
-// SET-SIMILARITY; -1 otherwise). Pass a reusable NN searcher.
-func (e *Engine) searchPass(r *dataset.Set, selfSkip int, w *worker) []Match {
-	e.st.addSearchPasses(1)
+// SET-SIMILARITY; -1 otherwise). Pass a reusable worker; its stats shard
+// absorbs the pass's counters. parallelOK permits sharding the verification
+// loop across goroutines (true for top-level searches, false inside
+// Discover's workers, which are already parallel).
+func (e *Engine) searchPass(ctx context.Context, r *dataset.Set, selfSkip int, w *worker, parallelOK bool) ([]Match, error) {
+	w.st.addSearchPasses(1)
 	nR := len(r.Elements)
 	if nR == 0 {
-		return nil
+		return nil, nil
 	}
 	theta := e.opts.Delta * float64(nR)
 	pruneThreshold := theta - pruneSlack
@@ -181,21 +222,26 @@ func (e *Engine) searchPass(r *dataset.Set, selfSkip int, w *worker) []Match {
 		Family: e.opts.Sim.family(),
 	}, e.ix)
 
-	var out []Match
 	if !sig.Valid {
 		// No valid signature exists (edit similarity, §7.3): compare r
 		// against every acceptable set.
-		e.st.addFullScans(1)
+		w.st.addFullScans(1)
+		var out []Match
 		for s := range e.coll.Sets {
+			if s%cancelCheckStride == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			if !accept(int32(s)) {
 				continue
 			}
-			e.st.addVerified(1)
+			w.st.addVerified(1)
 			if m, ok := e.verify(r, s); ok {
 				out = append(out, m)
 			}
 		}
-		return out
+		return out, nil
 	}
 
 	cands, raw := w.cl.Collect(r, &sig, e.phi, filter.Options{
@@ -203,24 +249,97 @@ func (e *Engine) searchPass(r *dataset.Set, selfSkip int, w *worker) []Match {
 		CheckFilter:    e.opts.CheckFilter,
 		PruneThreshold: pruneThreshold,
 	})
-	e.st.addCandidates(int64(raw))
-	e.st.addAfterCheck(int64(len(cands)))
+	w.st.addCandidates(int64(raw))
+	w.st.addAfterCheck(int64(len(cands)))
 
 	var floors []float64
 	if e.opts.NNFilter {
 		floors = filter.NoShareFloors(r, &sig, e.coll.Mode, e.opts.Alpha)
 	}
-	for _, c := range cands {
-		if e.opts.NNFilter && !filter.NNFilter(r, &sig, c, w.ns, floors, pruneThreshold) {
-			continue
+
+	if parallelOK && e.opts.Concurrency > 1 && len(cands) >= parallelCandMin {
+		return e.verifyCandidatesParallel(ctx, r, &sig, cands, floors, pruneThreshold, w)
+	}
+
+	var out []Match
+	for i, c := range cands {
+		if i%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 		}
-		e.st.addAfterNN(1)
-		e.st.addVerified(1)
-		if m, ok := e.verify(r, int(c.Set)); ok {
+		if m, ok := e.refineAndVerify(r, &sig, c, floors, pruneThreshold, w); ok {
 			out = append(out, m)
 		}
 	}
-	return out
+	return out, nil
+}
+
+// refineAndVerify runs one candidate through the nearest-neighbor filter and
+// exact verification, charging the worker's stats shard.
+func (e *Engine) refineAndVerify(r *dataset.Set, sig *signature.Signature, c *filter.Candidate, floors []float64, pruneThreshold float64, w *worker) (Match, bool) {
+	if e.opts.NNFilter && !filter.NNFilter(r, sig, c, w.ns, floors, pruneThreshold) {
+		return Match{}, false
+	}
+	w.st.addAfterNN(1)
+	w.st.addVerified(1)
+	return e.verify(r, int(c.Set))
+}
+
+// verifyCandidatesParallel shards one pass's surviving candidates across
+// Concurrency goroutines. Each shard worker owns its nearest-neighbor
+// searcher and stats shard; results land in per-candidate slots, so the
+// assembled output is byte-identical to the serial loop's order.
+func (e *Engine) verifyCandidatesParallel(ctx context.Context, r *dataset.Set, sig *signature.Signature, cands []*filter.Candidate, floors []float64, pruneThreshold float64, w *worker) ([]Match, error) {
+	nw := e.opts.Concurrency
+	if nw > len(cands) {
+		nw = len(cands)
+	}
+	results := make([]Match, len(cands))
+	hits := make([]bool, len(cands))
+	var next int64
+	var wg sync.WaitGroup
+	workers := make([]*worker, nw)
+	for wi := 0; wi < nw; wi++ {
+		// The caller's worker serves shard 0; extra shards get their own
+		// verification-only scratch.
+		sw := w
+		if wi > 0 {
+			sw = e.newVerifyWorker()
+			workers[wi] = sw
+		}
+		wg.Add(1)
+		go func(sw *worker) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(cands) {
+					return
+				}
+				if i%cancelCheckStride == 0 && ctx.Err() != nil {
+					return
+				}
+				if m, ok := e.refineAndVerify(r, sig, cands[i], floors, pruneThreshold, sw); ok {
+					results[i] = m
+					hits[i] = true
+				}
+			}
+		}(sw)
+	}
+	wg.Wait()
+	for _, sw := range workers[1:] {
+		w.st.merge(&sw.st)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Match, 0, len(cands))
+	for i := range results {
+		if hits[i] {
+			out = append(out, results[i])
+		}
+	}
+	return out, nil
 }
 
 // Discover solves RELATED SET DISCOVERY (Problem 1) for the reference
@@ -230,13 +349,33 @@ func (e *Engine) searchPass(r *dataset.Set, selfSkip int, w *worker) []Match {
 // reported once, self-pairs skipped); under SET-CONTAINMENT every ordered
 // pair ⟨R, S⟩ with |R| ≤ |S|, R ≠ S is considered.
 func (e *Engine) Discover(refs *dataset.Collection) []Pair {
+	ps, _ := e.DiscoverContext(context.Background(), refs)
+	return ps
+}
+
+// DiscoverContext is Discover with cancellation: reference passes are
+// sharded across the engine's Concurrency workers, each with its own
+// scratch and stats shard (merged on retirement), and the whole discovery
+// aborts with ctx.Err() when ctx is done. Pair order varies with worker
+// interleaving; the pair set does not.
+func (e *Engine) DiscoverContext(ctx context.Context, refs *dataset.Collection) ([]Pair, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	selfJoin := refs == e.coll
-	type job struct{ r int }
+	n := len(refs.Sets)
 	workers := e.opts.Concurrency
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
 
 	var mu sync.Mutex
 	var pairs []Pair
-	jobs := make(chan int, workers)
+	var firstErr error
+	var next int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -244,12 +383,24 @@ func (e *Engine) Discover(refs *dataset.Collection) []Pair {
 			defer wg.Done()
 			wk := e.newWorker()
 			var local []Pair
-			for ri := range jobs {
+			var err error
+			for {
+				ri := int(atomic.AddInt64(&next, 1)) - 1
+				if ri >= n {
+					break
+				}
+				if err = ctx.Err(); err != nil {
+					break
+				}
 				selfSkip := -1
 				if selfJoin && e.opts.Metric == SetSimilarity {
 					selfSkip = ri
 				}
-				ms := e.searchPass(&refs.Sets[ri], selfSkip, wk)
+				var ms []Match
+				ms, err = e.searchPass(ctx, &refs.Sets[ri], selfSkip, wk, false)
+				if err != nil {
+					break
+				}
 				for _, m := range ms {
 					if selfJoin && m.Set == ri {
 						continue // no self-pairs
@@ -257,15 +408,18 @@ func (e *Engine) Discover(refs *dataset.Collection) []Pair {
 					local = append(local, Pair{R: ri, S: m.Set, Relatedness: m.Relatedness, Score: m.Score})
 				}
 			}
+			e.st.merge(&wk.st)
 			mu.Lock()
 			pairs = append(pairs, local...)
+			if err != nil && firstErr == nil {
+				firstErr = err
+			}
 			mu.Unlock()
 		}()
 	}
-	for ri := range refs.Sets {
-		jobs <- ri
-	}
-	close(jobs)
 	wg.Wait()
-	return pairs
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return pairs, nil
 }

@@ -23,6 +23,18 @@ func (s *Stats) addAfterCheck(n int64)   { atomic.AddInt64(&s.afterCheck, n) }
 func (s *Stats) addAfterNN(n int64)      { atomic.AddInt64(&s.afterNN, n) }
 func (s *Stats) addVerified(n int64)     { atomic.AddInt64(&s.verified, n) }
 
+// merge folds a retiring worker's stats shard into s. Workers accumulate
+// privately and merge once, so hot verification loops never contend on the
+// engine's shared counters.
+func (s *Stats) merge(from *Stats) {
+	atomic.AddInt64(&s.searchPasses, atomic.LoadInt64(&from.searchPasses))
+	atomic.AddInt64(&s.fullScans, atomic.LoadInt64(&from.fullScans))
+	atomic.AddInt64(&s.candidates, atomic.LoadInt64(&from.candidates))
+	atomic.AddInt64(&s.afterCheck, atomic.LoadInt64(&from.afterCheck))
+	atomic.AddInt64(&s.afterNN, atomic.LoadInt64(&from.afterNN))
+	atomic.AddInt64(&s.verified, atomic.LoadInt64(&from.verified))
+}
+
 // StatsSnapshot is a point-in-time copy of an engine's counters.
 type StatsSnapshot struct {
 	// SearchPasses is the number of search passes run.

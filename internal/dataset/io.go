@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"bufio"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -93,6 +94,41 @@ func WriteRawSetsFile(path string, sets []RawSet) error {
 		return err
 	}
 	return f.Close()
+}
+
+// ReadJSONSets parses a JSON array of sets from r:
+//
+//	[{"name": "addresses", "elements": ["77 Mass Ave Boston MA", "..."]}, ...]
+//
+// Sets without a name get "set<position>" names.
+func ReadJSONSets(r io.Reader) ([]RawSet, error) {
+	var raw []struct {
+		Name     string   `json:"name"`
+		Elements []string `json:"elements"`
+	}
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&raw); err != nil {
+		return nil, fmt.Errorf("dataset: reading json sets: %w", err)
+	}
+	out := make([]RawSet, len(raw))
+	for i, s := range raw {
+		name := s.Name
+		if name == "" {
+			name = fmt.Sprintf("set%d", i+1)
+		}
+		out[i] = RawSet{Name: name, Elements: s.Elements}
+	}
+	return out, nil
+}
+
+// ReadJSONSetsFile reads a JSON set array from path.
+func ReadJSONSetsFile(path string) ([]RawSet, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSONSets(f)
 }
 
 // ReadCSVColumns reads a simple comma-separated file and returns one RawSet

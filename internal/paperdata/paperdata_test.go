@@ -1,0 +1,63 @@
+package paperdata
+
+import (
+	"math"
+	"testing"
+
+	"silkmoth/internal/core"
+	"silkmoth/internal/dataset"
+	"silkmoth/internal/tokens"
+)
+
+// TestTable2GroundTruth checks the package against the paper's running
+// example: at δ = 0.7 under SET-CONTAINMENT with Jaccard and α = 0, only S4
+// is related to R, with |R ∩̃ S4| = 0.8 + 1 + 3/7 ≈ 2.229.
+func TestTable2GroundTruth(t *testing.T) {
+	dict := tokens.NewDictionary()
+	coll := dataset.BuildWord(dict, CollectionS())
+	refs := dataset.BuildWord(dict, []dataset.RawSet{ReferenceR()})
+
+	eng, err := core.NewEngine(coll, core.DefaultOptions(core.SetContainment, core.Jaccard, 0.7, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms := eng.Search(&refs.Sets[0])
+	if len(ms) != 1 {
+		t.Fatalf("got %d related sets, want exactly S4: %+v", len(ms), ms)
+	}
+	if name := coll.Sets[ms[0].Set].Name; name != "S4" {
+		t.Fatalf("related set = %s, want S4", name)
+	}
+	wantScore := 0.8 + 1.0 + 3.0/7.0
+	if math.Abs(ms[0].Score-wantScore) > 1e-9 {
+		t.Errorf("score = %v, want %v", ms[0].Score, wantScore)
+	}
+	wantRel := wantScore / 3
+	if math.Abs(ms[0].Relatedness-wantRel) > 1e-9 {
+		t.Errorf("relatedness = %v, want %v", ms[0].Relatedness, wantRel)
+	}
+}
+
+// TestShapes pins the example's structure: R has 3 elements, S has 4 sets
+// of 3 elements each, and token labels resolve.
+func TestShapes(t *testing.T) {
+	r := ReferenceR()
+	if r.Name != "R" || len(r.Elements) != 3 {
+		t.Fatalf("R = %+v", r)
+	}
+	ss := CollectionS()
+	if len(ss) != 4 {
+		t.Fatalf("|S| = %d, want 4", len(ss))
+	}
+	for i, s := range ss {
+		if len(s.Elements) != 3 {
+			t.Errorf("S%d has %d elements, want 3", i+1, len(s.Elements))
+		}
+	}
+	if TokenName("t8") != "MA" || TokenName("t1") != "77" {
+		t.Errorf("token names: t8=%q t1=%q", TokenName("t8"), TokenName("t1"))
+	}
+	if TokenName("t99") != "" {
+		t.Errorf("unknown token should resolve empty, got %q", TokenName("t99"))
+	}
+}

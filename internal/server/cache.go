@@ -1,0 +1,84 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is a mutex-protected LRU over marshaled response bodies.
+// Keys encode the query's full identity — endpoint kind, metric, δ, α, and
+// the query sets' raw elements — so one cache safely serves every endpoint.
+// Add invalidates the whole cache: any grown collection can change any
+// result.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int
+	order *list.List // front = most recent; values are *cacheEntry
+	byKey map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// newResultCache returns an LRU holding up to max entries; max < 1 disables
+// caching (every lookup misses, every store is dropped).
+func newResultCache(max int) *resultCache {
+	return &resultCache{
+		max:   max,
+		order: list.New(),
+		byKey: make(map[string]*list.Element),
+	}
+}
+
+// get returns the cached body for key and whether it was present.
+func (c *resultCache) get(key string) ([]byte, bool) {
+	if c.max < 1 {
+		return nil, false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// put stores body under key, evicting the least-recently-used entry when
+// full. The caller must not mutate body afterwards.
+func (c *resultCache) put(key string, body []byte) {
+	if c.max < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).body = body
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	for c.order.Len() > c.max {
+		back := c.order.Back()
+		c.order.Remove(back)
+		delete(c.byKey, back.Value.(*cacheEntry).key)
+	}
+}
+
+// purge drops every entry.
+func (c *resultCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.order.Init()
+	c.byKey = make(map[string]*list.Element)
+}
+
+// len reports the current entry count.
+func (c *resultCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

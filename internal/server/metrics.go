@@ -1,0 +1,113 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics collects the server's counters and renders them in the Prometheus
+// text exposition format (version 0.0.4). It deliberately avoids external
+// dependencies: a handful of atomics and one small locked map are all a
+// text endpoint needs.
+type metrics struct {
+	start time.Time
+
+	inflight    int64
+	cacheHits   int64
+	cacheMisses int64
+
+	mu sync.Mutex
+	// perRoute aggregates request counts and latency; bounded because
+	// routes and status codes are.
+	perRoute map[routeKey]*routeStats
+}
+
+type routeKey struct {
+	path string
+	code int
+}
+
+type routeStats struct {
+	count   int64
+	seconds float64
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), perRoute: make(map[routeKey]*routeStats)}
+}
+
+func (m *metrics) observe(path string, code int, d time.Duration) {
+	key := routeKey{path: path, code: code}
+	m.mu.Lock()
+	rs := m.perRoute[key]
+	if rs == nil {
+		rs = &routeStats{}
+		m.perRoute[key] = rs
+	}
+	rs.count++
+	rs.seconds += d.Seconds()
+	m.mu.Unlock()
+}
+
+func (m *metrics) addInflight(n int64)   { atomic.AddInt64(&m.inflight, n) }
+func (m *metrics) cacheHit()             { atomic.AddInt64(&m.cacheHits, 1) }
+func (m *metrics) cacheMiss()            { atomic.AddInt64(&m.cacheMisses, 1) }
+func (m *metrics) hits() int64           { return atomic.LoadInt64(&m.cacheHits) }
+func (m *metrics) misses() int64         { return atomic.LoadInt64(&m.cacheMisses) }
+func (m *metrics) inflightNow() int64    { return atomic.LoadInt64(&m.inflight) }
+func (m *metrics) uptime() time.Duration { return time.Since(m.start) }
+
+// write renders all metrics. extra emits server-specific gauges (engine
+// funnel, collection size) supplied by the caller.
+func (m *metrics) write(w io.Writer, extra func(io.Writer)) {
+	fmt.Fprintf(w, "# HELP silkmothd_uptime_seconds Seconds since the server started.\n")
+	fmt.Fprintf(w, "# TYPE silkmothd_uptime_seconds gauge\n")
+	fmt.Fprintf(w, "silkmothd_uptime_seconds %g\n", m.uptime().Seconds())
+
+	fmt.Fprintf(w, "# HELP silkmothd_inflight_requests Query requests currently executing.\n")
+	fmt.Fprintf(w, "# TYPE silkmothd_inflight_requests gauge\n")
+	fmt.Fprintf(w, "silkmothd_inflight_requests %d\n", m.inflightNow())
+
+	fmt.Fprintf(w, "# HELP silkmothd_cache_hits_total Result-cache hits.\n")
+	fmt.Fprintf(w, "# TYPE silkmothd_cache_hits_total counter\n")
+	fmt.Fprintf(w, "silkmothd_cache_hits_total %d\n", m.hits())
+	fmt.Fprintf(w, "# HELP silkmothd_cache_misses_total Result-cache misses.\n")
+	fmt.Fprintf(w, "# TYPE silkmothd_cache_misses_total counter\n")
+	fmt.Fprintf(w, "silkmothd_cache_misses_total %d\n", m.misses())
+
+	type row struct {
+		routeKey
+		routeStats
+	}
+	var rows []row
+	m.mu.Lock()
+	for key, rs := range m.perRoute {
+		rows = append(rows, row{routeKey: key, routeStats: *rs})
+	}
+	m.mu.Unlock()
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].path != rows[j].path {
+			return rows[i].path < rows[j].path
+		}
+		return rows[i].code < rows[j].code
+	})
+
+	fmt.Fprintf(w, "# HELP silkmothd_requests_total Requests served, by path and status code.\n")
+	fmt.Fprintf(w, "# TYPE silkmothd_requests_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "silkmothd_requests_total{path=%q,code=\"%d\"} %d\n", r.path, r.code, r.count)
+	}
+	fmt.Fprintf(w, "# HELP silkmothd_request_seconds_total Cumulative request latency, by path and status code.\n")
+	fmt.Fprintf(w, "# TYPE silkmothd_request_seconds_total counter\n")
+	for _, r := range rows {
+		fmt.Fprintf(w, "silkmothd_request_seconds_total{path=%q,code=\"%d\"} %g\n", r.path, r.code, r.seconds)
+	}
+
+	if extra != nil {
+		extra(w)
+	}
+}

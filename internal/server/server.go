@@ -1,0 +1,588 @@
+// Package server exposes a silkmoth.Engine over HTTP/JSON: the related-set
+// primitives of the paper (search, top-k, discovery, pairwise compare) plus
+// incremental indexing, health, stats, and Prometheus-style metrics. It is
+// the serving layer behind cmd/silkmothd.
+//
+// Query endpoints share one bounded worker pool (a semaphore over the
+// engine) and an LRU result cache keyed on the query's full identity —
+// endpoint, metric, δ, α, and the query sets' raw elements. Every request
+// carries a context with the configured timeout; cancellation propagates
+// into the engine's search and discovery loops, so an abandoned request
+// stops burning matching computations.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"silkmoth"
+)
+
+// Options configures the serving layer. The zero value serves with sane
+// defaults: a 30-second request timeout, 2×GOMAXPROCS in-flight queries,
+// and a 1024-entry result cache.
+type Options struct {
+	// RequestTimeout bounds each query request's execution, including
+	// time spent waiting for a worker slot. 0 means the 30s default;
+	// negative disables the timeout.
+	RequestTimeout time.Duration
+	// MaxInFlight bounds concurrently executing query requests; excess
+	// requests wait (within their timeout) for a slot. 0 means
+	// 2×GOMAXPROCS; negative means 1.
+	MaxInFlight int
+	// CacheSize is the result cache's entry capacity. 0 means 1024;
+	// negative disables caching.
+	CacheSize int
+	// MaxBodyBytes bounds request body size. 0 means 64 MiB.
+	MaxBodyBytes int64
+	// MaxCompareElements bounds the per-set element count accepted by
+	// /v1/compare. Unlike search passes — which hit cancellation checks
+	// between candidates — one compare is a single O(n³) matching the
+	// context cannot interrupt, so its size must be bounded up front.
+	// 0 means 512; negative disables the bound.
+	MaxCompareElements int
+}
+
+func (o Options) normalize() Options {
+	if o.RequestTimeout == 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.MaxInFlight == 0 {
+		o.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if o.MaxInFlight < 1 {
+		o.MaxInFlight = 1
+	}
+	if o.CacheSize == 0 {
+		o.CacheSize = 1024
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 64 << 20
+	}
+	if o.MaxCompareElements == 0 {
+		o.MaxCompareElements = 512
+	}
+	return o
+}
+
+// Server is the HTTP serving layer over one engine. Create with New and
+// mount anywhere an http.Handler goes.
+type Server struct {
+	eng   *silkmoth.Engine
+	cfg   silkmoth.Config
+	opts  Options
+	sem   chan struct{}
+	cache *resultCache
+	met   *metrics
+	mux   *http.ServeMux
+	// gen is bumped by every mutation (Add) and baked into cache keys,
+	// so a result computed against an older collection can never be
+	// served after the collection grows — even if it is stored late.
+	gen int64
+}
+
+// New builds a server over eng. cfg must be the configuration eng was built
+// with; the compare endpoint and the stats report read it.
+func New(eng *silkmoth.Engine, cfg silkmoth.Config, opts Options) *Server {
+	opts = opts.normalize()
+	s := &Server{
+		eng:   eng,
+		cfg:   cfg,
+		opts:  opts,
+		sem:   make(chan struct{}, opts.MaxInFlight),
+		cache: newResultCache(opts.CacheSize),
+		met:   newMetrics(),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/search", s.handleSearch)
+	mux.HandleFunc("POST /v1/topk", s.handleTopK)
+	mux.HandleFunc("POST /v1/discover-against", s.handleDiscoverAgainst)
+	mux.HandleFunc("POST /v1/compare", s.handleCompare)
+	mux.HandleFunc("POST /v1/sets", s.handleAddSets)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux = mux
+	return s
+}
+
+// knownPaths bounds the metrics label space: anything else (scanners,
+// typos) is aggregated under "other" so perRoute cannot grow without
+// bound on a long-running server.
+var knownPaths = map[string]bool{
+	"/v1/search":           true,
+	"/v1/topk":             true,
+	"/v1/discover-against": true,
+	"/v1/compare":          true,
+	"/v1/sets":             true,
+	"/v1/stats":            true,
+	"/healthz":             true,
+	"/metrics":             true,
+}
+
+// ServeHTTP dispatches to the API routes, recording per-route request
+// counts and latency.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(rec, r)
+	path := r.URL.Path
+	if !knownPaths[path] {
+		path = "other"
+	}
+	s.met.observe(path, rec.code, time.Since(start))
+}
+
+// statusRecorder captures the response code for metrics.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// ---- wire types ----
+
+// SetJSON is a set on the wire.
+type SetJSON struct {
+	Name     string   `json:"name,omitempty"`
+	Elements []string `json:"elements"`
+}
+
+func (s SetJSON) toSet() silkmoth.Set {
+	return silkmoth.Set{Name: s.Name, Elements: s.Elements}
+}
+
+// MatchJSON is one search result on the wire.
+type MatchJSON struct {
+	Index         int     `json:"index"`
+	Name          string  `json:"name"`
+	Relatedness   float64 `json:"relatedness"`
+	MatchingScore float64 `json:"matching_score"`
+}
+
+// PairJSON is one discovery result on the wire.
+type PairJSON struct {
+	R             int     `json:"r"`
+	S             int     `json:"s"`
+	RName         string  `json:"r_name"`
+	SName         string  `json:"s_name"`
+	Relatedness   float64 `json:"relatedness"`
+	MatchingScore float64 `json:"matching_score"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func matchesJSON(ms []silkmoth.Match) []MatchJSON {
+	out := make([]MatchJSON, len(ms))
+	for i, m := range ms {
+		out[i] = MatchJSON{Index: m.Index, Name: m.Name, Relatedness: m.Relatedness, MatchingScore: m.MatchingScore}
+	}
+	return out
+}
+
+func pairsJSON(ps []silkmoth.Pair) []PairJSON {
+	out := make([]PairJSON, len(ps))
+	for i, p := range ps {
+		out[i] = PairJSON{R: p.R, S: p.S, RName: p.RName, SName: p.SName, Relatedness: p.Relatedness, MatchingScore: p.MatchingScore}
+	}
+	return out
+}
+
+// ---- plumbing ----
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		http.Error(w, `{"error":"internal: encoding response"}`, http.StatusInternalServerError)
+		return
+	}
+	writeJSONBytes(w, code, body)
+}
+
+func writeJSONBytes(w http.ResponseWriter, code int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(body)
+	w.Write([]byte("\n"))
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// decodeBody unmarshals the request body into v, enforcing the body size
+// limit. It returns a client-facing error for malformed input.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	data, err := io.ReadAll(body)
+	if err != nil {
+		return fmt.Errorf("reading body: %w", err)
+	}
+	if len(data) == 0 {
+		return errors.New("empty request body")
+	}
+	if err := json.Unmarshal(data, v); err != nil {
+		return fmt.Errorf("malformed JSON: %w", err)
+	}
+	return nil
+}
+
+// queryCtx applies the configured request timeout to the request context.
+func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if s.opts.RequestTimeout > 0 {
+		return context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	}
+	return r.Context(), func() {}
+}
+
+// acquire takes a worker-pool slot, waiting within ctx. It reports whether
+// the slot was obtained; on false the response has already been written.
+func (s *Server) acquire(ctx context.Context, w http.ResponseWriter) bool {
+	select {
+	case s.sem <- struct{}{}:
+		s.met.addInflight(1)
+		return true
+	case <-ctx.Done():
+		s.writeCtxErr(w, ctx.Err())
+		return false
+	}
+}
+
+func (s *Server) release() {
+	s.met.addInflight(-1)
+	<-s.sem
+}
+
+func (s *Server) writeCtxErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, http.StatusGatewayTimeout, "request timed out")
+		return
+	}
+	writeError(w, http.StatusServiceUnavailable, "request cancelled")
+}
+
+// cacheKey builds the result cache key for one query: endpoint kind, the
+// engine's metric/δ/α identity, any endpoint scalar (like k), then every
+// query set's elements, all length-prefixed so distinct queries can never
+// collide.
+func (s *Server) cacheKey(kind string, scalar int, sets ...SetJSON) string {
+	var b strings.Builder
+	b.WriteString(kind)
+	b.WriteByte(0)
+	fmt.Fprintf(&b, "%d|%d|%d|%g|%g|%d", atomic.LoadInt64(&s.gen),
+		int(s.cfg.Metric), int(s.cfg.Similarity), s.cfg.Delta, s.cfg.Alpha, scalar)
+	for _, set := range sets {
+		b.WriteByte(0)
+		b.WriteString(strconv.Itoa(len(set.Elements)))
+		for _, el := range set.Elements {
+			b.WriteByte(0)
+			b.WriteString(strconv.Itoa(len(el)))
+			b.WriteByte(':')
+			b.WriteString(el)
+		}
+	}
+	return b.String()
+}
+
+// serveCached writes the cached body for key if present, marking the cache
+// header, and reports whether it did.
+func (s *Server) serveCached(w http.ResponseWriter, key string) bool {
+	if body, ok := s.cache.get(key); ok {
+		s.met.cacheHit()
+		w.Header().Set("X-Silkmoth-Cache", "hit")
+		writeJSONBytes(w, http.StatusOK, body)
+		return true
+	}
+	s.met.cacheMiss()
+	return false
+}
+
+// finish marshals v, stores it under key, and writes it.
+func (s *Server) finish(w http.ResponseWriter, key string, v any) {
+	body, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "internal: encoding response")
+		return
+	}
+	s.cache.put(key, body)
+	w.Header().Set("X-Silkmoth-Cache", "miss")
+	writeJSONBytes(w, http.StatusOK, body)
+}
+
+// ---- handlers ----
+
+type searchRequest struct {
+	Set SetJSON `json:"set"`
+	K   int     `json:"k,omitempty"`
+}
+
+type searchResponse struct {
+	Matches []MatchJSON `json:"matches"`
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	s.serveSearch(w, r, false)
+}
+
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	s.serveSearch(w, r, true)
+}
+
+func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, topk bool) {
+	var req searchRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Set.Elements) == 0 {
+		writeError(w, http.StatusBadRequest, "set.elements must be non-empty")
+		return
+	}
+	kind, k := "search", -1
+	if topk {
+		if req.K < 1 {
+			writeError(w, http.StatusBadRequest, "k must be >= 1")
+			return
+		}
+		kind, k = "topk", req.K
+	}
+
+	key := s.cacheKey(kind, k, req.Set)
+	if s.serveCached(w, key) {
+		return
+	}
+
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	if !s.acquire(ctx, w) {
+		return
+	}
+	defer s.release()
+
+	var ms []silkmoth.Match
+	var err error
+	if topk {
+		ms, err = s.eng.SearchTopKContext(ctx, req.Set.toSet(), req.K)
+	} else {
+		ms, err = s.eng.SearchContext(ctx, req.Set.toSet())
+	}
+	if err != nil {
+		s.writeCtxErr(w, err)
+		return
+	}
+	s.finish(w, key, searchResponse{Matches: matchesJSON(ms)})
+}
+
+type discoverRequest struct {
+	Sets []SetJSON `json:"sets"`
+}
+
+type discoverResponse struct {
+	Pairs []PairJSON `json:"pairs"`
+}
+
+func (s *Server) handleDiscoverAgainst(w http.ResponseWriter, r *http.Request) {
+	var req discoverRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Sets) == 0 {
+		writeError(w, http.StatusBadRequest, "sets must be non-empty")
+		return
+	}
+
+	key := s.cacheKey("discover-against", -1, req.Sets...)
+	if s.serveCached(w, key) {
+		return
+	}
+
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	if !s.acquire(ctx, w) {
+		return
+	}
+	defer s.release()
+
+	refs := make([]silkmoth.Set, len(req.Sets))
+	for i, set := range req.Sets {
+		refs[i] = set.toSet()
+	}
+	ps, err := s.eng.DiscoverAgainstContext(ctx, refs)
+	if err != nil {
+		s.writeCtxErr(w, err)
+		return
+	}
+	s.finish(w, key, discoverResponse{Pairs: pairsJSON(ps)})
+}
+
+type compareRequest struct {
+	R SetJSON `json:"r"`
+	S SetJSON `json:"s"`
+}
+
+type compareResponse struct {
+	Relatedness float64 `json:"relatedness"`
+}
+
+func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
+	var req compareRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.R.Elements) == 0 || len(req.S.Elements) == 0 {
+		writeError(w, http.StatusBadRequest, "r.elements and s.elements must be non-empty")
+		return
+	}
+	if max := s.opts.MaxCompareElements; max > 0 &&
+		(len(req.R.Elements) > max || len(req.S.Elements) > max) {
+		writeError(w, http.StatusBadRequest, "compare sets are limited to %d elements each", max)
+		return
+	}
+
+	key := s.cacheKey("compare", -1, req.R, req.S)
+	if s.serveCached(w, key) {
+		return
+	}
+
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	if !s.acquire(ctx, w) {
+		return
+	}
+	defer s.release()
+	if err := ctx.Err(); err != nil {
+		s.writeCtxErr(w, err)
+		return
+	}
+
+	rel, err := silkmoth.Compare(req.R.toSet(), req.S.toSet(), s.cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	s.finish(w, key, compareResponse{Relatedness: rel})
+}
+
+type addSetsRequest struct {
+	Sets []SetJSON `json:"sets"`
+}
+
+type addSetsResponse struct {
+	Added int `json:"added"`
+	Total int `json:"total"`
+}
+
+func (s *Server) handleAddSets(w http.ResponseWriter, r *http.Request) {
+	var req addSetsRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Sets) == 0 {
+		writeError(w, http.StatusBadRequest, "sets must be non-empty")
+		return
+	}
+	for i, set := range req.Sets {
+		if len(set.Elements) == 0 {
+			writeError(w, http.StatusBadRequest, "sets[%d].elements must be non-empty", i)
+			return
+		}
+	}
+
+	add := make([]silkmoth.Set, len(req.Sets))
+	for i, set := range req.Sets {
+		add[i] = set.toSet()
+	}
+	s.eng.Add(add)
+	// A grown collection can change any result: retire every cached
+	// entry (the generation bump) and free the memory (the purge).
+	atomic.AddInt64(&s.gen, 1)
+	s.cache.purge()
+	writeJSON(w, http.StatusOK, addSetsResponse{Added: len(add), Total: s.eng.Len()})
+}
+
+type statsResponse struct {
+	Sets          int     `json:"sets"`
+	Metric        string  `json:"metric"`
+	Similarity    string  `json:"similarity"`
+	Delta         float64 `json:"delta"`
+	Alpha         float64 `json:"alpha"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Engine        struct {
+		SearchPasses int64 `json:"search_passes"`
+		Candidates   int64 `json:"candidates"`
+		AfterCheck   int64 `json:"after_check"`
+		AfterNN      int64 `json:"after_nn"`
+		Verified     int64 `json:"verified"`
+	} `json:"engine"`
+	Cache struct {
+		Entries int   `json:"entries"`
+		Hits    int64 `json:"hits"`
+		Misses  int64 `json:"misses"`
+	} `json:"cache"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.eng.Stats()
+	var resp statsResponse
+	resp.Sets = s.eng.Len()
+	resp.Metric = s.cfg.Metric.String()
+	resp.Similarity = s.cfg.Similarity.String()
+	resp.Delta = s.cfg.Delta
+	resp.Alpha = s.cfg.Alpha
+	resp.UptimeSeconds = s.met.uptime().Seconds()
+	resp.Engine.SearchPasses = st.SearchPasses
+	resp.Engine.Candidates = st.Candidates
+	resp.Engine.AfterCheck = st.AfterCheck
+	resp.Engine.AfterNN = st.AfterNN
+	resp.Engine.Verified = st.Verified
+	resp.Cache.Entries = s.cache.len()
+	resp.Cache.Hits = s.met.hits()
+	resp.Cache.Misses = s.met.misses()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type healthResponse struct {
+	Status string `json:"status"`
+	Sets   int    `json:"sets"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, healthResponse{Status: "ok", Sets: s.eng.Len()})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.met.write(w, func(out io.Writer) {
+		st := s.eng.Stats()
+		fmt.Fprintf(out, "# HELP silkmothd_collection_sets Sets currently indexed.\n")
+		fmt.Fprintf(out, "# TYPE silkmothd_collection_sets gauge\n")
+		fmt.Fprintf(out, "silkmothd_collection_sets %d\n", s.eng.Len())
+		fmt.Fprintf(out, "# HELP silkmothd_engine_search_passes_total Search passes run by the engine.\n")
+		fmt.Fprintf(out, "# TYPE silkmothd_engine_search_passes_total counter\n")
+		fmt.Fprintf(out, "silkmothd_engine_search_passes_total %d\n", st.SearchPasses)
+		fmt.Fprintf(out, "# HELP silkmothd_engine_verified_total Maximum-matching verifications run by the engine.\n")
+		fmt.Fprintf(out, "# TYPE silkmothd_engine_verified_total counter\n")
+		fmt.Fprintf(out, "silkmothd_engine_verified_total %d\n", st.Verified)
+		fmt.Fprintf(out, "# HELP silkmothd_result_cache_entries Entries in the result cache.\n")
+		fmt.Fprintf(out, "# TYPE silkmothd_result_cache_entries gauge\n")
+		fmt.Fprintf(out, "silkmothd_result_cache_entries %d\n", s.cache.len())
+	})
+}

@@ -4,6 +4,11 @@
 // edit similarity (paper §3 and §7).
 package tokens
 
+import (
+	"sync"
+	"sync/atomic"
+)
+
 // ID is a dense integer identifier for an interned token string.
 // Dense ids let the inverted index be a plain slice instead of a map.
 type ID int32
@@ -11,7 +16,13 @@ type ID int32
 // Dictionary interns token strings and assigns each distinct string a dense
 // ID starting from zero. It also tracks how many times each token was
 // interned, which approximates collection frequency.
+//
+// A Dictionary is safe for concurrent use. Interning an already-known token
+// — the overwhelmingly common case at query time — takes only the read side
+// of the lock, so parallel queries do not serialize on each other; only
+// first-time interning of a new token takes the write lock.
 type Dictionary struct {
+	mu    sync.RWMutex
 	ids   map[string]ID
 	strs  []string
 	count []int64
@@ -25,7 +36,20 @@ func NewDictionary() *Dictionary {
 // Intern returns the ID for s, assigning a fresh one if s is new, and bumps
 // its frequency counter.
 func (d *Dictionary) Intern(s string) ID {
+	// Fast path: known token, shared lock only. The count bump is atomic
+	// because other readers may be bumping the same slot; the slice itself
+	// cannot be reallocated while any read lock is held.
+	d.mu.RLock()
 	if id, ok := d.ids[s]; ok {
+		atomic.AddInt64(&d.count[id], 1)
+		d.mu.RUnlock()
+		return id
+	}
+	d.mu.RUnlock()
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if id, ok := d.ids[s]; ok { // raced with another writer
 		d.count[id]++
 		return id
 	}
@@ -39,15 +63,32 @@ func (d *Dictionary) Intern(s string) ID {
 // Lookup returns the ID for s without interning. The second return value
 // reports whether s is known.
 func (d *Dictionary) Lookup(s string) (ID, bool) {
+	d.mu.RLock()
 	id, ok := d.ids[s]
+	d.mu.RUnlock()
 	return id, ok
 }
 
 // String returns the token string for id. It panics if id is out of range.
-func (d *Dictionary) String(id ID) string { return d.strs[id] }
+func (d *Dictionary) String(id ID) string {
+	d.mu.RLock()
+	s := d.strs[id]
+	d.mu.RUnlock()
+	return s
+}
 
 // Count returns how many times the token with this id has been interned.
-func (d *Dictionary) Count(id ID) int64 { return d.count[id] }
+func (d *Dictionary) Count(id ID) int64 {
+	d.mu.RLock()
+	n := atomic.LoadInt64(&d.count[id])
+	d.mu.RUnlock()
+	return n
+}
 
 // Size returns the number of distinct tokens interned so far.
-func (d *Dictionary) Size() int { return len(d.strs) }
+func (d *Dictionary) Size() int {
+	d.mu.RLock()
+	n := len(d.strs)
+	d.mu.RUnlock()
+	return n
+}

@@ -1,0 +1,77 @@
+package tokens
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// TestDictionaryConcurrentIntern hammers one dictionary from many goroutines
+// with overlapping token vocabularies. Run under -race this is the proof
+// that parallel query-time tokenization no longer needs an external lock.
+func TestDictionaryConcurrentIntern(t *testing.T) {
+	d := NewDictionary()
+	// Pre-intern half the vocabulary so readers exercise the fast path.
+	for i := 0; i < 50; i++ {
+		d.Intern(fmt.Sprintf("tok%d", i))
+	}
+
+	const goroutines = 8
+	const rounds = 500
+	var wg sync.WaitGroup
+	ids := make([][]ID, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids[g] = make([]ID, 100)
+			for r := 0; r < rounds; r++ {
+				for i := 0; i < 100; i++ {
+					tok := fmt.Sprintf("tok%d", i)
+					id := d.Intern(tok)
+					if r == 0 {
+						ids[g][i] = id
+					} else if ids[g][i] != id {
+						t.Errorf("goroutine %d: token %q id changed %d -> %d", g, tok, ids[g][i], id)
+						return
+					}
+					if got, ok := d.Lookup(tok); !ok || got != id {
+						t.Errorf("goroutine %d: Lookup(%q) = %d,%v want %d", g, tok, got, ok, id)
+						return
+					}
+					if d.String(id) != tok {
+						t.Errorf("goroutine %d: String(%d) = %q want %q", g, id, d.String(id), tok)
+						return
+					}
+					_ = d.Count(id)
+					_ = d.Size()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// All goroutines must agree on every id.
+	for g := 1; g < goroutines; g++ {
+		for i := range ids[0] {
+			if ids[g][i] != ids[0][i] {
+				t.Fatalf("goroutine %d disagrees on token %d: %d vs %d", g, i, ids[g][i], ids[0][i])
+			}
+		}
+	}
+	if d.Size() != 100 {
+		t.Fatalf("Size = %d, want 100", d.Size())
+	}
+	// Every token was interned goroutines*rounds times (+1 for the 50
+	// pre-interned ones). Counts are exact: the fast path uses atomics.
+	for i := 0; i < 100; i++ {
+		id, _ := d.Lookup(fmt.Sprintf("tok%d", i))
+		want := int64(goroutines * rounds)
+		if i < 50 {
+			want++
+		}
+		if got := d.Count(id); got != want {
+			t.Errorf("Count(tok%d) = %d, want %d", i, got, want)
+		}
+	}
+}

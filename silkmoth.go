@@ -39,6 +39,20 @@
 // relatedness threshold; Alpha ∈ [0, 1) optionally zeroes element
 // similarities below it. Engines additionally support top-k search,
 // incremental Add, collection persistence, and direct pairwise Compare.
+//
+// # Concurrency and serving
+//
+// Engines are safe for concurrent use: parallel queries do not serialize
+// on a shared lock, Add is safely interleaved with in-flight queries, and
+// Config.Concurrency parallelizes Discover's reference passes and shards
+// each query's candidate verification across a worker pool. The
+// context-aware variants (SearchContext, SearchTopKContext,
+// DiscoverContext, DiscoverAgainstContext) abort cleanly on cancellation.
+//
+// To serve an engine over HTTP/JSON — search, top-k, discovery, compare,
+// and incremental indexing behind a bounded worker pool with an LRU result
+// cache and Prometheus-style metrics — run the cmd/silkmothd daemon (built
+// on the internal server package).
 package silkmoth
 
 import (
@@ -68,6 +82,17 @@ const (
 	SetContainment
 )
 
+func (m Metric) String() string {
+	switch m {
+	case SetSimilarity:
+		return "set-similarity"
+	case SetContainment:
+		return "set-containment"
+	default:
+		return fmt.Sprintf("Metric(%d)", int(m))
+	}
+}
+
 // Similarity selects the element similarity function φ.
 type Similarity int
 
@@ -86,6 +111,23 @@ const (
 	// the set cosine similarity |∩|/√(|a||b|).
 	Cosine
 )
+
+func (s Similarity) String() string {
+	switch s {
+	case Jaccard:
+		return "jaccard"
+	case Eds:
+		return "eds"
+	case NEds:
+		return "neds"
+	case Dice:
+		return "dice"
+	case Cosine:
+		return "cosine"
+	default:
+		return fmt.Sprintf("Similarity(%d)", int(s))
+	}
+}
 
 // Scheme selects the signature scheme used to prune the search space.
 type Scheme int
