@@ -1,0 +1,87 @@
+package silkmoth
+
+import (
+	"context"
+
+	"silkmoth/internal/core"
+	"silkmoth/internal/dataset"
+	"silkmoth/internal/shard"
+)
+
+// SearchBatch answers one related-set search per reference set in a
+// single call. The whole batch is tokenized in one pass — amortizing
+// dictionary interning across queries — and the searches run concurrently,
+// bounded by Config.Concurrency; on a sharded engine each query
+// additionally fans out across all shards. Results are positionally
+// aligned with refs, each sorted exactly as Search sorts.
+func (e *Engine) SearchBatch(refs []Set) ([][]Match, error) {
+	return e.SearchBatchContext(context.Background(), refs)
+}
+
+// SearchBatchContext is SearchBatch with cancellation: the first failed or
+// cancelled query aborts the remaining ones.
+func (e *Engine) SearchBatchContext(ctx context.Context, refs []Set) ([][]Match, error) {
+	if len(refs) == 0 {
+		return nil, nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	qc := e.tokenizeQuery(refs)
+
+	var per [][]core.Match
+	var err error
+	if e.sh != nil {
+		rs := make([]*dataset.Set, len(qc.Sets))
+		for i := range qc.Sets {
+			rs[i] = &qc.Sets[i]
+		}
+		per, err = e.sh.SearchBatchContext(ctx, rs)
+	} else {
+		per, err = e.searchBatchSerial(ctx, qc)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]Match, len(per))
+	for i, ms := range per {
+		out[i] = e.toMatches(ms)
+		if e.sh == nil {
+			sortMatches(out[i]) // the sharded engine already emits canonical order
+		}
+	}
+	return out, nil
+}
+
+// searchBatchSerial fans a batch across the unsharded engine: queries run
+// concurrently on up to Concurrency workers, each owning one reusable
+// core.Searcher (verification runs serially within a pass — the batch's
+// parallelism is across queries, so it never compounds with per-pass
+// verification fan-out). Callers must hold at least the read lock.
+func (e *Engine) searchBatchSerial(ctx context.Context, qc *dataset.Collection) ([][]core.Match, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	workers := shard.Workers(e.eng.Options().Concurrency, len(qc.Sets))
+	searchers := make([]*core.Searcher, workers)
+	for w := range searchers {
+		searchers[w] = e.eng.NewSearcher()
+	}
+	defer func() {
+		for _, sr := range searchers {
+			sr.Close()
+		}
+	}()
+	out := make([][]core.Match, len(qc.Sets))
+	err := shard.FanOut(ctx, len(qc.Sets), workers, func(ctx context.Context, w, qi int) error {
+		ms, err := searchers[w].Search(ctx, &qc.Sets[qi], -1)
+		if err != nil {
+			return err
+		}
+		out[qi] = ms
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -4,7 +4,8 @@
 // once, and serves the full library surface concurrently:
 //
 //	POST /v1/search            related sets for one reference set
-//	POST /v1/topk              the k best of the above
+//	POST /v1/search/batch      many searches in one request
+//	POST /v1/topk              the k best of a search
 //	POST /v1/discover-against  all related pairs vs. a batch of references
 //	POST /v1/compare           raw relatedness of two sets
 //	POST /v1/sets              incrementally index more sets
@@ -51,13 +52,14 @@ func main() {
 		q         = flag.Int("q", 0, "gram length for edit similarities (0 = auto)")
 		scheme    = flag.String("scheme", "dichotomy", "signature scheme: dichotomy, skyline, weighted, combunweighted")
 		workers   = flag.Int("workers", 0, "per-query verification parallelism (0 = GOMAXPROCS)")
+		shards    = flag.Int("shards", 1, "hash-partition the collection into this many scatter-gather shards (<2 = unsharded)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout (negative disables)")
 		inflight  = flag.Int("max-inflight", 0, "max concurrently executing queries (0 = 2*GOMAXPROCS)")
 		cacheSize = flag.Int("cache-size", 1024, "result cache entries (negative disables)")
 	)
 	flag.Parse()
 
-	cfg, err := buildConfig(*metric, *simName, *scheme, *delta, *alpha, *q, *workers)
+	cfg, err := buildConfig(*metric, *simName, *scheme, *delta, *alpha, *q, *workers, *shards)
 	if err != nil {
 		fatal(err)
 	}
@@ -66,8 +68,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	log.Printf("silkmothd: indexed %d sets (metric=%s sim=%s delta=%g alpha=%g)",
-		n, cfg.Metric, cfg.Similarity, cfg.Delta, cfg.Alpha)
+	log.Printf("silkmothd: indexed %d sets (metric=%s sim=%s delta=%g alpha=%g shards=%d)",
+		n, cfg.Metric, cfg.Similarity, cfg.Delta, cfg.Alpha, eng.Shards())
 
 	srv := server.New(eng, cfg, server.Options{
 		RequestTimeout: *timeout,
@@ -155,11 +157,11 @@ func buildEngine(cfg silkmoth.Config, input, csvFile, jsonFile, saved string) (*
 	return eng, len(sets), nil
 }
 
-func buildConfig(metric, simName, scheme string, delta, alpha float64, q, workers int) (silkmoth.Config, error) {
+func buildConfig(metric, simName, scheme string, delta, alpha float64, q, workers, shards int) (silkmoth.Config, error) {
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	cfg := silkmoth.Config{Delta: delta, Alpha: alpha, Q: q, Concurrency: workers}
+	cfg := silkmoth.Config{Delta: delta, Alpha: alpha, Q: q, Concurrency: workers, Shards: shards}
 	switch metric {
 	case "similarity":
 		cfg.Metric = silkmoth.SetSimilarity

@@ -9,17 +9,17 @@ import (
 )
 
 func TestBuildConfig(t *testing.T) {
-	cfg, err := buildConfig("containment", "eds", "skyline", 0.8, 0.6, 3, 4)
+	cfg, err := buildConfig("containment", "eds", "skyline", 0.8, 0.6, 3, 4, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if cfg.Metric != silkmoth.SetContainment || cfg.Similarity != silkmoth.Eds ||
 		cfg.Scheme != silkmoth.SchemeSkyline || cfg.Delta != 0.8 || cfg.Alpha != 0.6 ||
-		cfg.Q != 3 || cfg.Concurrency != 4 {
+		cfg.Q != 3 || cfg.Concurrency != 4 || cfg.Shards != 2 {
 		t.Fatalf("cfg = %+v", cfg)
 	}
 
-	if cfg, err := buildConfig("similarity", "jaccard", "dichotomy", 0.7, 0, 0, 0); err != nil {
+	if cfg, err := buildConfig("similarity", "jaccard", "dichotomy", 0.7, 0, 0, 0, 1); err != nil {
 		t.Fatal(err)
 	} else if cfg.Concurrency < 1 {
 		t.Fatalf("workers 0 should resolve to GOMAXPROCS, got %d", cfg.Concurrency)
@@ -30,15 +30,37 @@ func TestBuildConfig(t *testing.T) {
 		{"similarity", "nope", "dichotomy"},
 		{"similarity", "jaccard", "nope"},
 	} {
-		if _, err := buildConfig(bad[0], bad[1], bad[2], 0.7, 0, 0, 1); err == nil {
+		if _, err := buildConfig(bad[0], bad[1], bad[2], 0.7, 0, 0, 1, 1); err == nil {
 			t.Errorf("buildConfig(%v) should fail", bad)
 		}
 	}
 }
 
+// TestBuildEngineSharded checks that a -shards daemon config builds a
+// sharded engine over every loadable source.
+func TestBuildEngineSharded(t *testing.T) {
+	dir := t.TempDir()
+	cfg, err := buildConfig("similarity", "jaccard", "dichotomy", 0.5, 0, 0, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setFile := filepath.Join(dir, "sets.txt")
+	os.WriteFile(setFile, []byte("a: 77 Mass Ave | 5th St\nb: 77 Mass Ave | Elm St\nc: Oak St | Pine St\n"), 0o644)
+	eng, n, err := buildEngine(cfg, setFile, "", "", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 || eng.Shards() != 3 {
+		t.Fatalf("n=%d shards=%d, want 3 sets on 3 shards", n, eng.Shards())
+	}
+	if ms, err := eng.Search(silkmoth.Set{Elements: []string{"77 Mass Ave", "5th St"}}); err != nil || len(ms) == 0 {
+		t.Fatalf("sharded search: ms=%v err=%v", ms, err)
+	}
+}
+
 func TestBuildEngineSources(t *testing.T) {
 	dir := t.TempDir()
-	cfg, _ := buildConfig("similarity", "jaccard", "dichotomy", 0.5, 0, 0, 1)
+	cfg, _ := buildConfig("similarity", "jaccard", "dichotomy", 0.5, 0, 0, 1, 1)
 
 	// No source and two sources are both rejected.
 	if _, _, err := buildEngine(cfg, "", "", "", ""); err == nil {

@@ -8,6 +8,7 @@ import (
 
 	"silkmoth/internal/core"
 	"silkmoth/internal/dataset"
+	"silkmoth/internal/shard"
 	"silkmoth/internal/tokens"
 )
 
@@ -16,8 +17,14 @@ import (
 // concurrent use, including Add concurrent with queries. Queries never
 // block each other: the token dictionary is internally synchronized, so
 // parallel searches proceed without a shared engine lock.
+//
+// With Config.Shards > 1 the collection is hash-partitioned across
+// independently indexed shards and every query scatter-gathers across
+// them; the Engine's API and results are unchanged.
 type Engine struct {
+	// Exactly one of eng (unsharded) and sh (sharded) is non-nil.
 	eng  *core.Engine
+	sh   *shard.Engine
 	coll *dataset.Collection
 	// mu serializes mutations (Add) against queries: mutators take the
 	// write side, queries the read side.
@@ -25,7 +32,8 @@ type Engine struct {
 }
 
 // NewEngine tokenizes the collection according to cfg and builds the
-// inverted index over it.
+// inverted index over it (or, with cfg.Shards > 1, the per-shard indexes,
+// in parallel).
 func NewEngine(sets []Set, cfg Config) (*Engine, error) {
 	opts, err := cfg.coreOptions()
 	if err != nil {
@@ -45,11 +53,32 @@ func NewEngine(sets []Set, cfg Config) (*Engine, error) {
 		}
 		coll = dataset.BuildQGram(dict, raws, opts.Q)
 	}
+	return newEngineOverColl(coll, cfg, opts)
+}
+
+// newEngineOverColl builds the unsharded or sharded engine over an
+// already-tokenized collection, per cfg.Shards.
+func newEngineOverColl(coll *dataset.Collection, cfg Config, opts core.Options) (*Engine, error) {
+	if cfg.Shards > 1 {
+		sh, err := shard.New(coll, cfg.Shards, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Engine{sh: sh, coll: coll}, nil
+	}
 	eng, err := core.NewEngine(coll, opts)
 	if err != nil {
 		return nil, err
 	}
 	return &Engine{eng: eng, coll: coll}, nil
+}
+
+// Shards returns the engine's shard count: 1 for an unsharded engine.
+func (e *Engine) Shards() int {
+	if e.sh != nil {
+		return e.sh.Shards()
+	}
+	return 1
 }
 
 func toRaw(sets []Set) []dataset.RawSet {
@@ -85,10 +114,29 @@ func (e *Engine) SearchContext(ctx context.Context, ref Set) ([]Match, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	qc := e.tokenizeQuery([]Set{ref})
-	ms, err := e.eng.SearchContext(ctx, &qc.Sets[0])
+	ms, err := e.searchMatches(ctx, &qc.Sets[0])
 	if err != nil {
 		return nil, err
 	}
+	out := e.toMatches(ms)
+	if e.sh == nil {
+		sortMatches(out) // the sharded engine already emits canonical order
+	}
+	return out, nil
+}
+
+// searchMatches runs one core-level search on whichever engine backs e.
+// Callers must hold at least the read lock.
+func (e *Engine) searchMatches(ctx context.Context, r *dataset.Set) ([]core.Match, error) {
+	if e.sh != nil {
+		return e.sh.SearchContext(ctx, r)
+	}
+	return e.eng.SearchContext(ctx, r)
+}
+
+// toMatches rewrites core matches into the public form, resolving names
+// from the engine's collection. Callers must hold at least the read lock.
+func (e *Engine) toMatches(ms []core.Match) []Match {
 	out := make([]Match, len(ms))
 	for i, m := range ms {
 		out[i] = Match{
@@ -98,13 +146,18 @@ func (e *Engine) SearchContext(ctx context.Context, ref Set) ([]Match, error) {
 			MatchingScore: m.Score,
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Relatedness != out[j].Relatedness {
-			return out[i].Relatedness > out[j].Relatedness
+	return out
+}
+
+// sortMatches orders public matches canonically: descending relatedness,
+// ties by ascending index.
+func sortMatches(ms []Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Relatedness != ms[j].Relatedness {
+			return ms[i].Relatedness > ms[j].Relatedness
 		}
-		return out[i].Index < out[j].Index
+		return ms[i].Index < ms[j].Index
 	})
-	return out, nil
 }
 
 // Discover returns all related pairs within the engine's collection — the
@@ -123,11 +176,21 @@ func (e *Engine) Discover() []Pair {
 func (e *Engine) DiscoverContext(ctx context.Context) ([]Pair, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	ps, err := e.eng.DiscoverContext(ctx, e.coll)
+	ps, err := e.discoverPairs(ctx, e.coll)
 	if err != nil {
 		return nil, err
 	}
 	return e.toPairs(ps, e.coll), nil
+}
+
+// discoverPairs runs core-level discovery on whichever engine backs e.
+// Passing e.coll itself selects self-join semantics in both backends.
+// Callers must hold at least the read lock.
+func (e *Engine) discoverPairs(ctx context.Context, refs *dataset.Collection) ([]core.Pair, error) {
+	if e.sh != nil {
+		return e.sh.DiscoverContext(ctx, refs)
+	}
+	return e.eng.DiscoverContext(ctx, refs)
 }
 
 // DiscoverAgainst finds all related pairs ⟨R, S⟩ with R from refs and S from
@@ -141,7 +204,7 @@ func (e *Engine) DiscoverAgainstContext(ctx context.Context, refs []Set) ([]Pair
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	qc := e.tokenizeQuery(refs)
-	ps, err := e.eng.DiscoverContext(ctx, qc)
+	ps, err := e.discoverPairs(ctx, qc)
 	if err != nil {
 		return nil, err
 	}
@@ -159,12 +222,14 @@ func (e *Engine) toPairs(ps []core.Pair, refs *dataset.Collection) []Pair {
 			MatchingScore: p.Score,
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].R != out[j].R {
-			return out[i].R < out[j].R
-		}
-		return out[i].S < out[j].S
-	})
+	if e.sh == nil { // the sharded engine already emits (R, S) order
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].R != out[j].R {
+				return out[i].R < out[j].R
+			}
+			return out[i].S < out[j].S
+		})
+	}
 	return out
 }
 
@@ -182,9 +247,15 @@ func (e *Engine) SetName(i int) string {
 	return e.coll.Sets[i].Name
 }
 
-// Stats returns the engine's cumulative pruning funnel.
+// Stats returns the engine's cumulative pruning funnel (summed across
+// shards on a sharded engine).
 func (e *Engine) Stats() Stats {
-	st := e.eng.Stats()
+	var st core.StatsSnapshot
+	if e.sh != nil {
+		st = e.sh.Stats()
+	} else {
+		st = e.eng.Stats()
+	}
 	return Stats{
 		SearchPasses: st.SearchPasses,
 		Candidates:   st.Candidates,

@@ -6,7 +6,6 @@ import (
 	"io"
 	"sort"
 
-	"silkmoth/internal/core"
 	"silkmoth/internal/dataset"
 )
 
@@ -16,10 +15,23 @@ func (e *Engine) SearchTopK(ref Set, k int) ([]Match, error) {
 	return e.SearchTopKContext(context.Background(), ref, k)
 }
 
-// SearchTopKContext is SearchTopK with cancellation.
+// SearchTopKContext is SearchTopK with cancellation. On a sharded engine
+// each shard contributes its local top k and a heap merge selects the
+// global winners, so the answer costs k·Shards merged candidates instead
+// of a full sort.
 func (e *Engine) SearchTopKContext(ctx context.Context, ref Set, k int) ([]Match, error) {
 	if k <= 0 {
 		return nil, nil
+	}
+	if e.sh != nil {
+		e.mu.RLock()
+		defer e.mu.RUnlock()
+		qc := e.tokenizeQuery([]Set{ref})
+		ms, err := e.sh.SearchTopKContext(ctx, &qc.Sets[0], k)
+		if err != nil {
+			return nil, err
+		}
+		return e.toMatches(ms), nil // the merge already emits canonical order
 	}
 	ms, err := e.SearchContext(ctx, ref)
 	if err != nil {
@@ -38,6 +50,12 @@ func (e *Engine) SearchTopKContext(ctx context.Context, ref Set, k int) ([]Match
 func (e *Engine) Add(sets []Set) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.sh != nil {
+		// The sharded engine appends to e.coll (its global collection)
+		// itself and routes each new set to its owning shard.
+		e.sh.Add(toRaw(sets))
+		return
+	}
 	from := dataset.Append(e.coll, toRaw(sets))
 	e.eng.AppendSets(from)
 }
@@ -71,11 +89,7 @@ func NewEngineFromSaved(r io.Reader, cfg Config) (*Engine, error) {
 	if opts.Q == 0 {
 		opts.Q = coll.Q
 	}
-	eng, err := core.NewEngine(coll, opts)
-	if err != nil {
-		return nil, err
-	}
-	return &Engine{eng: eng, coll: coll}, nil
+	return newEngineOverColl(coll, cfg, opts)
 }
 
 // SortMatchesByIndex re-sorts a search result list by collection index,
@@ -94,6 +108,7 @@ func Compare(r, s Set, cfg Config) (float64, error) {
 	if cfg.Delta == 0 {
 		cfg.Delta = 1 // Delta is irrelevant here but must validate
 	}
+	cfg.Shards = 0 // one pairwise matching has nothing to shard
 	eng, err := NewEngine([]Set{s}, cfg)
 	if err != nil {
 		return 0, err

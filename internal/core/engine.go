@@ -154,6 +154,36 @@ func (e *Engine) SearchContext(ctx context.Context, r *dataset.Set) ([]Match, er
 	return ms, err
 }
 
+// Searcher runs repeated search passes against one engine, reusing the
+// per-pass scratch (candidate collector, nearest-neighbor searcher, stats
+// shard) across calls. It is the building block for callers that drive many
+// passes themselves — Discover's workers and the sharded scatter-gather
+// engine. A Searcher is not safe for concurrent use; create one per
+// goroutine and Close it when done so its counters reach the engine.
+type Searcher struct {
+	e *Engine
+	w *worker
+}
+
+// NewSearcher returns a fresh Searcher over e.
+func (e *Engine) NewSearcher() *Searcher {
+	return &Searcher{e: e, w: e.newWorker()}
+}
+
+// Search runs one search pass for r, excluding candidate sets with
+// collection index ≤ skip (pass -1 to consider every set). Verification
+// runs serially within the pass: callers parallelize across passes, not
+// within them.
+func (s *Searcher) Search(ctx context.Context, r *dataset.Set, skip int) ([]Match, error) {
+	return s.e.searchPass(ctx, r, skip, s.w, false)
+}
+
+// Close folds the searcher's private stats shard into the engine's
+// counters. The Searcher must not be used afterwards.
+func (s *Searcher) Close() {
+	s.e.st.merge(&s.w.st)
+}
+
 // worker bundles the per-goroutine scratch of search passes: the candidate
 // collector, the nearest-neighbor searcher, and a private stats shard that
 // is merged into the engine's counters when the worker retires (so hot
@@ -381,7 +411,7 @@ func (e *Engine) DiscoverContext(ctx context.Context, refs *dataset.Collection) 
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			wk := e.newWorker()
+			sr := e.NewSearcher()
 			var local []Pair
 			var err error
 			for {
@@ -397,7 +427,7 @@ func (e *Engine) DiscoverContext(ctx context.Context, refs *dataset.Collection) 
 					selfSkip = ri
 				}
 				var ms []Match
-				ms, err = e.searchPass(ctx, &refs.Sets[ri], selfSkip, wk, false)
+				ms, err = sr.Search(ctx, &refs.Sets[ri], selfSkip)
 				if err != nil {
 					break
 				}
@@ -408,7 +438,7 @@ func (e *Engine) DiscoverContext(ctx context.Context, refs *dataset.Collection) 
 					local = append(local, Pair{R: ri, S: m.Set, Relatedness: m.Relatedness, Score: m.Score})
 				}
 			}
-			e.st.merge(&wk.st)
+			sr.Close()
 			mu.Lock()
 			pairs = append(pairs, local...)
 			if err != nil && firstErr == nil {

@@ -50,6 +50,10 @@ type Options struct {
 	// context cannot interrupt, so its size must be bounded up front.
 	// 0 means 512; negative disables the bound.
 	MaxCompareElements int
+	// MaxBatchSize bounds the set count accepted by /v1/search/batch; a
+	// larger batch is rejected with 413 before any work starts. 0 means
+	// 256; negative disables the bound.
+	MaxBatchSize int
 }
 
 func (o Options) normalize() Options {
@@ -70,6 +74,9 @@ func (o Options) normalize() Options {
 	}
 	if o.MaxCompareElements == 0 {
 		o.MaxCompareElements = 512
+	}
+	if o.MaxBatchSize == 0 {
+		o.MaxBatchSize = 256
 	}
 	return o
 }
@@ -104,6 +111,7 @@ func New(eng *silkmoth.Engine, cfg silkmoth.Config, opts Options) *Server {
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
+	mux.HandleFunc("POST /v1/search/batch", s.handleSearchBatch)
 	mux.HandleFunc("POST /v1/topk", s.handleTopK)
 	mux.HandleFunc("POST /v1/discover-against", s.handleDiscoverAgainst)
 	mux.HandleFunc("POST /v1/compare", s.handleCompare)
@@ -120,6 +128,7 @@ func New(eng *silkmoth.Engine, cfg silkmoth.Config, opts Options) *Server {
 // bound on a long-running server.
 var knownPaths = map[string]bool{
 	"/v1/search":           true,
+	"/v1/search/batch":     true,
 	"/v1/topk":             true,
 	"/v1/discover-against": true,
 	"/v1/compare":          true,
@@ -223,6 +232,18 @@ func writeJSONBytes(w http.ResponseWriter, code int, body []byte) {
 
 func writeError(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, errorResponse{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeDecodeErr maps a request-decoding failure to its status: 413 when
+// the body blew the MaxBodyBytes limit (matching the oversized-batch
+// path), 400 for everything malformed.
+func writeDecodeErr(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		writeError(w, http.StatusRequestEntityTooLarge, "%v", err)
+		return
+	}
+	writeError(w, http.StatusBadRequest, "%v", err)
 }
 
 // decodeBody unmarshals the request body into v, enforcing the body size
@@ -346,7 +367,7 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, topk bool) {
 	var req searchRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeDecodeErr(w, err)
 		return
 	}
 	if len(req.Set.Elements) == 0 {
@@ -388,6 +409,90 @@ func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, topk bool) 
 	s.finish(w, key, searchResponse{Matches: matchesJSON(ms)})
 }
 
+type batchSearchRequest struct {
+	Sets []SetJSON `json:"sets"`
+	// K, when ≥ 1, truncates each item's matches to its top k.
+	K int `json:"k,omitempty"`
+}
+
+// BatchItemJSON is one batch item's outcome on the wire: its matches, or a
+// per-item error (e.g. an empty set) that left the rest of the batch
+// unaffected.
+type BatchItemJSON struct {
+	Matches []MatchJSON `json:"matches"`
+	Error   string      `json:"error,omitempty"`
+}
+
+type batchSearchResponse struct {
+	Results []BatchItemJSON `json:"results"`
+}
+
+// handleSearchBatch answers many searches in one request. Invalid items
+// are reported in place — the response carries one result per request set,
+// positionally aligned — while the valid remainder runs as a single
+// engine batch, amortizing tokenization and fanning across shards.
+func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
+	var req batchSearchRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeDecodeErr(w, err)
+		return
+	}
+	if len(req.Sets) == 0 {
+		writeError(w, http.StatusBadRequest, "sets must be non-empty")
+		return
+	}
+	if max := s.opts.MaxBatchSize; max > 0 && len(req.Sets) > max {
+		writeError(w, http.StatusRequestEntityTooLarge, "batch is limited to %d sets, got %d", max, len(req.Sets))
+		return
+	}
+	if req.K < 0 {
+		writeError(w, http.StatusBadRequest, "k must be >= 0")
+		return
+	}
+
+	key := s.cacheKey("search-batch", req.K, req.Sets...)
+	if s.serveCached(w, key) {
+		return
+	}
+
+	ctx, cancel := s.queryCtx(r)
+	defer cancel()
+	if !s.acquire(ctx, w) {
+		return
+	}
+	defer s.release()
+
+	// Split valid queries from per-item rejects; only the former reach
+	// the engine.
+	queries := make([]silkmoth.Set, 0, len(req.Sets))
+	validAt := make([]int, 0, len(req.Sets))
+	results := make([]BatchItemJSON, len(req.Sets))
+	for i, set := range req.Sets {
+		if len(set.Elements) == 0 {
+			// Empty (not null) matches, so the wire shape is uniform
+			// across rejected and matchless items.
+			results[i] = BatchItemJSON{Matches: []MatchJSON{}, Error: "elements must be non-empty"}
+			continue
+		}
+		queries = append(queries, set.toSet())
+		validAt = append(validAt, i)
+	}
+	if len(queries) > 0 {
+		per, err := s.eng.SearchBatchContext(ctx, queries)
+		if err != nil {
+			s.writeCtxErr(w, err)
+			return
+		}
+		for qi, ms := range per {
+			if req.K >= 1 && len(ms) > req.K {
+				ms = ms[:req.K] // matches are sorted, so the prefix is the top k
+			}
+			results[validAt[qi]].Matches = matchesJSON(ms)
+		}
+	}
+	s.finish(w, key, batchSearchResponse{Results: results})
+}
+
 type discoverRequest struct {
 	Sets []SetJSON `json:"sets"`
 }
@@ -399,7 +504,7 @@ type discoverResponse struct {
 func (s *Server) handleDiscoverAgainst(w http.ResponseWriter, r *http.Request) {
 	var req discoverRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeDecodeErr(w, err)
 		return
 	}
 	if len(req.Sets) == 0 {
@@ -443,7 +548,7 @@ type compareResponse struct {
 func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 	var req compareRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeDecodeErr(w, err)
 		return
 	}
 	if len(req.R.Elements) == 0 || len(req.S.Elements) == 0 {
@@ -492,7 +597,7 @@ type addSetsResponse struct {
 func (s *Server) handleAddSets(w http.ResponseWriter, r *http.Request) {
 	var req addSetsRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeDecodeErr(w, err)
 		return
 	}
 	if len(req.Sets) == 0 {
@@ -520,6 +625,7 @@ func (s *Server) handleAddSets(w http.ResponseWriter, r *http.Request) {
 
 type statsResponse struct {
 	Sets          int     `json:"sets"`
+	Shards        int     `json:"shards"`
 	Metric        string  `json:"metric"`
 	Similarity    string  `json:"similarity"`
 	Delta         float64 `json:"delta"`
@@ -543,6 +649,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
 	var resp statsResponse
 	resp.Sets = s.eng.Len()
+	resp.Shards = s.eng.Shards()
 	resp.Metric = s.cfg.Metric.String()
 	resp.Similarity = s.cfg.Similarity.String()
 	resp.Delta = s.cfg.Delta
@@ -575,6 +682,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(out, "# HELP silkmothd_collection_sets Sets currently indexed.\n")
 		fmt.Fprintf(out, "# TYPE silkmothd_collection_sets gauge\n")
 		fmt.Fprintf(out, "silkmothd_collection_sets %d\n", s.eng.Len())
+		fmt.Fprintf(out, "# HELP silkmothd_engine_shards Shards the collection is partitioned into.\n")
+		fmt.Fprintf(out, "# TYPE silkmothd_engine_shards gauge\n")
+		fmt.Fprintf(out, "silkmothd_engine_shards %d\n", s.eng.Shards())
 		fmt.Fprintf(out, "# HELP silkmothd_engine_search_passes_total Search passes run by the engine.\n")
 		fmt.Fprintf(out, "# TYPE silkmothd_engine_search_passes_total counter\n")
 		fmt.Fprintf(out, "silkmothd_engine_search_passes_total %d\n", st.SearchPasses)

@@ -429,3 +429,167 @@ func TestConcurrentQueries(t *testing.T) {
 		t.Fatal(e)
 	}
 }
+
+// newShardedTestServer builds a server over a sharded engine.
+func newShardedTestServer(t *testing.T, shards int, opts Options) (*Server, *silkmoth.Engine) {
+	t.Helper()
+	cfg := testConfig()
+	cfg.Shards = shards
+	eng, err := silkmoth.NewEngine(testSets(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(eng, cfg, opts), eng
+}
+
+func TestSearchBatch(t *testing.T) {
+	for _, shards := range []int{1, 2} {
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			s, eng := newShardedTestServer(t, shards, Options{})
+			body := `{"sets": [
+				{"name": "q1", "elements": ["77 Mass Ave Boston MA", "5th St Seattle WA", "State St Chicago IL"]},
+				{"name": "q2", "elements": ["purple submarine", "orange cat"]}
+			]}`
+			w := postJSON(t, s, "/v1/search/batch", body)
+			if w.Code != http.StatusOK {
+				t.Fatalf("code = %d, body %s", w.Code, w.Body)
+			}
+			resp := decode[batchSearchResponse](t, w)
+			if len(resp.Results) != 2 {
+				t.Fatalf("got %d results, want 2", len(resp.Results))
+			}
+			// Each item must equal the single-query endpoint's answer.
+			want1, err := eng.Search(silkmoth.Set{Elements: []string{
+				"77 Mass Ave Boston MA", "5th St Seattle WA", "State St Chicago IL",
+			}})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(resp.Results[0].Matches) != len(want1) {
+				t.Fatalf("item 0: %d matches, engine says %d", len(resp.Results[0].Matches), len(want1))
+			}
+			for i, m := range resp.Results[0].Matches {
+				if m.Index != want1[i].Index || m.Relatedness != want1[i].Relatedness {
+					t.Fatalf("item 0 match %d: got %+v want %+v", i, m, want1[i])
+				}
+			}
+			if len(resp.Results[0].Matches) == 0 || resp.Results[0].Matches[0].Name != "locations" {
+				t.Fatalf("q1 best match should be locations, got %+v", resp.Results[0].Matches)
+			}
+			if len(resp.Results[1].Matches) != 0 || resp.Results[1].Error != "" {
+				t.Fatalf("q2 should match nothing without error, got %+v", resp.Results[1])
+			}
+		})
+	}
+}
+
+func TestSearchBatchTopK(t *testing.T) {
+	s, _ := newTestServer(t, Options{})
+	body := `{"sets": [{"elements": ["77 Mass Ave Boston MA", "5th St Seattle WA", "State St Chicago IL"]}], "k": 1}`
+	w := postJSON(t, s, "/v1/search/batch", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("code = %d, body %s", w.Code, w.Body)
+	}
+	resp := decode[batchSearchResponse](t, w)
+	if len(resp.Results) != 1 || len(resp.Results[0].Matches) != 1 {
+		t.Fatalf("k=1 should truncate to one match per item, got %+v", resp.Results)
+	}
+	if resp.Results[0].Matches[0].Name != "locations" {
+		t.Fatalf("top-1 = %q, want locations", resp.Results[0].Matches[0].Name)
+	}
+}
+
+func TestSearchBatchPerItemErrors(t *testing.T) {
+	s, _ := newTestServer(t, Options{})
+	body := `{"sets": [
+		{"elements": ["77 Mass Ave Boston MA", "5th St Seattle WA", "State St Chicago IL"]},
+		{"name": "empty", "elements": []},
+		{"elements": ["purple submarine"]}
+	]}`
+	w := postJSON(t, s, "/v1/search/batch", body)
+	if w.Code != http.StatusOK {
+		t.Fatalf("an invalid item must not fail the batch: code = %d, body %s", w.Code, w.Body)
+	}
+	resp := decode[batchSearchResponse](t, w)
+	if len(resp.Results) != 3 {
+		t.Fatalf("got %d results, want 3", len(resp.Results))
+	}
+	if len(resp.Results[0].Matches) == 0 || resp.Results[0].Error != "" {
+		t.Fatalf("item 0 should succeed, got %+v", resp.Results[0])
+	}
+	if resp.Results[1].Error == "" || len(resp.Results[1].Matches) != 0 {
+		t.Fatalf("item 1 should carry a per-item error, got %+v", resp.Results[1])
+	}
+	if resp.Results[2].Error != "" {
+		t.Fatalf("item 2 should succeed, got %+v", resp.Results[2])
+	}
+}
+
+func TestSearchBatchRejects(t *testing.T) {
+	s, _ := newTestServer(t, Options{MaxBatchSize: 2})
+	cases := []struct {
+		name, body string
+		code       int
+	}{
+		{"empty batch", `{"sets": []}`, http.StatusBadRequest},
+		{"bad json", `{"sets": [`, http.StatusBadRequest},
+		{"negative k", `{"sets": [{"elements": ["x"]}], "k": -1}`, http.StatusBadRequest},
+		{"oversized", `{"sets": [{"elements": ["a"]}, {"elements": ["b"]}, {"elements": ["c"]}]}`,
+			http.StatusRequestEntityTooLarge},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			w := postJSON(t, s, "/v1/search/batch", tc.body)
+			if w.Code != tc.code {
+				t.Fatalf("code = %d, want %d (body %s)", w.Code, tc.code, w.Body)
+			}
+			if resp := decode[errorResponse](t, w); resp.Error == "" {
+				t.Fatal("error body missing")
+			}
+		})
+	}
+}
+
+func TestOversizedBodyIs413(t *testing.T) {
+	s, _ := newTestServer(t, Options{MaxBodyBytes: 64})
+	body := `{"set": {"elements": ["` + strings.Repeat("x", 200) + `"]}}`
+	w := postJSON(t, s, "/v1/search", body)
+	if w.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("code = %d, want 413 (body %s)", w.Code, w.Body)
+	}
+	if resp := decode[errorResponse](t, w); resp.Error == "" {
+		t.Fatal("error body missing")
+	}
+}
+
+func TestSearchBatchCached(t *testing.T) {
+	s, _ := newTestServer(t, Options{})
+	body := `{"sets": [{"elements": ["77 Mass Ave Boston MA"]}]}`
+	w := postJSON(t, s, "/v1/search/batch", body)
+	if w.Code != http.StatusOK || w.Header().Get("X-Silkmoth-Cache") != "miss" {
+		t.Fatalf("first call: code %d cache %q", w.Code, w.Header().Get("X-Silkmoth-Cache"))
+	}
+	w = postJSON(t, s, "/v1/search/batch", body)
+	if w.Code != http.StatusOK || w.Header().Get("X-Silkmoth-Cache") != "hit" {
+		t.Fatalf("second call: code %d cache %q", w.Code, w.Header().Get("X-Silkmoth-Cache"))
+	}
+}
+
+func TestStatsAndMetricsShards(t *testing.T) {
+	s, _ := newShardedTestServer(t, 2, Options{})
+	w := get(t, s, "/v1/stats")
+	if w.Code != http.StatusOK {
+		t.Fatalf("stats code = %d", w.Code)
+	}
+	st := decode[statsResponse](t, w)
+	if st.Shards != 2 || st.Sets != 3 {
+		t.Fatalf("stats shards=%d sets=%d, want 2 and 3", st.Shards, st.Sets)
+	}
+	w = get(t, s, "/metrics")
+	if w.Code != http.StatusOK {
+		t.Fatalf("metrics code = %d", w.Code)
+	}
+	if !strings.Contains(w.Body.String(), "silkmothd_engine_shards 2") {
+		t.Fatalf("metrics missing shard gauge:\n%s", w.Body.String())
+	}
+}

@@ -1,0 +1,67 @@
+package shard
+
+import (
+	"context"
+
+	"silkmoth/internal/core"
+	"silkmoth/internal/dataset"
+)
+
+// SearchBatchContext answers one search per reference set. Queries fan
+// out across Concurrency workers; each worker owns one reusable
+// core.Searcher per shard (verification runs serially within a pass, as
+// in Discover), so batch parallelism stays bounded at Concurrency instead
+// of compounding with per-pass verification fan-out, and the per-shard
+// collector scratch amortizes across the whole batch. Results are
+// positionally aligned with refs, each sorted by descending relatedness
+// (ties by global index), identical to running SearchContext per ref. The
+// first error aborts the whole batch.
+func (e *Engine) SearchBatchContext(ctx context.Context, refs []*dataset.Set) ([][]core.Match, error) {
+	if len(refs) == 0 {
+		return nil, nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	workers := Workers(e.opts.Concurrency, len(refs))
+	searchers := make([][]*core.Searcher, workers)
+	for w := range searchers {
+		searchers[w] = make([]*core.Searcher, e.nshards)
+		for s := range searchers[w] {
+			searchers[w][s] = e.engines[s].NewSearcher()
+		}
+	}
+	defer func() {
+		for _, ss := range searchers {
+			for _, sr := range ss {
+				sr.Close()
+			}
+		}
+	}()
+
+	out := make([][]core.Match, len(refs))
+	err := FanOut(ctx, len(refs), workers, func(ctx context.Context, w, qi int) error {
+		var ms []core.Match
+		for s := 0; s < e.nshards; s++ {
+			sm, err := searchers[w][s].Search(ctx, refs[qi], -1)
+			if err != nil {
+				return err
+			}
+			g := e.l2g[s]
+			for i := range sm {
+				sm[i].Set = g[sm[i].Set]
+			}
+			ms = append(ms, sm...)
+		}
+		sortMatches(ms)
+		out[qi] = ms
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,209 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"silkmoth/internal/core"
+	"silkmoth/internal/datagen"
+	"silkmoth/internal/dataset"
+	"silkmoth/internal/tokens"
+)
+
+// The differential harness: one seeded workload pushed through the serial
+// core engine and the sharded engine at several shard counts, asserting
+// the outputs are identical — same match sets, same scores bit for bit,
+// same canonical order — for every metric × similarity combination, both
+// when the sharded engine is built fresh over the full collection and when
+// part of it arrives through Add after construction. This is the safety
+// net the motivation calls for: optimized similarity-search paths must
+// never silently diverge from the reference implementation.
+
+// diffShardCounts are the shard counts every differential case runs at:
+// the degenerate single shard, an even split, and a prime count that
+// leaves shards unevenly loaded.
+var diffShardCounts = []int{1, 2, 7}
+
+// corpusRaws returns the seeded generator workload appropriate for the
+// similarity's token mode: WebTable-style schemas for the word
+// similarities, DBLP-style titles (short word elements, cheap edit
+// distances) for the edit similarities.
+func corpusRaws(sim core.SimKind, seed int64) []dataset.RawSet {
+	if sim.TokenMode() == dataset.ModeWord {
+		return datagen.WebTableSchemas(datagen.SchemaConfig{NumTables: 90, Seed: seed})
+	}
+	return datagen.DBLP(datagen.DBLPConfig{NumTitles: 24, Seed: seed, MeanWords: 5})
+}
+
+// buildColl tokenizes raws the way a core engine with these options would.
+func buildColl(raws []dataset.RawSet, sim core.SimKind, delta, alpha float64) *dataset.Collection {
+	dict := tokens.NewDictionary()
+	if sim.TokenMode() == dataset.ModeWord {
+		return dataset.BuildWord(dict, raws)
+	}
+	return dataset.BuildQGram(dict, raws, core.DefaultQ(delta, alpha))
+}
+
+// runDifferential is the reusable harness body for one metric × similarity
+// case. The serial engine's discovery, per-reference search, and top-k
+// prefixes are the reference; every (shard count, build mode) variant must
+// reproduce them exactly.
+func runDifferential(t *testing.T, metric core.Metric, sim core.SimKind, delta, alpha float64) {
+	t.Helper()
+	ctx := context.Background()
+	raws := corpusRaws(sim, 42)
+	opts := core.DefaultOptions(metric, sim, delta, alpha)
+	opts.Concurrency = 3
+
+	coll := buildColl(raws, sim, delta, alpha)
+	serial, err := core.NewEngine(coll, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantPairs := serial.Discover(coll)
+	sortPairs(wantPairs)
+	if len(wantPairs) == 0 {
+		t.Fatal("workload produced no related pairs; tune the corpus or thresholds")
+	}
+	wantMatches := make([][]core.Match, len(coll.Sets))
+	for ri := range coll.Sets {
+		ms := serial.Search(&coll.Sets[ri])
+		sortMatches(ms)
+		wantMatches[ri] = ms
+	}
+
+	cut := len(raws) * 2 / 3
+	for _, n := range diffShardCounts {
+		for _, mode := range []string{"fresh", "post-add"} {
+			name := fmt.Sprintf("N=%d/%s", n, mode)
+			var e *Engine
+			if mode == "fresh" {
+				e, err = New(coll, n, opts)
+			} else {
+				// Build over a prefix (its own dictionary, so token ids
+				// differ from the serial engine's — scores must not care),
+				// then grow to the full corpus through Add.
+				e, err = New(buildColl(raws[:cut], sim, delta, alpha), n, opts)
+				if err == nil {
+					e.Add(raws[cut:])
+				}
+			}
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if e.Len() != len(coll.Sets) {
+				t.Fatalf("%s: %d sets, want %d", name, e.Len(), len(coll.Sets))
+			}
+
+			gotPairs, err := e.DiscoverContext(ctx, e.Collection())
+			if err != nil {
+				t.Fatalf("%s: discover: %v", name, err)
+			}
+			if len(gotPairs) != len(wantPairs) {
+				t.Fatalf("%s: %d pairs, serial found %d", name, len(gotPairs), len(wantPairs))
+			}
+			for i := range wantPairs {
+				if gotPairs[i] != wantPairs[i] { // exact: indices AND float scores
+					t.Fatalf("%s: pair %d = %+v, serial %+v", name, i, gotPairs[i], wantPairs[i])
+				}
+			}
+
+			refs := e.Collection()
+			for ri := range refs.Sets {
+				got, err := e.SearchContext(ctx, &refs.Sets[ri])
+				if err != nil {
+					t.Fatalf("%s: search %d: %v", name, ri, err)
+				}
+				want := wantMatches[ri]
+				if len(got) != len(want) {
+					t.Fatalf("%s: ref %d: %d matches, serial found %d", name, ri, len(got), len(want))
+				}
+				for i := range want {
+					if got[i] != want[i] {
+						t.Fatalf("%s: ref %d match %d = %+v, serial %+v", name, ri, i, got[i], want[i])
+					}
+				}
+				for _, k := range []int{1, 3} {
+					gotK, err := e.SearchTopKContext(ctx, &refs.Sets[ri], k)
+					if err != nil {
+						t.Fatalf("%s: topk %d: %v", name, ri, err)
+					}
+					wantK := want
+					if len(wantK) > k {
+						wantK = wantK[:k]
+					}
+					if len(gotK) != len(wantK) {
+						t.Fatalf("%s: ref %d top-%d: %d matches, want %d", name, ri, k, len(gotK), len(wantK))
+					}
+					for i := range wantK {
+						if gotK[i] != wantK[i] {
+							t.Fatalf("%s: ref %d top-%d item %d = %+v, want %+v", name, ri, k, i, gotK[i], wantK[i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialSerialVsSharded sweeps the full metric × similarity
+// grid through the harness.
+func TestDifferentialSerialVsSharded(t *testing.T) {
+	for _, metric := range []core.Metric{core.SetSimilarity, core.SetContainment} {
+		for _, sim := range []core.SimKind{core.Jaccard, core.Eds, core.NEds, core.Dice, core.Cosine} {
+			metric, sim := metric, sim
+			delta := 0.6
+			if sim.TokenMode() == dataset.ModeQGram {
+				delta = 0.7 // edit similarities: q = DefaultQ(0.7, 0) = 2
+			}
+			t.Run(fmt.Sprintf("%s/%s", metric, sim), func(t *testing.T) {
+				t.Parallel()
+				runDifferential(t, metric, sim, delta, 0)
+			})
+		}
+	}
+}
+
+// TestDifferentialBatchMatchesSearch pins SearchBatch to per-query
+// SearchContext on both a serial-equivalent single shard and a multi-shard
+// engine: batching is a scheduling optimization, never a result change.
+func TestDifferentialBatchMatchesSearch(t *testing.T) {
+	ctx := context.Background()
+	raws := corpusRaws(core.Jaccard, 7)
+	opts := core.DefaultOptions(core.SetSimilarity, core.Jaccard, 0.6, 0)
+	opts.Concurrency = 4
+	coll := buildColl(raws, core.Jaccard, 0.6, 0)
+
+	for _, n := range diffShardCounts {
+		e, err := New(coll, n, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs := make([]*dataset.Set, len(coll.Sets))
+		for i := range coll.Sets {
+			refs[i] = &coll.Sets[i]
+		}
+		got, err := e.SearchBatchContext(ctx, refs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(refs) {
+			t.Fatalf("N=%d: %d results for %d refs", n, len(got), len(refs))
+		}
+		for ri, r := range refs {
+			want, err := e.SearchContext(ctx, r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got[ri]) != len(want) {
+				t.Fatalf("N=%d ref %d: batch %d matches, search %d", n, ri, len(got[ri]), len(want))
+			}
+			for i := range want {
+				if got[ri][i] != want[i] {
+					t.Fatalf("N=%d ref %d match %d: batch %+v, search %+v", n, ri, i, got[ri][i], want[i])
+				}
+			}
+		}
+	}
+}

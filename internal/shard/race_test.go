@@ -1,0 +1,118 @@
+package shard
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"silkmoth/internal/datagen"
+	"silkmoth/internal/dataset"
+)
+
+// TestConcurrentAddSearchBatchDiscover is the -race stress test for the
+// sharded engine, mirroring the core package's concurrent coverage:
+// writers grow the collection through Add while readers run SearchBatch,
+// Discover, and top-k searches against it. Results are not asserted
+// against a fixed expectation — the collection is a moving target — but
+// every returned index must be in range and every call must complete
+// without data races.
+func TestConcurrentAddSearchBatchDiscover(t *testing.T) {
+	ctx := context.Background()
+	raws := datagen.WebTableSchemas(datagen.SchemaConfig{NumTables: 100, Seed: 3})
+	base, extra := raws[:60], raws[60:]
+	coll := wordColl(base)
+	e, err := New(coll, 4, jaccardOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dict := e.Collection().Dict
+
+	queries := datagen.WebTableSchemas(datagen.SchemaConfig{NumTables: 8, Seed: 5})
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 16)
+
+	// Writer: feed the held-out sets in as four uneven batches.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for len(extra) > 0 {
+			n := 11
+			if n > len(extra) {
+				n = len(extra)
+			}
+			e.Add(extra[:n])
+			extra = extra[n:]
+		}
+	}()
+
+	// Batch searchers: tokenize against the shared dictionary (interning
+	// races with Add's interning by design) and fan batches out.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 4; iter++ {
+				qc := dataset.BuildWord(dict, queries)
+				refs := make([]*dataset.Set, len(qc.Sets))
+				for i := range qc.Sets {
+					refs[i] = &qc.Sets[i]
+				}
+				res, err := e.SearchBatchContext(ctx, refs)
+				if err != nil {
+					errc <- err
+					return
+				}
+				n := e.Len() // may have grown since the search; bound check only
+				for _, ms := range res {
+					for _, m := range ms {
+						if m.Set < 0 || m.Set >= n {
+							t.Errorf("batch match index %d out of range (%d sets)", m.Set, n)
+							return
+						}
+					}
+				}
+			}
+		}()
+	}
+
+	// Top-k searcher.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for iter := 0; iter < 6; iter++ {
+			qc := dataset.BuildWord(dict, queries[:2])
+			if _, err := e.SearchTopKContext(ctx, &qc.Sets[0], 3); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+
+	// Discoverer: full self-joins interleaved with the adds.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for iter := 0; iter < 3; iter++ {
+			if _, err := e.DiscoverContext(ctx, e.Collection()); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	// After the dust settles the engine must hold everything and answer a
+	// final consistent discovery.
+	if e.Len() != len(raws) {
+		t.Fatalf("Len = %d, want %d", e.Len(), len(raws))
+	}
+	if _, err := e.DiscoverContext(ctx, e.Collection()); err != nil {
+		t.Fatal(err)
+	}
+}

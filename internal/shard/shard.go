@@ -1,0 +1,318 @@
+// Package shard implements a sharded scatter-gather engine over the core
+// related-set pipeline. The collection is hash-partitioned into N
+// independent core.Engine shards — each with its own inverted index, built
+// in parallel — and every query fans out across the shards and merges
+// their answers back under global set indices.
+//
+// The partitioning is an optimization, never a semantics change: because
+// every shard runs the same exact pipeline over a disjoint slice of the
+// collection, the union of per-shard answers is provably the serial
+// engine's answer set, and scores are bit-identical (each pair's matching
+// score depends only on the two sets, never on which index holds them).
+// The package's differential tests pin this equivalence against the serial
+// engine for every metric and similarity function.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"silkmoth/internal/core"
+	"silkmoth/internal/dataset"
+)
+
+// Engine is a sharded related-set engine: N independent core engines over
+// a hash-partitioned collection, queried by scatter-gather. It is safe for
+// concurrent use, including Add interleaved with queries (mutations take
+// the write side of an internal lock, queries the read side).
+type Engine struct {
+	// mu serializes Add against queries. Queries only ever take the read
+	// side, so they proceed in parallel.
+	mu      sync.RWMutex
+	opts    core.Options
+	nshards int
+	// global is the full collection under global set indices — the same
+	// ordering the serial engine would use, which is what makes sharded
+	// results directly comparable.
+	global  *dataset.Collection
+	engines []*core.Engine
+	colls   []*dataset.Collection
+	// l2g maps each shard's local indices back to global ones (the
+	// global-to-local direction is recomputed from ShardOf when needed).
+	// Sets are assigned in increasing global order, so every l2g[s] is
+	// sorted ascending — the self-join dedup below depends on that.
+	l2g [][]int
+}
+
+// ShardOf returns the shard owning global set index g among n shards. The
+// assignment hashes the index through a 64-bit finalizer, so shard loads
+// stay balanced regardless of insertion patterns, and is a pure function
+// of (g, n): rebuilding a collection reproduces the same partitioning,
+// which the incremental == batch invariant relies on.
+func ShardOf(g, n int) int {
+	x := uint64(g)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return int(x % uint64(n))
+}
+
+// New hash-partitions coll into shards independent core engines and builds
+// their inverted indexes in parallel. The shard collections share coll's
+// dictionary, tokenization mode, and element storage: only the Set headers
+// are copied, so sharding costs O(sets) extra memory, not O(tokens).
+func New(coll *dataset.Collection, shards int, opts core.Options) (*Engine, error) {
+	if shards < 1 {
+		return nil, errors.New("shard: shard count must be >= 1")
+	}
+	e := &Engine{
+		nshards: shards,
+		global:  coll,
+		colls:   make([]*dataset.Collection, shards),
+		engines: make([]*core.Engine, shards),
+		l2g:     make([][]int, shards),
+	}
+	for s := range e.colls {
+		e.colls[s] = &dataset.Collection{Dict: coll.Dict, Mode: coll.Mode, Q: coll.Q}
+	}
+	for g := range coll.Sets {
+		s := ShardOf(g, shards)
+		c := e.colls[s]
+		c.Sets = append(c.Sets, coll.Sets[g])
+		e.l2g[s] = append(e.l2g[s], g)
+	}
+	errs := make([]error, shards)
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			e.engines[s], errs[s] = core.NewEngine(e.colls[s], opts)
+		}(s)
+	}
+	wg.Wait()
+	for s, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", s, err)
+		}
+	}
+	e.opts = e.engines[0].Options()
+	return e, nil
+}
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return e.nshards }
+
+// Options returns the effective (normalized) engine options.
+func (e *Engine) Options() core.Options { return e.opts }
+
+// Collection returns the global collection under global set indices. The
+// pointer is stable across Add, but its Sets slice must not be read
+// concurrently with Add; query methods take the engine's lock for you.
+func (e *Engine) Collection() *dataset.Collection { return e.global }
+
+// Len returns the number of sets across all shards.
+func (e *Engine) Len() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return len(e.global.Sets)
+}
+
+// Stats returns the pruning funnel summed across all shard engines.
+func (e *Engine) Stats() core.StatsSnapshot {
+	var sum core.StatsSnapshot
+	for _, eng := range e.engines {
+		st := eng.Stats()
+		sum.SearchPasses += st.SearchPasses
+		sum.FullScans += st.FullScans
+		sum.Candidates += st.Candidates
+		sum.AfterCheck += st.AfterCheck
+		sum.AfterNN += st.AfterNN
+		sum.Verified += st.Verified
+	}
+	return sum
+}
+
+// Add tokenizes raws with the global collection's dictionary, appends them
+// under the next global indices, and routes each new set to its owning
+// shard, extending that shard's inverted index. Safe to call concurrently
+// with queries: Add takes the write lock, so in-flight queries finish
+// first and later ones see the grown collection.
+func (e *Engine) Add(raws []dataset.RawSet) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	from := dataset.Append(e.global, raws)
+	// froms[s] is the local index the shard's index extension starts at,
+	// or -1 for shards this batch never touches.
+	froms := make([]int, e.nshards)
+	for s := range froms {
+		froms[s] = -1
+	}
+	for g := from; g < len(e.global.Sets); g++ {
+		s := ShardOf(g, e.nshards)
+		c := e.colls[s]
+		if froms[s] < 0 {
+			froms[s] = len(c.Sets)
+		}
+		c.Sets = append(c.Sets, e.global.Sets[g])
+		e.l2g[s] = append(e.l2g[s], g)
+	}
+	for s, f := range froms {
+		if f >= 0 {
+			e.engines[s].AppendSets(f)
+		}
+	}
+}
+
+// sortMatches orders matches canonically: descending relatedness, ties by
+// ascending (global) set index. This is the order the public API promises
+// and the order per-shard streams feed the top-k merge in.
+func sortMatches(ms []core.Match) {
+	sort.Slice(ms, func(i, j int) bool {
+		if ms[i].Relatedness != ms[j].Relatedness {
+			return ms[i].Relatedness > ms[j].Relatedness
+		}
+		return ms[i].Set < ms[j].Set
+	})
+}
+
+// sortPairs orders pairs by (R, S).
+func sortPairs(ps []core.Pair) {
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].R != ps[j].R {
+			return ps[i].R < ps[j].R
+		}
+		return ps[i].S < ps[j].S
+	})
+}
+
+// scatter fans one reference set across every shard concurrently and
+// gathers per-shard match lists rewritten to global indices; k ≥ 0
+// additionally sorts each shard's list canonically and truncates it to
+// the local top k (k < 0 keeps the shard's native pass order — callers
+// sort the union once). Each shard's pass verifies serially (a
+// core.Searcher), so one query costs at most Shards goroutines — the
+// shard fan-out IS the query's parallelism, never compounded with the
+// per-pass verification pool. The first shard error cancels the remaining
+// shards' passes. Callers must hold the engine's read lock.
+func (e *Engine) scatter(ctx context.Context, r *dataset.Set, k int) ([][]core.Match, error) {
+	per := make([][]core.Match, e.nshards)
+	err := FanOut(ctx, e.nshards, e.nshards, func(ctx context.Context, _, s int) error {
+		sr := e.engines[s].NewSearcher()
+		defer sr.Close()
+		ms, err := sr.Search(ctx, r, -1)
+		if err != nil {
+			return err
+		}
+		g := e.l2g[s]
+		for i := range ms {
+			ms[i].Set = g[ms[i].Set]
+		}
+		if k >= 0 {
+			ms = localTopK(ms, k)
+		}
+		per[s] = ms
+		return nil
+	})
+	return per, err
+}
+
+// SearchContext answers RELATED SET SEARCH for r by scatter-gather:
+// every shard runs its pass concurrently and the union — equal to the
+// serial engine's answer — is returned sorted by descending relatedness,
+// ties by global index. r must be tokenized against the global
+// collection's dictionary.
+func (e *Engine) SearchContext(ctx context.Context, r *dataset.Set) ([]core.Match, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	per, err := e.scatter(ctx, r, -1)
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	for _, ms := range per {
+		n += len(ms)
+	}
+	out := make([]core.Match, 0, n)
+	for _, ms := range per {
+		out = append(out, ms...)
+	}
+	sortMatches(out)
+	return out, nil
+}
+
+// DiscoverContext answers RELATED SET DISCOVERY for refs against the
+// sharded collection. When refs is the engine's own global collection the
+// self-join is deduplicated exactly like the serial engine's: no
+// self-pairs, and under SET-SIMILARITY each unordered pair reported once.
+// Pairs are returned sorted by (R, S); scores are bit-identical to the
+// serial engine's.
+func (e *Engine) DiscoverContext(ctx context.Context, refs *dataset.Collection) ([]core.Pair, error) {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	selfJoin := refs == e.global
+	n := len(refs.Sets)
+	workers := Workers(e.opts.Concurrency, n)
+
+	// Per-worker searchers (reusable pass scratch per shard) and pair
+	// accumulators, merged after the fan-out.
+	searchers := make([][]*core.Searcher, workers)
+	for w := range searchers {
+		searchers[w] = make([]*core.Searcher, e.nshards)
+		for s := range searchers[w] {
+			searchers[w][s] = e.engines[s].NewSearcher()
+		}
+	}
+	defer func() {
+		for _, ss := range searchers {
+			for _, sr := range ss {
+				sr.Close()
+			}
+		}
+	}()
+	locals := make([][]core.Pair, workers)
+
+	err := FanOut(ctx, n, workers, func(ctx context.Context, w, ri int) error {
+		r := &refs.Sets[ri]
+		for s := 0; s < e.nshards; s++ {
+			skip := -1
+			if selfJoin && e.opts.Metric == core.SetSimilarity {
+				// The serial engine skips candidates with global index
+				// ≤ ri; within this shard those are exactly the locals
+				// whose global index is ≤ ri, a prefix of the sorted
+				// l2g list.
+				skip = sort.SearchInts(e.l2g[s], ri+1) - 1
+			}
+			ms, err := searchers[w][s].Search(ctx, r, skip)
+			if err != nil {
+				return err
+			}
+			g := e.l2g[s]
+			for _, m := range ms {
+				gi := g[m.Set]
+				if selfJoin && gi == ri {
+					continue // no self-pairs
+				}
+				locals[w] = append(locals[w], core.Pair{R: ri, S: gi, Relatedness: m.Relatedness, Score: m.Score})
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var pairs []core.Pair
+	for _, local := range locals {
+		pairs = append(pairs, local...)
+	}
+	sortPairs(pairs)
+	return pairs, nil
+}

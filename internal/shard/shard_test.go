@@ -1,0 +1,287 @@
+package shard
+
+import (
+	"context"
+	"testing"
+
+	"silkmoth/internal/core"
+	"silkmoth/internal/datagen"
+	"silkmoth/internal/dataset"
+	"silkmoth/internal/tokens"
+)
+
+func jaccardOpts(conc int) core.Options {
+	o := core.DefaultOptions(core.SetSimilarity, core.Jaccard, 0.6, 0)
+	o.Concurrency = conc
+	return o
+}
+
+func wordColl(raws []dataset.RawSet) *dataset.Collection {
+	return dataset.BuildWord(tokens.NewDictionary(), raws)
+}
+
+func TestShardOfDeterministicAndBalanced(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 16} {
+		counts := make([]int, n)
+		for g := 0; g < 10000; g++ {
+			s := ShardOf(g, n)
+			if s < 0 || s >= n {
+				t.Fatalf("ShardOf(%d, %d) = %d out of range", g, n, s)
+			}
+			if s != ShardOf(g, n) {
+				t.Fatalf("ShardOf(%d, %d) not deterministic", g, n)
+			}
+			counts[s]++
+		}
+		mean := 10000 / n
+		for s, c := range counts {
+			if c < mean*7/10 || c > mean*13/10 {
+				t.Errorf("n=%d shard %d holds %d of 10000 sets (mean %d); hash is unbalanced", n, s, c, mean)
+			}
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	coll := wordColl(datagen.WebTableSchemas(datagen.SchemaConfig{NumTables: 5, Seed: 1}))
+	if _, err := New(coll, 0, jaccardOpts(1)); err == nil {
+		t.Error("shard count 0 should fail")
+	}
+	bad := jaccardOpts(1)
+	bad.Delta = 2 // invalid, must surface from the parallel shard builds
+	if _, err := New(coll, 3, bad); err == nil {
+		t.Error("invalid options should fail")
+	}
+}
+
+// TestRoutingConsistency checks the routing invariants New and Add must
+// preserve: l2g is exactly the ShardOf assignment in increasing global
+// order (strictly ascending per shard — the self-join dedup depends on
+// that), and every global set sits in its shard's collection under the
+// local index l2g implies.
+func TestRoutingConsistency(t *testing.T) {
+	raws := datagen.WebTableSchemas(datagen.SchemaConfig{NumTables: 60, Seed: 2})
+	coll := wordColl(raws)
+	e, err := New(coll, 7, jaccardOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Add(datagen.WebTableSchemas(datagen.SchemaConfig{NumTables: 13, Seed: 3}))
+	nextLocal := make([]int, 7) // expected local index per shard, walking globals in order
+	for g := range e.global.Sets {
+		s := ShardOf(g, 7)
+		local := nextLocal[s]
+		nextLocal[s]++
+		if local >= len(e.l2g[s]) || e.l2g[s][local] != g {
+			t.Fatalf("l2g[%d][%d] should be %d, have %v", s, local, g, e.l2g[s])
+		}
+		if local > 0 && e.l2g[s][local-1] >= g {
+			t.Fatalf("shard %d l2g not strictly ascending at %d", s, local)
+		}
+		if e.colls[s].Sets[local].Name != e.global.Sets[g].Name {
+			t.Fatalf("shard %d local %d holds %q, global %d is %q",
+				s, local, e.colls[s].Sets[local].Name, g, e.global.Sets[g].Name)
+		}
+	}
+	total := 0
+	for s := range e.l2g {
+		if len(e.l2g[s]) != nextLocal[s] {
+			t.Fatalf("shard %d holds %d sets, expected %d", s, len(e.l2g[s]), nextLocal[s])
+		}
+		total += len(e.l2g[s])
+	}
+	if total != len(e.global.Sets) || total != e.Len() {
+		t.Fatalf("shards hold %d sets, global has %d", total, len(e.global.Sets))
+	}
+}
+
+// TestMoreShardsThanSets exercises empty shards: a 7-shard engine over 3
+// sets must still answer correctly.
+func TestMoreShardsThanSets(t *testing.T) {
+	ctx := context.Background()
+	raws := []dataset.RawSet{
+		{Name: "a", Elements: []string{"77 Mass Ave Boston", "5th St Seattle"}},
+		{Name: "b", Elements: []string{"77 Mass Ave Boston", "Elm St Seattle"}},
+		{Name: "c", Elements: []string{"red bicycle", "blue kettle"}},
+	}
+	coll := wordColl(raws)
+	e, err := New(coll, 7, jaccardOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, err := e.SearchContext(ctx, &coll.Sets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, m := range ms {
+		if m.Set == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("search from a should find b, got %+v", ms)
+	}
+	pairs, err := e.DiscoverContext(ctx, e.Collection())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 || pairs[0].R != 0 || pairs[0].S != 1 {
+		t.Fatalf("discover = %+v, want exactly (0,1)", pairs)
+	}
+}
+
+func TestEmptyCollection(t *testing.T) {
+	ctx := context.Background()
+	e, err := New(wordColl(nil), 3, jaccardOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Len() != 0 {
+		t.Fatalf("Len = %d", e.Len())
+	}
+	// Grow from empty through Add and query.
+	e.Add([]dataset.RawSet{
+		{Name: "a", Elements: []string{"x y z", "p q"}},
+		{Name: "b", Elements: []string{"x y z", "p q r"}},
+	})
+	pairs, err := e.DiscoverContext(ctx, e.Collection())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 1 {
+		t.Fatalf("pairs = %+v, want one", pairs)
+	}
+}
+
+func TestMergeTopK(t *testing.T) {
+	m := func(set int, rel float64) core.Match {
+		return core.Match{Set: set, Relatedness: rel, Score: rel}
+	}
+	per := [][]core.Match{
+		{m(4, 0.9), m(0, 0.7)},
+		{},
+		{m(2, 0.9), m(6, 0.8), m(9, 0.1)},
+	}
+	got := mergeTopK(per, 4)
+	want := []core.Match{m(2, 0.9), m(4, 0.9), m(6, 0.8), m(0, 0.7)} // tie at 0.9 breaks by index
+	if len(got) != len(want) {
+		t.Fatalf("got %d items, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("item %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if n := len(mergeTopK(per, 100)); n != 5 {
+		t.Fatalf("k beyond supply: %d items, want all 5", n)
+	}
+	if n := len(mergeTopK(nil, 3)); n != 0 {
+		t.Fatalf("no streams: %d items, want 0", n)
+	}
+}
+
+func TestLocalTopK(t *testing.T) {
+	m := func(set int, rel float64) core.Match {
+		return core.Match{Set: set, Relatedness: rel, Score: rel}
+	}
+	ms := []core.Match{m(5, 0.3), m(1, 0.9), m(7, 0.9), m(2, 0.1), m(3, 0.9), m(0, 0.5)}
+	got := localTopK(append([]core.Match(nil), ms...), 3)
+	want := []core.Match{m(1, 0.9), m(3, 0.9), m(7, 0.9)} // 0.9 ties break by index
+	if len(got) != len(want) {
+		t.Fatalf("got %d items, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("item %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	if n := len(localTopK(append([]core.Match(nil), ms...), 100)); n != len(ms) {
+		t.Fatalf("k beyond supply: %d items, want %d", n, len(ms))
+	}
+	if n := len(localTopK(nil, 3)); n != 0 {
+		t.Fatalf("empty input: %d items, want 0", n)
+	}
+}
+
+func TestSearchContextCancelled(t *testing.T) {
+	coll := wordColl(datagen.WebTableSchemas(datagen.SchemaConfig{NumTables: 30, Seed: 4}))
+	e, err := New(coll, 3, jaccardOpts(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.SearchContext(ctx, &coll.Sets[0]); err != context.Canceled {
+		t.Fatalf("search err = %v, want context.Canceled", err)
+	}
+	if _, err := e.DiscoverContext(ctx, e.Collection()); err != context.Canceled {
+		t.Fatalf("discover err = %v, want context.Canceled", err)
+	}
+	if _, err := e.SearchBatchContext(ctx, []*dataset.Set{&coll.Sets[0]}); err != context.Canceled {
+		t.Fatalf("batch err = %v, want context.Canceled", err)
+	}
+}
+
+// TestIncrementalEqualsBatch is the incremental == batch invariant run
+// deeper than the differential harness: several Add batches of uneven
+// sizes (including a single-set batch) against a fresh full build, at a
+// prime shard count.
+func TestIncrementalEqualsBatch(t *testing.T) {
+	ctx := context.Background()
+	raws := datagen.WebTableSchemas(datagen.SchemaConfig{NumTables: 120, Seed: 9})
+	opts := jaccardOpts(4)
+
+	full, err := New(wordColl(raws), 7, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc, err := New(wordColl(raws[:40]), 7, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cut := range [][2]int{{40, 70}, {70, 71}, {71, len(raws)}} {
+		inc.Add(raws[cut[0]:cut[1]])
+	}
+	if full.Len() != inc.Len() {
+		t.Fatalf("lengths differ: full %d, incremental %d", full.Len(), inc.Len())
+	}
+
+	wantPairs, err := full.DiscoverContext(ctx, full.Collection())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPairs, err := inc.DiscoverContext(ctx, inc.Collection())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wantPairs) == 0 {
+		t.Fatal("workload produced no pairs; corpus too sparse for the test")
+	}
+	if len(gotPairs) != len(wantPairs) {
+		t.Fatalf("pair counts differ: full %d, incremental %d", len(wantPairs), len(gotPairs))
+	}
+	for i := range wantPairs {
+		if gotPairs[i] != wantPairs[i] {
+			t.Fatalf("pair %d: full %+v, incremental %+v", i, wantPairs[i], gotPairs[i])
+		}
+	}
+	for ri := range raws {
+		want, err := full.SearchContext(ctx, &full.Collection().Sets[ri])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := inc.SearchContext(ctx, &inc.Collection().Sets[ri])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("ref %d: full %d matches, incremental %d", ri, len(want), len(got))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("ref %d match %d: full %+v, incremental %+v", ri, i, want[i], got[i])
+			}
+		}
+	}
+}

@@ -1,0 +1,123 @@
+package shard
+
+import (
+	"container/heap"
+	"context"
+
+	"silkmoth/internal/core"
+	"silkmoth/internal/dataset"
+)
+
+// SearchTopKContext returns the k most related sets to r across all
+// shards, ordered by descending relatedness (ties by global index). Each
+// shard contributes its local top k, and a k-way heap merge over the
+// per-shard sorted streams selects the global winners — so answering
+// costs k·N merged candidates, never a full concat-and-sort of every
+// shard's matches.
+func (e *Engine) SearchTopKContext(ctx context.Context, r *dataset.Set, k int) ([]core.Match, error) {
+	if k <= 0 {
+		return nil, nil
+	}
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	per, err := e.scatter(ctx, r, k)
+	if err != nil {
+		return nil, err
+	}
+	return mergeTopK(per, k), nil
+}
+
+// mergeTopK merges per-stream sorted match lists (descending relatedness,
+// ties by ascending set index) into the global top k, preserving that
+// order. It is exactly the k-prefix of the fully merged sort.
+func mergeTopK(per [][]core.Match, k int) []core.Match {
+	h := make(streamHeap, 0, len(per))
+	for _, ms := range per {
+		if len(ms) > 0 {
+			h = append(h, stream{ms: ms})
+		}
+	}
+	heap.Init(&h)
+	out := make([]core.Match, 0, k)
+	for len(out) < k && h.Len() > 0 {
+		s := &h[0]
+		out = append(out, s.ms[s.pos])
+		s.pos++
+		if s.pos == len(s.ms) {
+			heap.Pop(&h)
+		} else {
+			heap.Fix(&h, 0)
+		}
+	}
+	return out
+}
+
+// localTopK reduces ms to its canonical-order top k in place-ish: a
+// bounded worst-at-root heap keeps the best k seen (O(m log k), never a
+// full sort of the shard's matches), then the k survivors are sorted.
+// Because the canonical order is total (set indices are unique), the
+// result is exactly sort-then-truncate's.
+func localTopK(ms []core.Match, k int) []core.Match {
+	if len(ms) > k {
+		h := worstHeap(ms[:k:k])
+		heap.Init(&h)
+		for _, m := range ms[k:] {
+			if worse(m, h[0]) {
+				continue
+			}
+			h[0] = m
+			heap.Fix(&h, 0)
+		}
+		ms = h
+	}
+	sortMatches(ms)
+	return ms
+}
+
+// worse reports whether a ranks strictly after b in the canonical order
+// (descending relatedness, ties by ascending set index).
+func worse(a, b core.Match) bool {
+	if a.Relatedness != b.Relatedness {
+		return a.Relatedness < b.Relatedness
+	}
+	return a.Set > b.Set
+}
+
+// worstHeap keeps the canonical-order-worst match at the root.
+type worstHeap []core.Match
+
+func (h worstHeap) Len() int           { return len(h) }
+func (h worstHeap) Less(i, j int) bool { return worse(h[i], h[j]) }
+func (h worstHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *worstHeap) Push(x any)        { *h = append(*h, x.(core.Match)) }
+func (h *worstHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// stream is one shard's sorted match list with a read cursor.
+type stream struct {
+	ms  []core.Match
+	pos int
+}
+
+type streamHeap []stream
+
+func (h streamHeap) Len() int { return len(h) }
+
+func (h streamHeap) Less(i, j int) bool {
+	a, b := h[i].ms[h[i].pos], h[j].ms[h[j].pos]
+	if a.Relatedness != b.Relatedness {
+		return a.Relatedness > b.Relatedness
+	}
+	return a.Set < b.Set
+}
+
+func (h streamHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *streamHeap) Push(x any) { *h = append(*h, x.(stream)) }
+
+func (h *streamHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}

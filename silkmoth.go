@@ -49,6 +49,13 @@
 // context-aware variants (SearchContext, SearchTopKContext,
 // DiscoverContext, DiscoverAgainstContext) abort cleanly on cancellation.
 //
+// Config.Shards > 1 additionally hash-partitions the collection into
+// independently indexed shards: index builds parallelize across shards and
+// every query fans out and merges by scatter-gather, with results
+// guaranteed identical to the unsharded engine. SearchBatch answers many
+// searches in one call, amortizing tokenization and fanning the batch
+// across shards and workers.
+//
 // To serve an engine over HTTP/JSON — search, top-k, discovery, compare,
 // and incremental indexing behind a bounded worker pool with an LRU result
 // cache and Prometheus-style metrics — run the cmd/silkmothd daemon (built
@@ -173,6 +180,12 @@ type Config struct {
 	// Concurrency bounds parallel search passes in Discover; values < 1
 	// mean single-threaded.
 	Concurrency int
+	// Shards hash-partitions the collection into this many independently
+	// indexed shards whose indexes build in parallel and whose queries run
+	// by scatter-gather, with results provably identical to the unsharded
+	// engine (same matches, same scores, same order). Values < 2 mean a
+	// single unsharded engine.
+	Shards int
 }
 
 func (c Config) coreOptions() (core.Options, error) {
