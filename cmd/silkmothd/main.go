@@ -9,7 +9,9 @@
 //	POST /v1/discover-against  all related pairs vs. a batch of references
 //	POST /v1/compare           raw relatedness of two sets
 //	POST /v1/sets              incrementally index more sets
-//	GET  /v1/stats             engine pruning funnel + cache stats
+//	DELETE /v1/sets/{id}       tombstone one set out of every future query
+//	PUT  /v1/sets/{id}         atomically replace one set (new id returned)
+//	GET  /v1/stats             engine pruning funnel + lifecycle + cache stats
 //	GET  /healthz              liveness
 //	GET  /metrics              Prometheus text metrics
 //
@@ -56,6 +58,8 @@ func main() {
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout (negative disables)")
 		inflight  = flag.Int("max-inflight", 0, "max concurrently executing queries (0 = 2*GOMAXPROCS)")
 		cacheSize = flag.Int("cache-size", 1024, "result cache entries (negative disables)")
+		compactAt = flag.Float64("compact-threshold", 0,
+			"tombstone ratio triggering automatic index compaction after deletes/updates (0 = engine default, negative disables)")
 	)
 	flag.Parse()
 
@@ -63,6 +67,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	cfg.CompactionThreshold = *compactAt
 
 	eng, n, err := buildEngine(cfg, *input, *csvFile, *jsonFile, *saved)
 	if err != nil {

@@ -26,8 +26,10 @@ type Engine struct {
 	eng  *core.Engine
 	sh   *shard.Engine
 	coll *dataset.Collection
-	// mu serializes mutations (Add) against queries: mutators take the
-	// write side, queries the read side.
+	// mu serializes mutations (Add, Delete, Update, Compact) against
+	// queries: mutators take the write side, queries the read side —
+	// including query tokenization, which must not observe compaction's
+	// dictionary slot recycling mid-flight.
 	mu sync.RWMutex
 }
 
@@ -233,11 +235,16 @@ func (e *Engine) toPairs(ps []core.Pair, refs *dataset.Collection) []Pair {
 	return out
 }
 
-// Len returns the number of sets in the engine's collection.
+// Len returns the number of live sets in the engine's collection. Deleted
+// sets no longer count, though their ids stay reserved (ids are stable and
+// never reused for a different set).
 func (e *Engine) Len() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	return len(e.coll.Sets)
+	if e.sh != nil {
+		return e.sh.Len()
+	}
+	return e.eng.LiveCount()
 }
 
 // SetName returns the name of collection set i.
@@ -248,19 +255,27 @@ func (e *Engine) SetName(i int) string {
 }
 
 // Stats returns the engine's cumulative pruning funnel (summed across
-// shards on a sharded engine).
+// shards on a sharded engine) and collection lifecycle counters.
 func (e *Engine) Stats() Stats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	var st core.StatsSnapshot
+	out := Stats{}
 	if e.sh != nil {
 		st = e.sh.Stats()
+		out.Live = e.sh.Len()
+		out.Tombstones = e.sh.Tombstones()
+		out.Compactions = e.sh.Compactions()
 	} else {
 		st = e.eng.Stats()
+		out.Live = e.eng.LiveCount()
+		out.Tombstones = e.eng.Tombstones()
+		out.Compactions = e.eng.Compactions()
 	}
-	return Stats{
-		SearchPasses: st.SearchPasses,
-		Candidates:   st.Candidates,
-		AfterCheck:   st.AfterCheck,
-		AfterNN:      st.AfterNN,
-		Verified:     st.Verified,
-	}
+	out.SearchPasses = st.SearchPasses
+	out.Candidates = st.Candidates
+	out.AfterCheck = st.AfterCheck
+	out.AfterNN = st.AfterNN
+	out.Verified = st.Verified
+	return out
 }

@@ -63,9 +63,25 @@ func (e *Engine) Add(sets []Set) {
 // SaveCollection writes the engine's tokenized collection to w in a
 // self-contained binary form. Reload it with NewEngineFromSaved to skip
 // re-tokenizing large corpora.
+//
+// A mutated engine saves compacted: only live sets are written, densely
+// renumbered with a token table pruned to what they use, so the reloaded
+// engine is indistinguishable from one built fresh over the surviving
+// sets. Set ids therefore change across a save/load cycle once anything
+// was deleted (live ids keep their relative order).
 func (e *Engine) SaveCollection(w io.Writer) error {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	if e.sh != nil {
+		if e.sh.Len() != len(e.coll.Sets) {
+			live := e.sh.LiveSnapshot()
+			return dataset.SaveCollectionLive(w, e.coll, func(i int) bool { return live[i] })
+		}
+		return dataset.SaveCollection(w, e.coll)
+	}
+	if e.eng.LiveCount() != len(e.coll.Sets) {
+		return dataset.SaveCollectionLive(w, e.coll, e.eng.Alive)
+	}
 	return dataset.SaveCollection(w, e.coll)
 }
 

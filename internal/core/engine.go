@@ -57,13 +57,24 @@ type Pair struct {
 }
 
 // Engine runs related-set search passes against one indexed collection.
-// It is safe for concurrent use once built.
+// It is safe for concurrent use once built. Mutations — AppendSets,
+// Delete, Compact — must be serialized against queries by the caller
+// (the public silkmoth.Engine and the sharded engine hold a write lock
+// around them).
 type Engine struct {
 	opts Options
 	coll *dataset.Collection
 	ix   *index.Inverted
 	phi  filter.SimFunc
 	st   Stats
+	// dead is the tombstone bitmap, allocated on first Delete. A dead
+	// set keeps its collection slot (indices stay stable) but is skipped
+	// by candidate generation, the full-scan fallback, and self-join
+	// discovery; compaction later drops its postings and storage.
+	dead        []bool
+	numDead     int   // all dead sets (slots never resurrect)
+	tombstoned  int   // dead sets whose postings are still indexed
+	compactions int64 // compaction passes run
 }
 
 // NewEngine validates opts, checks that the collection's tokenization
@@ -95,6 +106,7 @@ func newEngine(coll *dataset.Collection, ix *index.Inverted, opts Options) (*Eng
 	}
 	e := &Engine{opts: o, coll: coll, ix: ix}
 	e.phi = phiFunc(o)
+	retainSets(coll, 0)
 	return e, nil
 }
 
@@ -242,6 +254,9 @@ func (e *Engine) searchPass(ctx context.Context, r *dataset.Set, selfSkip int, w
 	accept := func(set int32) bool {
 		if int(set) <= selfSkip {
 			return false
+		}
+		if !e.alive(int(set)) {
+			return false // tombstoned: postings remain until compaction
 		}
 		return e.sizeAccept(nR, len(e.coll.Sets[set].Elements))
 	}
@@ -421,6 +436,9 @@ func (e *Engine) DiscoverContext(ctx context.Context, refs *dataset.Collection) 
 				}
 				if err = ctx.Err(); err != nil {
 					break
+				}
+				if selfJoin && !e.alive(ri) {
+					continue // deleted sets are no longer references
 				}
 				selfSkip := -1
 				if selfJoin && e.opts.Metric == SetSimilarity {

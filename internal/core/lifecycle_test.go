@@ -1,0 +1,197 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"silkmoth/internal/dataset"
+	"silkmoth/internal/tokens"
+)
+
+// lifecycleColl builds a small word-token collection whose last set holds
+// tokens nothing else uses, so deleting it can demonstrably shrink the
+// dictionary after compaction.
+func lifecycleColl() *dataset.Collection {
+	dict := tokens.NewDictionary()
+	return dataset.BuildWord(dict, []dataset.RawSet{
+		{Name: "a", Elements: []string{"red green blue", "red blue"}},
+		{Name: "b", Elements: []string{"red green blue", "green blue"}},
+		{Name: "c", Elements: []string{"red green", "red blue green"}},
+		{Name: "unique", Elements: []string{"zebra quagga okapi", "zebra okapi"}},
+	})
+}
+
+func lifecycleOpts() Options {
+	return DefaultOptions(SetSimilarity, Jaccard, 0.5, 0)
+}
+
+func searchIndices(e *Engine, r *dataset.Set) []int {
+	var out []int
+	for _, m := range e.Search(r) {
+		out = append(out, m.Set)
+	}
+	return out
+}
+
+func TestDeleteTombstonesAndCompactReclaims(t *testing.T) {
+	coll := lifecycleColl()
+	e, err := NewEngine(coll, lifecycleOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ref := coll.Sets[0] // "a": related to b, c, and itself
+	before := searchIndices(e, &ref)
+	if len(before) < 2 {
+		t.Fatalf("reference should relate to several sets, got %v", before)
+	}
+
+	// Every set's tokens are retained; "zebra" is used only by set 3.
+	zebra, ok := coll.Dict.Lookup("zebra")
+	if !ok || coll.Dict.Refs(zebra) != 2 {
+		t.Fatalf("zebra should be retained twice, got %d", coll.Dict.Refs(zebra))
+	}
+
+	if err := e.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	if e.LiveCount() != 3 || e.Tombstones() != 1 {
+		t.Fatalf("after delete: live=%d tombstones=%d", e.LiveCount(), e.Tombstones())
+	}
+	if e.Alive(1) {
+		t.Fatal("deleted set still alive")
+	}
+	for _, got := range searchIndices(e, &ref) {
+		if got == 1 {
+			t.Fatal("search returned the deleted set")
+		}
+	}
+
+	// Deleting the unique-token set releases its dictionary refs…
+	if err := e.Delete(3); err != nil {
+		t.Fatal(err)
+	}
+	if coll.Dict.Refs(zebra) != 0 {
+		t.Fatalf("zebra refs after delete = %d, want 0", coll.Dict.Refs(zebra))
+	}
+	if coll.Dict.FreeSlots() != 0 {
+		t.Fatal("slots must not be freed before compaction")
+	}
+
+	// …and compaction reclaims the slots, drops dead storage, and leaves
+	// results unchanged.
+	want := searchIndices(e, &ref)
+	e.Compact()
+	if e.Compactions() != 1 || e.Tombstones() != 0 {
+		t.Fatalf("after compact: compactions=%d tombstones=%d", e.Compactions(), e.Tombstones())
+	}
+	if coll.Dict.FreeSlots() == 0 {
+		t.Fatal("compaction should reclaim the unique tokens")
+	}
+	if coll.Sets[3].Elements != nil {
+		t.Fatal("compaction should drop dead element storage")
+	}
+	got := searchIndices(e, &ref)
+	if len(got) != len(want) {
+		t.Fatalf("results changed across compaction: %v vs %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("results changed across compaction: %v vs %v", got, want)
+		}
+	}
+
+	// Compact with no tombstones is a no-op.
+	e.Compact()
+	if e.Compactions() != 1 {
+		t.Fatal("empty compaction should be skipped")
+	}
+}
+
+func TestDeleteErrors(t *testing.T) {
+	e, err := NewEngine(lifecycleColl(), lifecycleOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []int{-1, 4, 100} {
+		if err := e.Delete(bad); !errors.Is(err, ErrNotFound) {
+			t.Fatalf("Delete(%d) = %v, want ErrNotFound", bad, err)
+		}
+	}
+	if err := e.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Delete(2); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete = %v, want ErrNotFound", err)
+	}
+}
+
+func TestAutoCompactionThreshold(t *testing.T) {
+	opts := lifecycleOpts()
+	opts.CompactionThreshold = 0.5
+	e, err := NewEngine(lifecycleColl(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Delete(0); err != nil {
+		t.Fatal(err)
+	}
+	if e.Compactions() != 0 {
+		t.Fatal("1/4 dead should not compact at threshold 0.5")
+	}
+	if err := e.Delete(1); err != nil {
+		t.Fatal(err)
+	}
+	// 2 tombstones over 2 live + 2 tombstoned = 0.5 >= threshold.
+	if e.Compactions() != 1 {
+		t.Fatalf("compactions = %d, want 1 (auto-triggered)", e.Compactions())
+	}
+	if e.Tombstones() != 0 {
+		t.Fatal("tombstones should be reset by the auto compaction")
+	}
+}
+
+func TestAddAfterCompactReusesDictionarySlots(t *testing.T) {
+	coll := lifecycleColl()
+	e, err := NewEngine(coll, lifecycleOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Delete(3); err != nil { // the zebra/quagga/okapi set
+		t.Fatal(err)
+	}
+	e.Compact()
+	freed := coll.Dict.FreeSlots()
+	if freed == 0 {
+		t.Fatal("expected freed slots after compacting the unique set away")
+	}
+	sizeBefore := coll.Dict.Size()
+
+	from := dataset.Append(coll, []dataset.RawSet{
+		{Name: "new", Elements: []string{"walrus red", "walrus blue"}},
+	})
+	e.AppendSets(from)
+	if coll.Dict.Size() != sizeBefore {
+		t.Fatalf("dictionary grew from %d to %d; new token should reuse a freed slot",
+			sizeBefore, coll.Dict.Size())
+	}
+	if coll.Dict.FreeSlots() != freed-1 {
+		t.Fatalf("free slots = %d, want %d", coll.Dict.FreeSlots(), freed-1)
+	}
+
+	// The recycled id must resolve to fresh postings: searching for the new
+	// content finds the new set and never the dead one.
+	qc := dataset.BuildWord(coll.Dict, []dataset.RawSet{{Name: "q", Elements: []string{"walrus red", "walrus blue"}}})
+	found := false
+	for _, m := range e.Search(&qc.Sets[0]) {
+		if m.Set == 3 {
+			t.Fatal("search returned the deleted set via a recycled token id")
+		}
+		if m.Set == from {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("search should find the newly added set")
+	}
+}

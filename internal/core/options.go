@@ -132,6 +132,13 @@ type Options struct {
 	// Concurrency is the number of parallel search passes Discover may
 	// run; values < 1 mean one.
 	Concurrency int
+	// CompactionThreshold triggers automatic compaction after a Delete
+	// once the tombstone ratio — dead-but-still-indexed sets over all
+	// indexed sets — reaches it. Compaction rebuilds the posting lists
+	// over live sets, frees tombstoned element storage, and reclaims
+	// dictionary entries no live set references. Values <= 0 disable
+	// automatic compaction (Compact can still be called explicitly).
+	CompactionThreshold float64
 }
 
 // DefaultOptions returns the full-strength SilkMoth configuration the

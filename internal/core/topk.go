@@ -29,8 +29,13 @@ func (e *Engine) SearchTopK(r *dataset.Set, k int) []Match {
 }
 
 // AppendSets extends the engine's inverted index over sets appended to its
-// collection since index build (dataset.Append). Not safe concurrently with
+// collection since index build (dataset.Append), retaining their dictionary
+// tokens and growing the tombstone bitmap. Not safe concurrently with
 // queries: callers must serialize appends against searches.
 func (e *Engine) AppendSets(from int) {
 	e.ix.AppendSets(from)
+	retainSets(e.coll, from)
+	if e.dead != nil { // stays nil (all-alive fast path) until first Delete
+		e.growDead()
+	}
 }

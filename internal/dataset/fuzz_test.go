@@ -1,0 +1,123 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"silkmoth/internal/tokens"
+)
+
+// The loader fuzz targets: every input format silkmothd accepts at startup
+// — JSON set arrays, the plain-text set file format, and CSV columns —
+// must never panic on arbitrary bytes (malformed UTF-8, truncated
+// structures, duplicate names, empty sets), and whatever parses must
+// satisfy the loader invariants the engine builders rely on: every set is
+// named, and the parsed sets tokenize and index cleanly.
+
+// checkLoaded asserts the loader invariants on a successful parse, then
+// pushes the sets through both tokenizers — the step where a bad loader
+// output would blow up the engine build.
+func checkLoaded(t *testing.T, raws []RawSet) {
+	t.Helper()
+	for i, r := range raws {
+		if r.Name == "" {
+			t.Fatalf("set %d has no name", i)
+		}
+	}
+	if len(raws) > 32 {
+		raws = raws[:32] // keep the fuzz iteration cheap
+	}
+	wc := BuildWord(tokens.NewDictionary(), raws)
+	if len(wc.Sets) != len(raws) {
+		t.Fatalf("BuildWord produced %d sets for %d raws", len(wc.Sets), len(raws))
+	}
+	for i := range wc.Sets {
+		for j := range wc.Sets[i].Elements {
+			el := &wc.Sets[i].Elements[j]
+			for k := 1; k < len(el.Tokens); k++ {
+				if el.Tokens[k-1] >= el.Tokens[k] {
+					t.Fatalf("set %d element %d tokens not sorted-unique", i, j)
+				}
+			}
+		}
+	}
+	qc := BuildQGram(tokens.NewDictionary(), raws, 2)
+	if len(qc.Sets) != len(raws) {
+		t.Fatalf("BuildQGram produced %d sets for %d raws", len(qc.Sets), len(raws))
+	}
+}
+
+func FuzzReadJSONSets(f *testing.F) {
+	f.Add([]byte(`[{"name": "a", "elements": ["x y", "z"]}]`))
+	f.Add([]byte(`[{"elements": []}]`))
+	f.Add([]byte(`[{"name": "dup", "elements": ["x"]}, {"name": "dup", "elements": ["x"]}]`))
+	f.Add([]byte(`[{"name": "\xff\xfe", "elements": ["\xc3\x28"]}]`))
+	f.Add([]byte(`[`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte("\xff\xfe\xfd"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		raws, err := ReadJSONSets(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		checkLoaded(t, raws)
+	})
+}
+
+func FuzzReadRawSets(f *testing.F) {
+	f.Add("addr: 77 Mass Ave | 5th St\n# comment\nno name here | second\n")
+	f.Add("dup: a | b\ndup: a | b\n")
+	f.Add(": | | |\n")
+	f.Add("\xff\xfe: bad \xc3\x28 utf8 | x\n")
+	f.Add("empty:\n\n\n")
+	f.Add(strings.Repeat("|", 100) + "\n")
+	f.Fuzz(func(t *testing.T, data string) {
+		raws, err := ReadRawSets(strings.NewReader(data))
+		if err != nil {
+			return
+		}
+		checkLoaded(t, raws)
+		// The set-file format round-trips whatever it parsed: writing the
+		// parsed sets and re-reading them must preserve the element lists
+		// whenever names and elements are representable (no pipes or
+		// newlines introduced by the parse — it strips them by design).
+		var buf bytes.Buffer
+		if err := WriteRawSets(&buf, raws); err != nil {
+			t.Fatalf("writing parsed sets: %v", err)
+		}
+		if _, err := ReadRawSets(&buf); err != nil {
+			t.Fatalf("re-reading written sets: %v", err)
+		}
+	})
+}
+
+func FuzzReadCSVColumns(f *testing.F) {
+	f.Add("city,state\nBoston,MA\nSeattle,WA\n", "t")
+	f.Add("a,a,a\n1,2\n3,4,5,6\n", "")
+	f.Add(",,,\n,,,\n", "x")
+	f.Add("h\xc3\x28eader\nval\xff\n", "")
+	f.Add("", "empty")
+	f.Fuzz(func(t *testing.T, data, table string) {
+		raws, err := ReadCSVColumns(strings.NewReader(data), table)
+		if err != nil {
+			return
+		}
+		for i, r := range raws {
+			if r.Name == "" {
+				t.Fatalf("column %d has no name", i)
+			}
+			seen := make(map[string]bool, len(r.Elements))
+			for _, el := range r.Elements {
+				if el == "" {
+					t.Fatalf("column %d holds an empty value", i)
+				}
+				if seen[el] {
+					t.Fatalf("column %d holds duplicate value %q", i, el)
+				}
+				seen[el] = true
+			}
+		}
+		checkLoaded(t, raws)
+	})
+}

@@ -35,32 +35,10 @@ const persistVersion = 1
 
 // SaveCollection writes a tokenized collection to w in a self-contained
 // binary form (gob). Loading it back avoids re-tokenizing large corpora.
+// Only tokens the collection's sets actually reference are persisted, so
+// query-interned strays and reclaimed dictionary slots never reach disk.
 func SaveCollection(w io.Writer, c *Collection) error {
-	p := persisted{
-		Version: persistVersion,
-		Mode:    c.Mode,
-		Q:       c.Q,
-		Words:   make([]string, c.Dict.Size()),
-		Sets:    make([]persistedSet, len(c.Sets)),
-	}
-	for i := 0; i < c.Dict.Size(); i++ {
-		p.Words[i] = c.Dict.String(tokens.ID(i))
-	}
-	for i := range c.Sets {
-		s := &c.Sets[i]
-		ps := persistedSet{Name: s.Name, Elements: make([]persistedElement, len(s.Elements))}
-		for j := range s.Elements {
-			e := &s.Elements[j]
-			ps.Elements[j] = persistedElement{
-				Raw:    e.Raw,
-				Tokens: idsToInts(e.Tokens),
-				Chunks: idsToInts(e.Chunks),
-				Length: e.Length,
-			}
-		}
-		p.Sets[i] = ps
-	}
-	return gob.NewEncoder(w).Encode(&p)
+	return saveCollection(w, c, func(int) bool { return true })
 }
 
 // LoadCollection reads a collection written by SaveCollection. The returned
@@ -100,13 +78,81 @@ func LoadCollection(r io.Reader) (*Collection, error) {
 	return c, nil
 }
 
-func idsToInts(ids []tokens.ID) []int32 {
+// SaveCollectionLive writes only the sets for which alive(i) reports true,
+// renumbered densely, with a token table pruned to the tokens those sets
+// actually use. This is the persistence form of compaction: a mutated
+// engine saves as if it had been built fresh from its surviving sets, and
+// LoadCollection reads the result like any other saved collection.
+func SaveCollectionLive(w io.Writer, c *Collection, alive func(i int) bool) error {
+	return saveCollection(w, c, alive)
+}
+
+// saveCollection is the one encoder behind both save forms: it persists
+// the alive sets with a token table pruned to what they reference. Token
+// ids are remapped monotonically (ascending old id → ascending new id),
+// so element token slices — sorted by id — stay sorted after the remap
+// and the loaded collection satisfies every builder invariant; when every
+// dictionary token is used the remap is the identity.
+func saveCollection(w io.Writer, c *Collection, alive func(i int) bool) error {
+	used := make([]bool, c.Dict.Size())
+	nLive := 0
+	for i := range c.Sets {
+		if !alive(i) {
+			continue
+		}
+		nLive++
+		for j := range c.Sets[i].Elements {
+			e := &c.Sets[i].Elements[j]
+			for _, id := range e.Tokens {
+				used[id] = true
+			}
+			for _, id := range e.Chunks {
+				used[id] = true
+			}
+		}
+	}
+	remap := make([]int32, len(used))
+	var words []string
+	for old, u := range used {
+		if u {
+			remap[old] = int32(len(words))
+			words = append(words, c.Dict.String(tokens.ID(old)))
+		}
+	}
+	p := persisted{
+		Version: persistVersion,
+		Mode:    c.Mode,
+		Q:       c.Q,
+		Words:   words,
+		Sets:    make([]persistedSet, 0, nLive),
+	}
+	for i := range c.Sets {
+		if !alive(i) {
+			continue
+		}
+		s := &c.Sets[i]
+		ps := persistedSet{Name: s.Name, Elements: make([]persistedElement, len(s.Elements))}
+		for j := range s.Elements {
+			e := &s.Elements[j]
+			ps.Elements[j] = persistedElement{
+				Raw:    e.Raw,
+				Tokens: remapInts(e.Tokens, remap),
+				Chunks: remapInts(e.Chunks, remap),
+				Length: e.Length,
+			}
+		}
+		p.Sets = append(p.Sets, ps)
+	}
+	return gob.NewEncoder(w).Encode(&p)
+}
+
+func remapInts(ids []tokens.ID, remap []int32) []int32 {
 	if ids == nil {
 		return nil
 	}
 	out := make([]int32, len(ids))
 	for i, id := range ids {
-		out[i] = int32(id)
+		out[i] = remap[id]
 	}
 	return out
 }

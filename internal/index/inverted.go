@@ -105,6 +105,15 @@ func (ix *Inverted) AppendSets(from int) {
 	}
 }
 
+// Rebuild recomputes every posting list from the collection's current
+// contents in place, keeping the Inverted pointer stable for engines that
+// hold it. Sets whose Elements were cleared (tombstoned and compacted)
+// contribute nothing, so their stale postings disappear and the memory is
+// reclaimed. Not safe concurrently with readers.
+func (ix *Inverted) Rebuild() {
+	ix.lists = Build(ix.coll).lists
+}
+
 // NumTokens returns the number of token ids the index covers.
 func (ix *Inverted) NumTokens() int { return len(ix.lists) }
 

@@ -1,7 +1,9 @@
 // Package server exposes a silkmoth.Engine over HTTP/JSON: the related-set
 // primitives of the paper (search, top-k, discovery, pairwise compare) plus
-// incremental indexing, health, stats, and Prometheus-style metrics. It is
-// the serving layer behind cmd/silkmothd.
+// the full collection lifecycle — incremental indexing, per-set delete and
+// update with optimistic concurrency (if_generation, 409 on conflict) —
+// health, stats, and Prometheus-style metrics. It is the serving layer
+// behind cmd/silkmothd.
 //
 // Query endpoints share one bounded worker pool (a semaphore over the
 // engine) and an LRU result cache keyed on the query's full identity —
@@ -21,6 +23,7 @@ import (
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -91,10 +94,16 @@ type Server struct {
 	cache *resultCache
 	met   *metrics
 	mux   *http.ServeMux
-	// gen is bumped by every mutation (Add) and baked into cache keys,
-	// so a result computed against an older collection can never be
-	// served after the collection grows — even if it is stored late.
+	// gen is bumped by every mutation (Add, Delete, Update) and baked
+	// into cache keys, so a result computed against an older collection
+	// can never be served after the collection changes — even if it is
+	// stored late. It doubles as the optimistic-concurrency token for
+	// conditional mutations (the if_generation conflict check).
 	gen int64
+	// mutMu serializes mutations so the if_generation check-then-apply
+	// is atomic: between a conditional mutation's generation check and
+	// its generation bump, no other mutation can slip in.
+	mutMu sync.Mutex
 }
 
 // New builds a server over eng. cfg must be the configuration eng was built
@@ -116,6 +125,8 @@ func New(eng *silkmoth.Engine, cfg silkmoth.Config, opts Options) *Server {
 	mux.HandleFunc("POST /v1/discover-against", s.handleDiscoverAgainst)
 	mux.HandleFunc("POST /v1/compare", s.handleCompare)
 	mux.HandleFunc("POST /v1/sets", s.handleAddSets)
+	mux.HandleFunc("DELETE /v1/sets/{id}", s.handleDeleteSet)
+	mux.HandleFunc("PUT /v1/sets/{id}", s.handleUpdateSet)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -133,6 +144,7 @@ var knownPaths = map[string]bool{
 	"/v1/discover-against": true,
 	"/v1/compare":          true,
 	"/v1/sets":             true,
+	"/v1/sets/{id}":        true,
 	"/v1/stats":            true,
 	"/healthz":             true,
 	"/metrics":             true,
@@ -145,8 +157,11 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 	s.mux.ServeHTTP(rec, r)
 	path := r.URL.Path
+	if rest, ok := strings.CutPrefix(path, "/v1/sets/"); ok && rest != "" && !strings.Contains(rest, "/") {
+		path = "/v1/sets/{id}" // collapse ids so the label space stays bounded
+	}
 	if !knownPaths[path] {
-		path = "other"
+		path = "other" // multi-segment probes and typos stay aggregated here
 	}
 	s.met.observe(path, rec.code, time.Since(start))
 }
@@ -590,8 +605,9 @@ type addSetsRequest struct {
 }
 
 type addSetsResponse struct {
-	Added int `json:"added"`
-	Total int `json:"total"`
+	Added      int   `json:"added"`
+	Total      int   `json:"total"`
+	Generation int64 `json:"generation"`
 }
 
 func (s *Server) handleAddSets(w http.ResponseWriter, r *http.Request) {
@@ -615,16 +631,175 @@ func (s *Server) handleAddSets(w http.ResponseWriter, r *http.Request) {
 	for i, set := range req.Sets {
 		add[i] = set.toSet()
 	}
+	s.mutMu.Lock()
 	s.eng.Add(add)
-	// A grown collection can change any result: retire every cached
-	// entry (the generation bump) and free the memory (the purge).
+	s.bumpGeneration()
+	resp := addSetsResponse{
+		Added:      len(add),
+		Total:      s.eng.Len(),
+		Generation: atomic.LoadInt64(&s.gen),
+	}
+	s.mutMu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// bumpGeneration retires every cached result after a mutation: the bump
+// invalidates the keys, the purge frees the memory. Callers hold mutMu.
+func (s *Server) bumpGeneration() {
 	atomic.AddInt64(&s.gen, 1)
 	s.cache.purge()
-	writeJSON(w, http.StatusOK, addSetsResponse{Added: len(add), Total: s.eng.Len()})
+}
+
+// pathID parses the {id} segment of a /v1/sets/{id} request. On failure it
+// writes the 400 response and reports false.
+func pathID(w http.ResponseWriter, r *http.Request) (int, bool) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "set id must be an integer: %q", r.PathValue("id"))
+		return 0, false
+	}
+	return id, true
+}
+
+// ifGeneration parses the optional if_generation query parameter — the
+// optimistic-concurrency token for conditional mutations. The second
+// result reports whether a condition is present, the third whether the
+// request was well-formed (on false the response has been written).
+func ifGeneration(w http.ResponseWriter, r *http.Request) (int64, bool, bool) {
+	raw := r.URL.Query().Get("if_generation")
+	if raw == "" {
+		return 0, false, true
+	}
+	gen, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "if_generation must be an integer: %q", raw)
+		return 0, false, false
+	}
+	return gen, true, true
+}
+
+// applyMutation runs one conditional set mutation under the mutation
+// mutex: the if_generation token (when conditional) is compared against
+// the current generation (mismatch → 409), apply is invoked, ErrNotFound
+// maps to 404, and success bumps the generation and purges the cache. It
+// reports whether the mutation applied; on false the response has been
+// written. DELETE and PUT share it so their concurrency semantics cannot
+// drift apart.
+func (s *Server) applyMutation(w http.ResponseWriter, conditional bool, ifGen int64, id int, apply func() error) bool {
+	if conditional && ifGen != atomic.LoadInt64(&s.gen) {
+		writeError(w, http.StatusConflict, "generation is %d, not %d: collection changed since it was read",
+			atomic.LoadInt64(&s.gen), ifGen)
+		return false
+	}
+	if err := apply(); err != nil {
+		if errors.Is(err, silkmoth.ErrNotFound) {
+			writeError(w, http.StatusNotFound, "no set with id %d", id)
+			return false
+		}
+		writeError(w, http.StatusInternalServerError, "%v", err)
+		return false
+	}
+	s.bumpGeneration()
+	return true
+}
+
+type deleteSetResponse struct {
+	Deleted    int   `json:"deleted"`
+	Live       int   `json:"live"`
+	Generation int64 `json:"generation"`
+}
+
+// handleDeleteSet serves DELETE /v1/sets/{id}: the set is tombstoned out
+// of every future query and the result cache is invalidated. With
+// ?if_generation=G the delete only applies while the mutation generation
+// is still G; a concurrent mutation in between yields 409 and no change.
+func (s *Server) handleDeleteSet(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	ifGen, conditional, ok := ifGeneration(w, r)
+	if !ok {
+		return
+	}
+	s.mutMu.Lock()
+	defer s.mutMu.Unlock()
+	if !s.applyMutation(w, conditional, ifGen, id, func() error { return s.eng.Delete(id) }) {
+		return
+	}
+	writeJSON(w, http.StatusOK, deleteSetResponse{
+		Deleted:    id,
+		Live:       s.eng.Len(),
+		Generation: atomic.LoadInt64(&s.gen),
+	})
+}
+
+type updateSetRequest struct {
+	Set SetJSON `json:"set"`
+	// IfGeneration, when present, makes the update conditional on the
+	// mutation generation (same token /v1/stats reports); a mismatch
+	// yields 409 and no change. The if_generation query parameter is an
+	// equivalent alternative.
+	IfGeneration *int64 `json:"if_generation,omitempty"`
+}
+
+type updateSetResponse struct {
+	ID         int   `json:"id"`
+	Replaced   int   `json:"replaced"`
+	Live       int   `json:"live"`
+	Generation int64 `json:"generation"`
+}
+
+// handleUpdateSet serves PUT /v1/sets/{id}: the set is atomically replaced
+// by the request body's version, which gets a fresh id (returned); the old
+// id is tombstoned and never reused.
+func (s *Server) handleUpdateSet(w http.ResponseWriter, r *http.Request) {
+	id, ok := pathID(w, r)
+	if !ok {
+		return
+	}
+	qGen, qConditional, ok := ifGeneration(w, r)
+	if !ok {
+		return
+	}
+	var req updateSetRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		writeDecodeErr(w, err)
+		return
+	}
+	if len(req.Set.Elements) == 0 {
+		writeError(w, http.StatusBadRequest, "set.elements must be non-empty")
+		return
+	}
+	ifGen, conditional := qGen, qConditional
+	if req.IfGeneration != nil {
+		ifGen, conditional = *req.IfGeneration, true
+	}
+	s.mutMu.Lock()
+	defer s.mutMu.Unlock()
+	var newID int
+	apply := func() (err error) {
+		newID, err = s.eng.Update(id, req.Set.toSet())
+		return err
+	}
+	if !s.applyMutation(w, conditional, ifGen, id, apply) {
+		return
+	}
+	writeJSON(w, http.StatusOK, updateSetResponse{
+		ID:         newID,
+		Replaced:   id,
+		Live:       s.eng.Len(),
+		Generation: atomic.LoadInt64(&s.gen),
+	})
 }
 
 type statsResponse struct {
+	// Sets is the live set count; Tombstones counts deleted sets whose
+	// postings await compaction. Generation is the mutation counter
+	// conditional mutations (if_generation) compare against.
 	Sets          int     `json:"sets"`
+	Tombstones    int     `json:"tombstones"`
+	Generation    int64   `json:"generation"`
 	Shards        int     `json:"shards"`
 	Metric        string  `json:"metric"`
 	Similarity    string  `json:"similarity"`
@@ -637,6 +812,7 @@ type statsResponse struct {
 		AfterCheck   int64 `json:"after_check"`
 		AfterNN      int64 `json:"after_nn"`
 		Verified     int64 `json:"verified"`
+		Compactions  int64 `json:"compactions"`
 	} `json:"engine"`
 	Cache struct {
 		Entries int   `json:"entries"`
@@ -648,7 +824,9 @@ type statsResponse struct {
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.eng.Stats()
 	var resp statsResponse
-	resp.Sets = s.eng.Len()
+	resp.Sets = st.Live
+	resp.Tombstones = st.Tombstones
+	resp.Generation = atomic.LoadInt64(&s.gen)
 	resp.Shards = s.eng.Shards()
 	resp.Metric = s.cfg.Metric.String()
 	resp.Similarity = s.cfg.Similarity.String()
@@ -660,6 +838,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Engine.AfterCheck = st.AfterCheck
 	resp.Engine.AfterNN = st.AfterNN
 	resp.Engine.Verified = st.Verified
+	resp.Engine.Compactions = st.Compactions
 	resp.Cache.Entries = s.cache.len()
 	resp.Cache.Hits = s.met.hits()
 	resp.Cache.Misses = s.met.misses()
@@ -679,9 +858,18 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.met.write(w, func(out io.Writer) {
 		st := s.eng.Stats()
-		fmt.Fprintf(out, "# HELP silkmothd_collection_sets Sets currently indexed.\n")
+		fmt.Fprintf(out, "# HELP silkmothd_collection_sets Live sets currently indexed.\n")
 		fmt.Fprintf(out, "# TYPE silkmothd_collection_sets gauge\n")
-		fmt.Fprintf(out, "silkmothd_collection_sets %d\n", s.eng.Len())
+		fmt.Fprintf(out, "silkmothd_collection_sets %d\n", st.Live)
+		fmt.Fprintf(out, "# HELP silkmothd_collection_tombstones Deleted sets whose postings await compaction.\n")
+		fmt.Fprintf(out, "# TYPE silkmothd_collection_tombstones gauge\n")
+		fmt.Fprintf(out, "silkmothd_collection_tombstones %d\n", st.Tombstones)
+		fmt.Fprintf(out, "# HELP silkmothd_engine_compactions_total Compaction passes run by the engine.\n")
+		fmt.Fprintf(out, "# TYPE silkmothd_engine_compactions_total counter\n")
+		fmt.Fprintf(out, "silkmothd_engine_compactions_total %d\n", st.Compactions)
+		fmt.Fprintf(out, "# HELP silkmothd_mutation_generation Mutations applied to the collection since startup.\n")
+		fmt.Fprintf(out, "# TYPE silkmothd_mutation_generation counter\n")
+		fmt.Fprintf(out, "silkmothd_mutation_generation %d\n", atomic.LoadInt64(&s.gen))
 		fmt.Fprintf(out, "# HELP silkmothd_engine_shards Shards the collection is partitioned into.\n")
 		fmt.Fprintf(out, "# TYPE silkmothd_engine_shards gauge\n")
 		fmt.Fprintf(out, "silkmothd_engine_shards %d\n", s.eng.Shards())

@@ -45,6 +45,16 @@ type Engine struct {
 	// Sets are assigned in increasing global order, so every l2g[s] is
 	// sorted ascending — the self-join dedup below depends on that.
 	l2g [][]int
+	// dead is the global tombstone bitmap mirroring the per-shard core
+	// bitmaps; self-join discovery consults it to skip dead references.
+	dead    []bool
+	numDead int
+	// threshold is the engine-level tombstone ratio that triggers
+	// compaction of every shard (<= 0 disables automatic compaction).
+	// Per-shard core thresholds are disabled: the sharded engine drives
+	// compaction globally so the shared dictionary and the global
+	// collection headers are reclaimed together.
+	threshold float64
 }
 
 // ShardOf returns the shard owning global set index g among n shards. The
@@ -71,12 +81,14 @@ func New(coll *dataset.Collection, shards int, opts core.Options) (*Engine, erro
 		return nil, errors.New("shard: shard count must be >= 1")
 	}
 	e := &Engine{
-		nshards: shards,
-		global:  coll,
-		colls:   make([]*dataset.Collection, shards),
-		engines: make([]*core.Engine, shards),
-		l2g:     make([][]int, shards),
+		nshards:   shards,
+		global:    coll,
+		colls:     make([]*dataset.Collection, shards),
+		engines:   make([]*core.Engine, shards),
+		l2g:       make([][]int, shards),
+		threshold: opts.CompactionThreshold,
 	}
+	opts.CompactionThreshold = 0 // compaction is driven globally, not per shard
 	for s := range e.colls {
 		e.colls[s] = &dataset.Collection{Dict: coll.Dict, Mode: coll.Mode, Q: coll.Q}
 	}
@@ -116,11 +128,75 @@ func (e *Engine) Options() core.Options { return e.opts }
 // concurrently with Add; query methods take the engine's lock for you.
 func (e *Engine) Collection() *dataset.Collection { return e.global }
 
-// Len returns the number of sets across all shards.
+// Len returns the number of live sets across all shards.
 func (e *Engine) Len() int {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
+	return len(e.global.Sets) - e.numDead
+}
+
+// NumSlots returns the size of the global index space: live sets plus
+// tombstoned slots. Every match index is < NumSlots.
+func (e *Engine) NumSlots() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
 	return len(e.global.Sets)
+}
+
+// Alive reports whether global set g exists and is not deleted.
+func (e *Engine) Alive(g int) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	return e.aliveLocked(g)
+}
+
+// LiveSnapshot returns the liveness of every global slot under a single
+// lock acquisition, for callers that sweep the whole collection (the
+// compacted save path) and would otherwise pay one lock round-trip per
+// set.
+func (e *Engine) LiveSnapshot() []bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	out := make([]bool, len(e.global.Sets))
+	for g := range out {
+		out[g] = g >= len(e.dead) || !e.dead[g]
+	}
+	return out
+}
+
+func (e *Engine) aliveLocked(g int) bool {
+	return g >= 0 && g < len(e.global.Sets) && (g >= len(e.dead) || !e.dead[g])
+}
+
+// growDeadLocked sizes the global tombstone bitmap to the collection,
+// allocating it on first use. Callers hold the write lock.
+func (e *Engine) growDeadLocked() {
+	for len(e.dead) < len(e.global.Sets) {
+		e.dead = append(e.dead, false)
+	}
+}
+
+// Tombstones returns the number of deleted sets still occupying postings,
+// summed across shards (zero right after a compaction).
+func (e *Engine) Tombstones() int {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	n := 0
+	for _, eng := range e.engines {
+		n += eng.Tombstones()
+	}
+	return n
+}
+
+// Compactions returns the number of per-shard compaction passes run.
+func (e *Engine) Compactions() int64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	var n int64
+	for _, eng := range e.engines {
+		n += eng.Compactions()
+	}
+	return n
 }
 
 // Stats returns the pruning funnel summed across all shard engines.
@@ -146,6 +222,10 @@ func (e *Engine) Stats() core.StatsSnapshot {
 func (e *Engine) Add(raws []dataset.RawSet) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	e.addLocked(raws)
+}
+
+func (e *Engine) addLocked(raws []dataset.RawSet) {
 	from := dataset.Append(e.global, raws)
 	// froms[s] is the local index the shard's index extension starts at,
 	// or -1 for shards this batch never touches.
@@ -166,6 +246,112 @@ func (e *Engine) Add(raws []dataset.RawSet) {
 		if f >= 0 {
 			e.engines[s].AppendSets(f)
 		}
+	}
+	if e.dead != nil { // stays nil (all-alive fast path) until first Delete
+		e.growDeadLocked()
+	}
+}
+
+// localOf resolves a global set index to its owning shard and the local
+// index within it. Callers must hold the engine's lock.
+func (e *Engine) localOf(g int) (shard, local int) {
+	s := ShardOf(g, e.nshards)
+	return s, sort.SearchInts(e.l2g[s], g)
+}
+
+// Delete tombstones global set g across the engine: the owning shard's
+// core engine stops returning it immediately, self-join discovery skips
+// it as a reference, and its slot index is never reused. Storage is
+// reclaimed lazily: once the engine-wide tombstone ratio reaches the
+// configured CompactionThreshold, every shard compacts and the shared
+// dictionary is pruned.
+//
+// Delete is safe to call concurrently with the engine's query methods,
+// with one caveat that compaction adds: reclaimed dictionary slots are
+// recycled for future tokens, so a query set must not be tokenized
+// against the shared dictionary before a compaction and searched after
+// it — its interned ids could by then name different tokens. Callers
+// must order query tokenization under the same read-side regime as the
+// query itself (the public silkmoth.Engine does: it tokenizes inside the
+// read-locked section of every query method).
+func (e *Engine) Delete(g int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.deleteLocked(g)
+}
+
+func (e *Engine) deleteLocked(g int) error {
+	if !e.aliveLocked(g) {
+		return core.ErrNotFound
+	}
+	s, local := e.localOf(g)
+	if err := e.engines[s].Delete(local); err != nil {
+		return err
+	}
+	e.growDeadLocked()
+	e.dead[g] = true
+	e.numDead++
+	e.maybeCompactLocked()
+	return nil
+}
+
+// Update replaces global set g with a new tokenization of raw: the new
+// version is appended under the next global index (returned) and the old
+// slot is tombstoned, all under one write-lock critical section, so no
+// query ever observes both or neither version.
+func (e *Engine) Update(g int, raw dataset.RawSet) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if !e.aliveLocked(g) {
+		return 0, core.ErrNotFound
+	}
+	newID := len(e.global.Sets)
+	e.addLocked([]dataset.RawSet{raw})
+	if err := e.deleteLocked(g); err != nil {
+		return 0, err
+	}
+	return newID, nil
+}
+
+// maybeCompactLocked compacts every shard once the engine-wide tombstone
+// ratio reaches the threshold.
+func (e *Engine) maybeCompactLocked() {
+	if e.threshold <= 0 {
+		return
+	}
+	tomb := 0
+	for _, eng := range e.engines {
+		tomb += eng.Tombstones()
+	}
+	if tomb == 0 {
+		return
+	}
+	if float64(tomb) >= e.threshold*float64(len(e.global.Sets)-e.numDead+tomb) {
+		e.compactLocked()
+	}
+}
+
+// Compact forces a full compaction: dead sets' storage is dropped from the
+// global collection, every shard rebuilds its posting lists over its live
+// sets, and dictionary slots no live set references are freed for reuse.
+// Global indices are unchanged.
+func (e *Engine) Compact() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.compactLocked()
+}
+
+func (e *Engine) compactLocked() {
+	// The shard collections copy Set headers from the global collection,
+	// so the per-shard compaction below only clears the local copies;
+	// clear the global headers too or the element storage stays reachable.
+	for g := range e.dead {
+		if e.dead[g] && e.global.Sets[g].Elements != nil {
+			e.global.Sets[g].Elements = nil
+		}
+	}
+	for _, eng := range e.engines {
+		eng.Compact()
 	}
 }
 
@@ -281,6 +467,9 @@ func (e *Engine) DiscoverContext(ctx context.Context, refs *dataset.Collection) 
 	locals := make([][]core.Pair, workers)
 
 	err := FanOut(ctx, n, workers, func(ctx context.Context, w, ri int) error {
+		if selfJoin && ri < len(e.dead) && e.dead[ri] {
+			return nil // deleted sets are no longer references
+		}
 		r := &refs.Sets[ri]
 		for s := 0; s < e.nshards; s++ {
 			skip := -1

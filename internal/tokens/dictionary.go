@@ -21,11 +21,31 @@ type ID int32
 // — the overwhelmingly common case at query time — takes only the read side
 // of the lock, so parallel queries do not serialize on each other; only
 // first-time interning of a new token takes the write lock.
+//
+// Mutable collections additionally refcount their tokens through
+// Retain/Release: an engine retains every indexed set's token ids and
+// releases them when the set is deleted. An id whose refcount reaches zero
+// is only a reclamation *candidate*; Reclaim — called by the engine's
+// compaction, when the inverted index is rebuilt and the stale postings
+// disappear — actually frees the slot, and Intern reuses freed slots for
+// new tokens, so the vocabulary shrinks with the data instead of growing
+// forever on a long-lived mutable engine.
 type Dictionary struct {
 	mu    sync.RWMutex
 	ids   map[string]ID
 	strs  []string
 	count []int64
+	// refs counts live collection references per id (Retain/Release).
+	// Query-time interning does not retain, so purely-query tokens sit at
+	// zero but are never pending and thus never reclaimed.
+	refs []int32
+	// pending are ids whose refcount fell to zero since the last Reclaim;
+	// Reclaim frees those still at zero (a later Retain resurrects).
+	pending []ID
+	// free are reclaimed ids available for reuse; freed marks them so a
+	// slot cannot be double-freed.
+	free  []ID
+	freed []bool
 }
 
 // NewDictionary returns an empty dictionary.
@@ -34,7 +54,8 @@ func NewDictionary() *Dictionary {
 }
 
 // Intern returns the ID for s, assigning a fresh one if s is new, and bumps
-// its frequency counter.
+// its frequency counter. New tokens reuse reclaimed slots before growing
+// the id space.
 func (d *Dictionary) Intern(s string) ID {
 	// Fast path: known token, shared lock only. The count bump is atomic
 	// because other readers may be bumping the same slot; the slice itself
@@ -53,11 +74,90 @@ func (d *Dictionary) Intern(s string) ID {
 		d.count[id]++
 		return id
 	}
+	if n := len(d.free); n > 0 {
+		id := d.free[n-1]
+		d.free = d.free[:n-1]
+		d.freed[id] = false
+		d.ids[s] = id
+		d.strs[id] = s
+		d.count[id] = 1
+		return id
+	}
 	id := ID(len(d.strs))
 	d.ids[s] = id
 	d.strs = append(d.strs, s)
 	d.count = append(d.count, 1)
+	d.refs = append(d.refs, 0)
+	d.freed = append(d.freed, false)
 	return id
+}
+
+// Retain bumps the collection refcount of every id in ids. Engines retain
+// each indexed occurrence of a set's tokens (and chunks) so Release on
+// delete is exactly symmetric.
+func (d *Dictionary) Retain(ids []ID) {
+	d.mu.Lock()
+	for _, id := range ids {
+		d.refs[id]++
+	}
+	d.mu.Unlock()
+}
+
+// Release drops collection refcounts bumped by Retain. Ids that reach zero
+// become reclamation candidates for the next Reclaim; their strings and
+// slots stay valid until then.
+func (d *Dictionary) Release(ids []ID) {
+	d.mu.Lock()
+	for _, id := range ids {
+		if d.refs[id] > 0 {
+			d.refs[id]--
+			if d.refs[id] == 0 {
+				d.pending = append(d.pending, id)
+			}
+		}
+	}
+	d.mu.Unlock()
+}
+
+// Reclaim frees every pending id whose refcount is still zero: the string
+// is dropped from the intern map and the slot queued for reuse by future
+// Interns. Callers must only invoke it when no index still resolves the
+// freed ids to live postings — in practice, during engine compaction,
+// right after posting lists are rebuilt. It returns the number of slots
+// freed.
+func (d *Dictionary) Reclaim() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, id := range d.pending {
+		if d.refs[id] != 0 || d.freed[id] {
+			continue // resurrected by a later Retain, or already freed
+		}
+		delete(d.ids, d.strs[id])
+		d.strs[id] = ""
+		d.count[id] = 0
+		d.freed[id] = true
+		d.free = append(d.free, id)
+		n++
+	}
+	d.pending = d.pending[:0]
+	return n
+}
+
+// FreeSlots returns the number of reclaimed ids currently awaiting reuse.
+func (d *Dictionary) FreeSlots() int {
+	d.mu.RLock()
+	n := len(d.free)
+	d.mu.RUnlock()
+	return n
+}
+
+// Refs returns the current collection refcount of id.
+func (d *Dictionary) Refs(id ID) int {
+	d.mu.RLock()
+	n := int(d.refs[id])
+	d.mu.RUnlock()
+	return n
 }
 
 // Lookup returns the ID for s without interning. The second return value

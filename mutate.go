@@ -1,0 +1,91 @@
+package silkmoth
+
+import (
+	"errors"
+
+	"silkmoth/internal/core"
+	"silkmoth/internal/dataset"
+)
+
+// ErrNotFound reports a Delete or Update aimed at a set id that is out of
+// range or already deleted.
+var ErrNotFound = errors.New("silkmoth: no such set")
+
+// Delete removes the set with the given id (its index in the engine's
+// collection) from every future query. The id is tombstoned, never reused:
+// remaining sets keep their indices, Len shrinks by one, and searches,
+// top-k, and discovery behave exactly as if the engine had been built
+// without the set. Storage — postings, element tokens, and dictionary
+// entries used by no surviving set — is reclaimed lazily once the
+// tombstone ratio reaches Config.CompactionThreshold (or on an explicit
+// Compact call). Delete is safe to call concurrently with queries: it
+// takes the engine's write lock, so in-flight queries complete first and
+// later ones see the shrunken collection.
+func (e *Engine) Delete(id int) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	var err error
+	if e.sh != nil {
+		err = e.sh.Delete(id)
+	} else {
+		err = e.eng.Delete(id)
+	}
+	if errors.Is(err, core.ErrNotFound) {
+		return ErrNotFound
+	}
+	return err
+}
+
+// Update replaces the set with the given id by a new version in one atomic
+// step: the new tokenization is indexed under a fresh id (returned) and the
+// old id is tombstoned, all under the engine's write lock, so no query ever
+// observes both versions or neither. The old id becomes permanently
+// invalid; storage follows Delete's lazy-compaction lifecycle.
+func (e *Engine) Update(id int, set Set) (int, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	raw := dataset.RawSet{Name: set.Name, Elements: set.Elements}
+	if e.sh != nil {
+		newID, err := e.sh.Update(id, raw)
+		if errors.Is(err, core.ErrNotFound) {
+			return 0, ErrNotFound
+		}
+		return newID, err
+	}
+	if !e.eng.Alive(id) {
+		return 0, ErrNotFound
+	}
+	newID := dataset.Append(e.coll, []dataset.RawSet{raw})
+	e.eng.AppendSets(newID)
+	if err := e.eng.Delete(id); err != nil {
+		return 0, err // unreachable: aliveness was just checked
+	}
+	return newID, nil
+}
+
+// Compact forces an immediate compaction regardless of the configured
+// threshold: posting lists are rebuilt over the live sets, deleted sets'
+// element storage is dropped, and dictionary entries no live set
+// references are freed for reuse. Queries return identical results before
+// and after. A no-op when nothing has been deleted since the last
+// compaction.
+func (e *Engine) Compact() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.sh != nil {
+		e.sh.Compact()
+		return
+	}
+	e.eng.Compact()
+}
+
+// Live reports whether the set with the given id exists and has not been
+// deleted.
+func (e *Engine) Live(id int) bool {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if e.sh != nil {
+		return e.sh.Alive(id)
+	}
+	return e.eng.Alive(id)
+}

@@ -38,12 +38,25 @@
 // edit similarities Eds and NEds over characters. Delta ∈ (0, 1] is the
 // relatedness threshold; Alpha ∈ [0, 1) optionally zeroes element
 // similarities below it. Engines additionally support top-k search,
-// incremental Add, collection persistence, and direct pairwise Compare.
+// collection persistence, and direct pairwise Compare.
+//
+// # Mutation
+//
+// Collections are fully mutable: Add indexes more sets incrementally,
+// Delete tombstones a set out of every future query (stable ids, never
+// reused), and Update atomically replaces one set under a fresh id.
+// Deleted storage is reclaimed lazily — postings rebuilt, dead elements
+// dropped, unused dictionary entries recycled — once the tombstone ratio
+// reaches Config.CompactionThreshold (or on an explicit Compact call).
+// Mutations never change what queries return: a mutated engine answers
+// exactly like one built fresh from its surviving sets, and SaveCollection
+// persists that compacted form.
 //
 // # Concurrency and serving
 //
 // Engines are safe for concurrent use: parallel queries do not serialize
-// on a shared lock, Add is safely interleaved with in-flight queries, and
+// on a shared lock, mutations (Add, Delete, Update, Compact) are safely
+// interleaved with in-flight queries, and
 // Config.Concurrency parallelizes Discover's reference passes and shards
 // each query's candidate verification across a worker pool. The
 // context-aware variants (SearchContext, SearchTopKContext,
@@ -186,7 +199,20 @@ type Config struct {
 	// engine (same matches, same scores, same order). Values < 2 mean a
 	// single unsharded engine.
 	Shards int
+	// CompactionThreshold controls when Delete and Update trigger
+	// automatic compaction: once the fraction of tombstoned sets still
+	// occupying the inverted index reaches it, posting lists are rebuilt
+	// over the live sets, deleted element storage is dropped, and
+	// dictionary entries no live set references are reclaimed for reuse.
+	// 0 means the default (DefaultCompactionThreshold); negative disables
+	// automatic compaction, leaving reclamation to explicit Compact calls.
+	// Results are identical before and after compaction either way.
+	CompactionThreshold float64
 }
+
+// DefaultCompactionThreshold is the tombstone ratio at which engines
+// compact automatically when Config.CompactionThreshold is zero.
+const DefaultCompactionThreshold = 0.25
 
 func (c Config) coreOptions() (core.Options, error) {
 	var metric core.Metric
@@ -226,17 +252,25 @@ func (c Config) coreOptions() (core.Options, error) {
 	default:
 		return core.Options{}, fmt.Errorf("silkmoth: unknown scheme %d", int(c.Scheme))
 	}
+	compact := c.CompactionThreshold
+	if compact == 0 {
+		compact = DefaultCompactionThreshold
+	}
+	if compact < 0 {
+		compact = 0 // core: <= 0 disables automatic compaction
+	}
 	return core.Options{
-		Metric:      metric,
-		Sim:         simKind,
-		Delta:       c.Delta,
-		Alpha:       c.Alpha,
-		Q:           c.Q,
-		Scheme:      scheme,
-		CheckFilter: !c.DisableCheckFilter,
-		NNFilter:    !c.DisableNNFilter,
-		Reduction:   !c.DisableReduction,
-		Concurrency: c.Concurrency,
+		Metric:              metric,
+		Sim:                 simKind,
+		Delta:               c.Delta,
+		Alpha:               c.Alpha,
+		Q:                   c.Q,
+		Scheme:              scheme,
+		CheckFilter:         !c.DisableCheckFilter,
+		NNFilter:            !c.DisableNNFilter,
+		Reduction:           !c.DisableReduction,
+		Concurrency:         c.Concurrency,
+		CompactionThreshold: compact,
 	}, nil
 }
 
@@ -260,7 +294,8 @@ type Pair struct {
 	MatchingScore float64
 }
 
-// Stats reports the pruning funnel of an engine's work so far.
+// Stats reports the pruning funnel of an engine's work so far, plus the
+// collection's mutation lifecycle counters.
 type Stats struct {
 	// SearchPasses is the number of reference sets processed.
 	SearchPasses int64
@@ -272,4 +307,12 @@ type Stats struct {
 	AfterNN int64
 	// Verified counts maximum-matching computations performed.
 	Verified int64
+	// Live is the number of live (non-deleted) sets.
+	Live int
+	// Tombstones is the number of deleted sets whose postings are still
+	// in the inverted index (zero right after a compaction).
+	Tombstones int
+	// Compactions counts compaction passes run (per shard on a sharded
+	// engine).
+	Compactions int64
 }
