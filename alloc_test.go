@@ -1,0 +1,104 @@
+package silkmoth
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"silkmoth/internal/raceflag"
+)
+
+// allocCorpus builds a corpus large enough that queries touch many
+// candidates: a per-candidate or per-pair allocation regression multiplies
+// into hundreds of objects per query and trips the budgets immediately,
+// while the fixed per-query costs (tokenizing the query against the shared
+// dictionary, assembling the public result slice) stay constant.
+func allocCorpus(n int) []Set {
+	rng := rand.New(rand.NewSource(4242))
+	sets := make([]Set, n)
+	for i := range sets {
+		ne := 3 + rng.Intn(5)
+		elems := make([]string, ne)
+		for j := range elems {
+			k := 2 + rng.Intn(4)
+			s := ""
+			for w := 0; w < k; w++ {
+				if w > 0 {
+					s += " "
+				}
+				s += fmt.Sprintf("word%03d", rng.Intn(120))
+			}
+			elems[j] = s
+		}
+		sets[i] = Set{Name: fmt.Sprintf("S%d", i), Elements: elems}
+	}
+	return sets
+}
+
+// Steady-state allocation budgets per public query. These are deliberately
+// fixed absolute numbers, not ratios: the hot path owns reusable scratch
+// for everything proportional to collection size, candidate count, or pair
+// count, so what remains is query tokenization plus result assembly — a
+// constant for a fixed query. If a budget trips, a per-candidate or
+// per-pair allocation crept back into the pipeline; find it with
+// `go test -bench BenchmarkPipeline -benchmem ./internal/core`.
+const (
+	searchAllocBudget   = 100
+	topKAllocBudget     = 110
+	discoverAllocBudget = 800 // whole self-join (300 passes), not one query
+)
+
+func measureAllocs(t *testing.T, name string, budget float64, f func()) {
+	t.Helper()
+	f() // warm scratch arenas and pools
+	f()
+	got := testing.AllocsPerRun(50, f)
+	if got > budget {
+		t.Errorf("%s allocates %.1f objects steady-state, budget %.0f", name, got, budget)
+	}
+	t.Logf("%s: %.1f allocs (budget %.0f)", name, got, budget)
+}
+
+// TestQueryAllocationBudgets pins steady-state allocations of the public
+// Search, SearchTopK, and Discover paths on serial and sharded engines, so
+// the pipeline's zero-allocation property cannot silently regress.
+func TestQueryAllocationBudgets(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race instrumentation allocates; budgets hold only in plain builds")
+	}
+	sets := allocCorpus(300)
+	ref := sets[7]
+	for _, shards := range []int{1, 3} {
+		eng, err := NewEngine(sets, Config{
+			Similarity: Jaccard,
+			Delta:      0.5,
+			Alpha:      0.3,
+			Shards:     shards,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sharded paths pay a fixed per-query fan-out cost (one goroutine
+		// and result rewrite per shard), and discovery pays it per pass.
+		extra, discoverExtra := 0.0, 0.0
+		if shards > 1 {
+			extra = 60
+			discoverExtra = 1400
+		}
+		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
+			measureAllocs(t, "Search", searchAllocBudget+extra, func() {
+				if _, err := eng.Search(ref); err != nil {
+					t.Fatal(err)
+				}
+			})
+			measureAllocs(t, "SearchTopK", topKAllocBudget+extra, func() {
+				if _, err := eng.SearchTopK(ref, 5); err != nil {
+					t.Fatal(err)
+				}
+			})
+			measureAllocs(t, "Discover", discoverAllocBudget+discoverExtra, func() {
+				eng.Discover()
+			})
+		})
+	}
+}

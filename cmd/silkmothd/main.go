@@ -52,7 +52,7 @@ func main() {
 		delta     = flag.Float64("delta", 0.7, "relatedness threshold δ in (0,1]")
 		alpha     = flag.Float64("alpha", 0, "element similarity threshold α in [0,1)")
 		q         = flag.Int("q", 0, "gram length for edit similarities (0 = auto)")
-		scheme    = flag.String("scheme", "dichotomy", "signature scheme: dichotomy, skyline, weighted, combunweighted")
+		scheme    = flag.String("scheme", "dichotomy", "signature scheme: dichotomy, skyline, weighted, combunweighted, auto (per-query cost-based)")
 		workers   = flag.Int("workers", 0, "per-query verification parallelism (0 = GOMAXPROCS)")
 		shards    = flag.Int("shards", 1, "hash-partition the collection into this many scatter-gather shards (<2 = unsharded)")
 		timeout   = flag.Duration("timeout", 30*time.Second, "per-request timeout (negative disables)")
@@ -198,6 +198,8 @@ func buildConfig(metric, simName, scheme string, delta, alpha float64, q, worker
 		cfg.Scheme = silkmoth.SchemeWeighted
 	case "combunweighted":
 		cfg.Scheme = silkmoth.SchemeCombUnweighted
+	case "auto":
+		cfg.Scheme = silkmoth.SchemeAuto
 	default:
 		return cfg, fmt.Errorf("unknown -scheme %q", scheme)
 	}

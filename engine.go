@@ -93,13 +93,12 @@ func toRaw(sets []Set) []dataset.RawSet {
 
 // tokenizeQuery tokenizes query sets against the engine's dictionary. The
 // dictionary synchronizes its own interning; callers must hold at least the
-// engine's read lock (against concurrent Add).
+// engine's read lock (against concurrent Add — and against compaction's
+// key reclamation, which the lock orders before or after the whole query).
+// Element keys are looked up, never interned (dataset.BuildQuery), so query
+// traffic cannot grow the key table.
 func (e *Engine) tokenizeQuery(sets []Set) *dataset.Collection {
-	raws := toRaw(sets)
-	if e.coll.Mode == dataset.ModeWord {
-		return dataset.BuildWord(e.coll.Dict, raws)
-	}
-	return dataset.BuildQGram(e.coll.Dict, raws, e.coll.Q)
+	return dataset.BuildQuery(e.coll.Dict, toRaw(sets), e.coll.Mode, e.coll.Q)
 }
 
 // Search returns every set in the engine's collection related to ref,
@@ -273,9 +272,17 @@ func (e *Engine) Stats() Stats {
 		out.Compactions = e.eng.Compactions()
 	}
 	out.SearchPasses = st.SearchPasses
+	out.FullScans = st.FullScans
+	out.SigTokens = st.SigTokens
 	out.Candidates = st.Candidates
 	out.AfterCheck = st.AfterCheck
+	out.CheckPruned = st.CheckPruned
 	out.AfterNN = st.AfterNN
+	out.NNPruned = st.NNPruned
 	out.Verified = st.Verified
+	out.SchemeWeighted = st.SchemeWeighted
+	out.SchemeSkyline = st.SchemeSkyline
+	out.SchemeDichotomy = st.SchemeDichotomy
+	out.SchemeCombUnweighted = st.SchemeCombUnweighted
 	return out
 }

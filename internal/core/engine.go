@@ -9,7 +9,6 @@ import (
 	"silkmoth/internal/dataset"
 	"silkmoth/internal/filter"
 	"silkmoth/internal/index"
-	"silkmoth/internal/signature"
 	"silkmoth/internal/sim"
 )
 
@@ -67,6 +66,10 @@ type Engine struct {
 	ix   *index.Inverted
 	phi  filter.SimFunc
 	st   Stats
+	// srPool recycles Searchers (and the workers inside them): every
+	// query path draws its per-pass scratch from here, so steady-state
+	// queries reuse a bounded set of arenas instead of allocating.
+	srPool sync.Pool
 	// dead is the tombstone bitmap, allocated on first Delete. A dead
 	// set keeps its collection slot (indices stay stable) but is skipped
 	// by candidate generation, the full-scan fallback, and self-join
@@ -160,25 +163,31 @@ func (e *Engine) SearchContext(ctx context.Context, r *dataset.Set) ([]Match, er
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	w := e.newWorker()
-	ms, err := e.searchPass(ctx, r, -1, w, true)
-	e.st.merge(&w.st)
+	sr := e.NewSearcher()
+	ms, err := e.searchPass(ctx, r, -1, sr.w, true)
+	sr.Close()
 	return ms, err
 }
 
 // Searcher runs repeated search passes against one engine, reusing the
-// per-pass scratch (candidate collector, nearest-neighbor searcher, stats
-// shard) across calls. It is the building block for callers that drive many
-// passes themselves — Discover's workers and the sharded scatter-gather
-// engine. A Searcher is not safe for concurrent use; create one per
-// goroutine and Close it when done so its counters reach the engine.
+// per-pass scratch (candidate collector, nearest-neighbor searcher,
+// signature selector, verification scratch, stats shard) across calls. It
+// is the building block for callers that drive many passes themselves —
+// Discover's workers, the sharded scatter-gather engine, and the public
+// batch API. A Searcher is not safe for concurrent use; create one per
+// goroutine and Close it when done so its counters reach the engine and
+// its scratch returns to the engine's pool.
 type Searcher struct {
 	e *Engine
 	w *worker
 }
 
-// NewSearcher returns a fresh Searcher over e.
+// NewSearcher returns a Searcher over e, recycled from the engine's pool
+// when one is available.
 func (e *Engine) NewSearcher() *Searcher {
+	if v := e.srPool.Get(); v != nil {
+		return v.(*Searcher)
+	}
 	return &Searcher{e: e, w: e.newWorker()}
 }
 
@@ -191,34 +200,12 @@ func (s *Searcher) Search(ctx context.Context, r *dataset.Set, skip int) ([]Matc
 }
 
 // Close folds the searcher's private stats shard into the engine's
-// counters. The Searcher must not be used afterwards.
+// counters and returns the searcher to the engine's pool. The caller must
+// not use the Searcher afterwards.
 func (s *Searcher) Close() {
 	s.e.st.merge(&s.w.st)
-}
-
-// worker bundles the per-goroutine scratch of search passes: the candidate
-// collector, the nearest-neighbor searcher, and a private stats shard that
-// is merged into the engine's counters when the worker retires (so hot
-// loops never contend on shared atomics).
-type worker struct {
-	cl *filter.Collector
-	ns *filter.NNSearcher
-	st Stats
-}
-
-func (e *Engine) newWorker() *worker {
-	return &worker{
-		cl: filter.NewCollector(e.ix),
-		ns: filter.NewNNSearcher(e.ix, e.phi),
-	}
-}
-
-// newVerifyWorker returns a worker for verification-only shards: no
-// collector (whose scratch is O(collection size) and unused after
-// candidate collection), just the nearest-neighbor searcher and a stats
-// shard.
-func (e *Engine) newVerifyWorker() *worker {
-	return &worker{ns: filter.NewNNSearcher(e.ix, e.phi)}
+	s.w.st.reset()
+	s.e.srPool.Put(s)
 }
 
 // sizeAccept reports whether a set of size nS can possibly be related to a
@@ -233,158 +220,6 @@ func (e *Engine) sizeAccept(nR, nS int) bool {
 		return float64(nS) >= d*float64(nR)-sizeEps &&
 			float64(nS) <= float64(nR)/d+sizeEps
 	}
-}
-
-// searchPass generates r's signature, collects and refines candidates, and
-// verifies survivors. Candidate sets with index ≤ selfSkip are excluded
-// (selfSkip = the reference's own index during self-join discovery under
-// SET-SIMILARITY; -1 otherwise). Pass a reusable worker; its stats shard
-// absorbs the pass's counters. parallelOK permits sharding the verification
-// loop across goroutines (true for top-level searches, false inside
-// Discover's workers, which are already parallel).
-func (e *Engine) searchPass(ctx context.Context, r *dataset.Set, selfSkip int, w *worker, parallelOK bool) ([]Match, error) {
-	w.st.addSearchPasses(1)
-	nR := len(r.Elements)
-	if nR == 0 {
-		return nil, nil
-	}
-	theta := e.opts.Delta * float64(nR)
-	pruneThreshold := theta - pruneSlack
-
-	accept := func(set int32) bool {
-		if int(set) <= selfSkip {
-			return false
-		}
-		if !e.alive(int(set)) {
-			return false // tombstoned: postings remain until compaction
-		}
-		return e.sizeAccept(nR, len(e.coll.Sets[set].Elements))
-	}
-
-	sig := signature.Generate(e.opts.Scheme, r, signature.Params{
-		Delta:  e.opts.Delta,
-		Alpha:  e.opts.Alpha,
-		Family: e.opts.Sim.family(),
-	}, e.ix)
-
-	if !sig.Valid {
-		// No valid signature exists (edit similarity, §7.3): compare r
-		// against every acceptable set.
-		w.st.addFullScans(1)
-		var out []Match
-		for s := range e.coll.Sets {
-			if s%cancelCheckStride == 0 {
-				if err := ctx.Err(); err != nil {
-					return nil, err
-				}
-			}
-			if !accept(int32(s)) {
-				continue
-			}
-			w.st.addVerified(1)
-			if m, ok := e.verify(r, s); ok {
-				out = append(out, m)
-			}
-		}
-		return out, nil
-	}
-
-	cands, raw := w.cl.Collect(r, &sig, e.phi, filter.Options{
-		Accept:         accept,
-		CheckFilter:    e.opts.CheckFilter,
-		PruneThreshold: pruneThreshold,
-	})
-	w.st.addCandidates(int64(raw))
-	w.st.addAfterCheck(int64(len(cands)))
-
-	var floors []float64
-	if e.opts.NNFilter {
-		floors = filter.NoShareFloors(r, &sig, e.coll.Mode, e.opts.Alpha)
-	}
-
-	if parallelOK && e.opts.Concurrency > 1 && len(cands) >= parallelCandMin {
-		return e.verifyCandidatesParallel(ctx, r, &sig, cands, floors, pruneThreshold, w)
-	}
-
-	var out []Match
-	for i, c := range cands {
-		if i%cancelCheckStride == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-		}
-		if m, ok := e.refineAndVerify(r, &sig, c, floors, pruneThreshold, w); ok {
-			out = append(out, m)
-		}
-	}
-	return out, nil
-}
-
-// refineAndVerify runs one candidate through the nearest-neighbor filter and
-// exact verification, charging the worker's stats shard.
-func (e *Engine) refineAndVerify(r *dataset.Set, sig *signature.Signature, c *filter.Candidate, floors []float64, pruneThreshold float64, w *worker) (Match, bool) {
-	if e.opts.NNFilter && !filter.NNFilter(r, sig, c, w.ns, floors, pruneThreshold) {
-		return Match{}, false
-	}
-	w.st.addAfterNN(1)
-	w.st.addVerified(1)
-	return e.verify(r, int(c.Set))
-}
-
-// verifyCandidatesParallel shards one pass's surviving candidates across
-// Concurrency goroutines. Each shard worker owns its nearest-neighbor
-// searcher and stats shard; results land in per-candidate slots, so the
-// assembled output is byte-identical to the serial loop's order.
-func (e *Engine) verifyCandidatesParallel(ctx context.Context, r *dataset.Set, sig *signature.Signature, cands []*filter.Candidate, floors []float64, pruneThreshold float64, w *worker) ([]Match, error) {
-	nw := e.opts.Concurrency
-	if nw > len(cands) {
-		nw = len(cands)
-	}
-	results := make([]Match, len(cands))
-	hits := make([]bool, len(cands))
-	var next int64
-	var wg sync.WaitGroup
-	workers := make([]*worker, nw)
-	for wi := 0; wi < nw; wi++ {
-		// The caller's worker serves shard 0; extra shards get their own
-		// verification-only scratch.
-		sw := w
-		if wi > 0 {
-			sw = e.newVerifyWorker()
-			workers[wi] = sw
-		}
-		wg.Add(1)
-		go func(sw *worker) {
-			defer wg.Done()
-			for {
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= len(cands) {
-					return
-				}
-				if i%cancelCheckStride == 0 && ctx.Err() != nil {
-					return
-				}
-				if m, ok := e.refineAndVerify(r, sig, cands[i], floors, pruneThreshold, sw); ok {
-					results[i] = m
-					hits[i] = true
-				}
-			}
-		}(sw)
-	}
-	wg.Wait()
-	for _, sw := range workers[1:] {
-		w.st.merge(&sw.st)
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	out := make([]Match, 0, len(cands))
-	for i := range results {
-		if hits[i] {
-			out = append(out, results[i])
-		}
-	}
-	return out, nil
 }
 
 // Discover solves RELATED SET DISCOVERY (Problem 1) for the reference

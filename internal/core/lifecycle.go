@@ -93,6 +93,7 @@ func (e *Engine) Compact() {
 	}
 	e.ix.Rebuild()
 	e.coll.Dict.Reclaim()
+	e.coll.Dict.Keys().Reclaim()
 	e.tombstoned = 0
 	e.compactions++
 }
@@ -107,6 +108,9 @@ func retainSets(c *dataset.Collection, from int) {
 			if len(el.Chunks) > 0 {
 				c.Dict.Retain(el.Chunks)
 			}
+			if el.Key != dataset.NoKey {
+				c.Dict.Keys().RetainID(el.Key)
+			}
 		}
 	}
 }
@@ -118,6 +122,9 @@ func releaseSet(d *tokens.Dictionary, s *dataset.Set) {
 		d.Release(el.Tokens)
 		if len(el.Chunks) > 0 {
 			d.Release(el.Chunks)
+		}
+		if el.Key != dataset.NoKey {
+			d.Keys().ReleaseID(el.Key)
 		}
 	}
 }

@@ -119,6 +119,9 @@ type Options struct {
 	Q int
 	// Scheme is the signature scheme; default Dichotomy (the paper's
 	// best performer at high α, identical to Weighted at α = 0).
+	// signature.Auto selects among the weighted-family schemes per query
+	// by the §4.3 probe-cost model over the inverted index's posting
+	// statistics; results are identical to any fixed valid scheme.
 	Scheme signature.Kind
 	// CheckFilter enables the check filter (§5.1).
 	CheckFilter bool
@@ -187,6 +190,12 @@ func (o Options) normalize() (Options, error) {
 		}
 	} else {
 		o.Q = 0 // token-based similarities have no gram length
+	}
+	switch o.Scheme {
+	case signature.Weighted, signature.CombUnweighted, signature.Skyline,
+		signature.Dichotomy, signature.Auto:
+	default:
+		return o, fmt.Errorf("core: unknown signature scheme %v", o.Scheme)
 	}
 	if o.NNFilter {
 		o.CheckFilter = true // the NN filter consumes check-filter state

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+
+	"silkmoth/internal/dataset"
+	"silkmoth/internal/filter"
+	"silkmoth/internal/signature"
+)
+
+// worker bundles the per-goroutine scratch of search passes — everything a
+// pass reuses across queries so the steady-state hot path performs no
+// per-query heap allocations:
+//
+//   - the candidate collector (pooled Candidate slots),
+//   - the nearest-neighbor searcher,
+//   - the signature selector (two generator arenas, for Scheme Auto),
+//   - the verification scratch (flat Hungarian buffers, interned key
+//     slices),
+//   - the no-share floor buffer and the parallel-verification result
+//     buffers,
+//   - a private stats shard merged into the engine's counters when the
+//     worker retires (hot loops never contend on shared atomics).
+//
+// Workers are pooled by the engine (NewSearcher/Close), so a steady stream
+// of queries recycles a bounded set of them.
+type worker struct {
+	cl  *filter.Collector
+	ns  *filter.NNSearcher
+	sel signature.Selector
+	vs  verifyScratch
+	// floors backs the pass's no-share floor slice.
+	floors []float64
+	// resBuf/hitBuf back the parallel verification stage's per-candidate
+	// result slots.
+	resBuf []Match
+	hitBuf []bool
+	// acc + acceptFn are the pass's candidate acceptance test; the
+	// closure is created once per worker so passes never allocate it.
+	acc      acceptState
+	acceptFn func(set int32) bool
+	st       Stats
+}
+
+// acceptState parameterizes the per-pass candidate acceptance test.
+type acceptState struct {
+	e        *Engine
+	selfSkip int
+	nR       int
+}
+
+func (a *acceptState) accept(set int32) bool {
+	if int(set) <= a.selfSkip {
+		return false
+	}
+	if !a.e.alive(int(set)) {
+		return false // tombstoned: postings remain until compaction
+	}
+	return a.e.sizeAccept(a.nR, len(a.e.coll.Sets[set].Elements))
+}
+
+func (e *Engine) newWorker() *worker {
+	w := &worker{
+		cl: filter.NewCollector(e.ix),
+		ns: filter.NewNNSearcher(e.ix, e.phi),
+	}
+	w.acc.e = e
+	w.acceptFn = w.acc.accept
+	return w
+}
+
+// plan is the compiled execution of one search pass through the pipeline's
+// stages:
+//
+//	signature   scheme selection (Auto resolves here) + generation
+//	collect     index probing + check filter (Algorithm 1)
+//	refine      nearest-neighbor filter (Algorithm 2)
+//	verify      exact maximum-matching verification
+//
+// Every stage charges the worker's stats shard, so the funnel — signature
+// size, candidates, check/NN prunes, verifications — is observable per
+// engine. The plan itself lives on the stack; all reusable state belongs to
+// the worker.
+type plan struct {
+	e          *Engine
+	w          *worker
+	r          *dataset.Set
+	selfSkip   int
+	parallelOK bool
+
+	pruneThreshold float64
+	scheme         signature.Kind
+	sig            *signature.Signature
+	cands          []*filter.Candidate
+	floors         []float64
+}
+
+// searchPass generates r's signature, collects and refines candidates, and
+// verifies survivors. Candidate sets with index ≤ selfSkip are excluded
+// (selfSkip = the reference's own index during self-join discovery under
+// SET-SIMILARITY; -1 otherwise). Pass a reusable worker; its stats shard
+// absorbs the pass's counters. parallelOK permits sharding the verification
+// loop across goroutines (true for top-level searches, false inside
+// Discover's workers, which are already parallel).
+func (e *Engine) searchPass(ctx context.Context, r *dataset.Set, selfSkip int, w *worker, parallelOK bool) ([]Match, error) {
+	w.st.addSearchPasses(1)
+	nR := len(r.Elements)
+	if nR == 0 {
+		return nil, nil
+	}
+	p := plan{
+		e:              e,
+		w:              w,
+		r:              r,
+		selfSkip:       selfSkip,
+		parallelOK:     parallelOK,
+		pruneThreshold: e.opts.Delta*float64(nR) - pruneSlack,
+	}
+	w.acc.selfSkip = selfSkip
+	w.acc.nR = nR
+
+	if !p.buildSignature() {
+		return p.fullScan(ctx)
+	}
+	p.collect()
+	p.prepareRefine()
+	return p.verifyAll(ctx)
+}
+
+// buildSignature runs the signature stage: the worker's selector resolves
+// the engine's scheme (cost-based for Auto) and generates the probe
+// signature. It reports false when no valid signature exists (edit
+// similarity, §7.3) and the pass must fall back to a full scan.
+func (p *plan) buildSignature() bool {
+	e, w := p.e, p.w
+	sig, kind := w.sel.Generate(e.opts.Scheme, p.r, signature.Params{
+		Delta:  e.opts.Delta,
+		Alpha:  e.opts.Alpha,
+		Family: e.opts.Sim.family(),
+	}, e.ix)
+	p.sig, p.scheme = sig, kind
+	if !sig.Valid {
+		w.st.addFullScans(1)
+		return false
+	}
+	w.st.addScheme(kind)
+	n := 0
+	for i := range sig.Elements {
+		n += len(sig.Elements[i].Tokens)
+	}
+	w.st.addSigTokens(int64(n))
+	return true
+}
+
+// fullScan compares r against every acceptable set — the signatureless
+// fallback.
+func (p *plan) fullScan(ctx context.Context) ([]Match, error) {
+	e, w := p.e, p.w
+	var out []Match
+	for s := range e.coll.Sets {
+		if s%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if !w.acceptFn(int32(s)) {
+			continue
+		}
+		w.st.addVerified(1)
+		if m, ok := e.verify(p.r, s, &w.vs); ok {
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// collect runs candidate selection plus the check filter over the inverted
+// index. The resulting candidate slice points into the worker's collector
+// scratch and is consumed before the pass ends.
+func (p *plan) collect() {
+	e, w := p.e, p.w
+	cands, raw := w.cl.Collect(p.r, p.sig, e.phi, filter.Options{
+		Accept:         w.acceptFn,
+		CheckFilter:    e.opts.CheckFilter,
+		PruneThreshold: p.pruneThreshold,
+	})
+	p.cands = cands
+	w.st.addCandidates(int64(raw))
+	w.st.addAfterCheck(int64(len(cands)))
+	if e.opts.CheckFilter {
+		w.st.addCheckPruned(int64(raw - len(cands)))
+	}
+}
+
+// prepareRefine precomputes the nearest-neighbor filter's no-share floors
+// into the worker's buffer.
+func (p *plan) prepareRefine() {
+	e, w := p.e, p.w
+	if e.opts.NNFilter {
+		w.floors = filter.AppendNoShareFloors(w.floors, p.r, p.sig, e.coll.Mode, e.opts.Alpha)
+		p.floors = w.floors
+	} else {
+		p.floors = nil
+	}
+}
+
+// verifyAll refines and verifies the surviving candidates, serially or —
+// when permitted and worthwhile — sharded across the engine's concurrency.
+func (p *plan) verifyAll(ctx context.Context) ([]Match, error) {
+	e := p.e
+	if p.parallelOK && e.opts.Concurrency > 1 && len(p.cands) >= parallelCandMin {
+		return p.verifyParallel(ctx)
+	}
+	var out []Match
+	for i, c := range p.cands {
+		if i%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		if m, ok := p.refineAndVerify(c, p.w); ok {
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// refineAndVerify runs one candidate through the nearest-neighbor filter and
+// exact verification, charging the given worker's stats shard (the parallel
+// stage hands each goroutine its own worker).
+func (p *plan) refineAndVerify(c *filter.Candidate, w *worker) (Match, bool) {
+	e := p.e
+	if e.opts.NNFilter && !filter.NNFilter(p.r, p.sig, c, w.ns, p.floors, p.pruneThreshold) {
+		w.st.addNNPruned(1)
+		return Match{}, false
+	}
+	w.st.addAfterNN(1)
+	w.st.addVerified(1)
+	return e.verify(p.r, int(c.Set), &w.vs)
+}
+
+// verifyParallel shards the pass's surviving candidates across Concurrency
+// goroutines. Each extra shard borrows a pooled searcher (its own
+// nearest-neighbor scratch, verification scratch, and stats shard); results
+// land in per-candidate slots, so the assembled output is byte-identical to
+// the serial loop's order.
+func (p *plan) verifyParallel(ctx context.Context) ([]Match, error) {
+	e, w, cands := p.e, p.w, p.cands
+	nw := e.opts.Concurrency
+	if nw > len(cands) {
+		nw = len(cands)
+	}
+	if cap(w.resBuf) < len(cands) {
+		w.resBuf = make([]Match, len(cands))
+		w.hitBuf = make([]bool, len(cands))
+	}
+	results := w.resBuf[:len(cands)]
+	hits := w.hitBuf[:len(cands)]
+	for i := range hits {
+		hits[i] = false
+	}
+	var next int64
+	var wg sync.WaitGroup
+	for wi := 0; wi < nw; wi++ {
+		// The caller's worker serves shard 0; extra shards borrow pooled
+		// searchers, whose Close returns both the scratch and the stats.
+		sw := w
+		var sr *Searcher
+		if wi > 0 {
+			sr = e.NewSearcher()
+			sw = sr.w
+		}
+		wg.Add(1)
+		go func(sw *worker, sr *Searcher) {
+			defer wg.Done()
+			if sr != nil {
+				defer sr.Close()
+			}
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= len(cands) {
+					return
+				}
+				if i%cancelCheckStride == 0 && ctx.Err() != nil {
+					return
+				}
+				if m, ok := p.refineAndVerify(cands[i], sw); ok {
+					results[i] = m
+					hits[i] = true
+				}
+			}
+		}(sw, sr)
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]Match, 0, len(cands))
+	for i := range results {
+		if hits[i] {
+			out = append(out, results[i])
+		}
+	}
+	return out, nil
+}

@@ -2,6 +2,7 @@ package core
 
 import (
 	"silkmoth/internal/dataset"
+	"silkmoth/internal/filter"
 	"silkmoth/internal/matching"
 )
 
@@ -23,12 +24,34 @@ func relatedness(metric Metric, score float64, nR, nS int) float64 {
 	return score / (float64(nR+nS) - score)
 }
 
+// pairSim adapts the engine's φ_α to matching.Weights for one ⟨R, S⟩ pair.
+// It lives inside verifyScratch so setting the pair is a field write, never
+// a closure allocation.
+type pairSim struct {
+	phi  filter.SimFunc
+	r, s *dataset.Set
+}
+
+func (p *pairSim) At(i, j int) float64 {
+	return p.phi(&p.r.Elements[i], &p.s.Elements[j])
+}
+
+// verifyScratch bundles the reusable state of exact verification: the
+// matching scratch (flat Hungarian buffers, reduction tables) and the
+// interned element-key slices the §5.3 reduction compares. One lives in
+// every worker; verification performs no per-pair heap allocations.
+type verifyScratch struct {
+	mat        matching.Scratch
+	keyR, keyS []int32
+	ps         pairSim
+}
+
 // verify computes the exact maximum matching score between r and collection
 // set s (with the §5.3 reduction when enabled) and reports whether the pair
 // is related under the engine's metric.
-func (e *Engine) verify(r *dataset.Set, s int) (Match, bool) {
+func (e *Engine) verify(r *dataset.Set, s int, vs *verifyScratch) (Match, bool) {
 	sSet := &e.coll.Sets[s]
-	score := e.matchScore(r, sSet)
+	score := e.matchScore(r, sSet, vs)
 	nR, nS := len(r.Elements), len(sSet.Elements)
 	t := scoreThreshold(e.opts.Metric, e.opts.Delta, nR, nS)
 	if score < t-acceptEps {
@@ -41,23 +64,27 @@ func (e *Engine) verify(r *dataset.Set, s int) (Match, bool) {
 	}, true
 }
 
-// matchScore computes |R ∩̃ S| between two tokenized sets.
-func (e *Engine) matchScore(r, s *dataset.Set) float64 {
-	simFn := func(i, j int) float64 {
-		return e.phi(&r.Elements[i], &s.Elements[j])
-	}
+// matchScore computes |R ∩̃ S| between two tokenized sets. With the
+// reduction enabled it compares the elements' build-time interned keys
+// (dataset.Element.Key) — integers, never materialized strings.
+func (e *Engine) matchScore(r, s *dataset.Set, vs *verifyScratch) float64 {
+	vs.ps.phi = e.phi
+	vs.ps.r, vs.ps.s = r, s
 	if e.opts.Reduction {
-		keyR := make([]string, len(r.Elements))
-		for i := range r.Elements {
-			keyR[i] = dataset.ElementKey(&r.Elements[i], e.coll.Mode)
-		}
-		keyS := make([]string, len(s.Elements))
-		for j := range s.Elements {
-			keyS[j] = dataset.ElementKey(&s.Elements[j], e.coll.Mode)
-		}
-		return matching.ScoreWithReduction(keyR, keyS, simFn)
+		vs.keyR = appendElementKeys(vs.keyR[:0], r.Elements)
+		vs.keyS = appendElementKeys(vs.keyS[:0], s.Elements)
+		return vs.mat.ScoreReduced(vs.keyR, vs.keyS, &vs.ps)
 	}
-	return matching.Score(len(r.Elements), len(s.Elements), simFn)
+	return vs.mat.Score(len(r.Elements), len(s.Elements), &vs.ps)
+}
+
+// appendElementKeys copies the elements' interned content keys into dst
+// (dataset.NoKey becomes the reduction's negative "never reduce" marker).
+func appendElementKeys(dst []int32, els []dataset.Element) []int32 {
+	for i := range els {
+		dst = append(dst, int32(els[i].Key))
+	}
+	return dst
 }
 
 // BruteForceSearch is the naive oracle for RELATED SET SEARCH: it verifies r
@@ -66,6 +93,7 @@ func (e *Engine) matchScore(r, s *dataset.Set) float64 {
 // Search must return.
 func (e *Engine) BruteForceSearch(r *dataset.Set) []Match {
 	var out []Match
+	var vs verifyScratch
 	nR := len(r.Elements)
 	if nR == 0 {
 		return nil
@@ -74,7 +102,7 @@ func (e *Engine) BruteForceSearch(r *dataset.Set) []Match {
 		if !e.sizeAccept(nR, len(e.coll.Sets[s].Elements)) {
 			continue
 		}
-		if m, ok := e.verify(r, s); ok {
+		if m, ok := e.verify(r, s, &vs); ok {
 			out = append(out, m)
 		}
 	}
@@ -87,6 +115,7 @@ func (e *Engine) BruteForceSearch(r *dataset.Set) []Match {
 func (e *Engine) BruteForceDiscover(refs *dataset.Collection) []Pair {
 	selfJoin := refs == e.coll
 	var pairs []Pair
+	var vs verifyScratch
 	for ri := range refs.Sets {
 		r := &refs.Sets[ri]
 		nR := len(r.Elements)
@@ -105,7 +134,7 @@ func (e *Engine) BruteForceDiscover(refs *dataset.Collection) []Pair {
 			if !e.sizeAccept(nR, len(e.coll.Sets[s].Elements)) {
 				continue
 			}
-			if m, ok := e.verify(r, s); ok {
+			if m, ok := e.verify(r, s, &vs); ok {
 				pairs = append(pairs, Pair{R: ri, S: s, Relatedness: m.Relatedness, Score: m.Score})
 			}
 		}
@@ -117,5 +146,6 @@ func (e *Engine) BruteForceDiscover(refs *dataset.Collection) []Pair {
 // query set and an arbitrary tokenized set (both over the engine's
 // dictionary), applying the engine's reduction setting.
 func (e *Engine) MatchScore(r, s *dataset.Set) float64 {
-	return e.matchScore(r, s)
+	var vs verifyScratch
+	return e.matchScore(r, s, &vs)
 }

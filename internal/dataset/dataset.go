@@ -50,6 +50,45 @@ type Element struct {
 	// distinct word tokens under ModeWord, the rune length of Raw under
 	// ModeQGram.
 	Length int
+	// Key is the element's exact content key interned into the shared
+	// dictionary's key space (Dict.Keys()): two elements over the same
+	// dictionary are identical iff their Keys are equal and not NoKey.
+	// The §5.3 verification reduction compares these integers instead of
+	// materializing ElementKey strings per pair. NoKey marks elements
+	// that can never be reduced (no tokens / empty raw).
+	Key tokens.ID
+}
+
+// NoKey is the Element.Key of a non-reducible element.
+const NoKey = tokens.ID(-1)
+
+// internKey computes and interns e's exact content key, returning NoKey for
+// non-reducible (empty) elements. Indexed collections intern (their keys
+// are retained/released through the engine lifecycle); query collections
+// must use lookupKey instead.
+func internKey(dict *tokens.Dictionary, e *Element, mode TokenMode) tokens.ID {
+	k := ElementKey(e, mode)
+	if k == "" {
+		return NoKey
+	}
+	return dict.Keys().Intern(k)
+}
+
+// lookupKey resolves e's content key without interning: a query element
+// whose key is not already in the dictionary cannot be identical to any
+// indexed element, so NoKey (never reduced, similarity computed exactly) is
+// the correct — and leak-free — answer. Interning here instead would grow
+// the key table by one entry per distinct query element for the life of the
+// process.
+func lookupKey(dict *tokens.Dictionary, e *Element, mode TokenMode) tokens.ID {
+	k := ElementKey(e, mode)
+	if k == "" {
+		return NoKey
+	}
+	if id, ok := dict.Keys().Lookup(k); ok {
+		return id
+	}
+	return NoKey
 }
 
 // Set is an ordered list of elements with an external name.
@@ -76,11 +115,20 @@ type RawSet struct {
 	Elements []string
 }
 
+// keyFunc resolves an element's content key: internKey for indexed
+// collections, lookupKey for query collections.
+type keyFunc func(*tokens.Dictionary, *Element, TokenMode) tokens.ID
+
 // BuildWord tokenizes raw sets by whitespace words for Jaccard similarity.
 // All sets share the dictionary dict; pass a fresh dictionary for a new
 // corpus, or the dictionary of an existing collection to tokenize query sets
-// against it.
+// against it (prefer BuildQuery for query sets — it keeps the key table
+// from growing).
 func BuildWord(dict *tokens.Dictionary, raws []RawSet) *Collection {
+	return buildWord(dict, raws, internKey)
+}
+
+func buildWord(dict *tokens.Dictionary, raws []RawSet, key keyFunc) *Collection {
 	c := &Collection{Dict: dict, Mode: ModeWord}
 	c.Sets = make([]Set, len(raws))
 	for i, rs := range raws {
@@ -92,6 +140,7 @@ func BuildWord(dict *tokens.Dictionary, raws []RawSet) *Collection {
 				Tokens: ids,
 				Length: len(ids),
 			}
+			elems[j].Key = key(dict, &elems[j], ModeWord)
 		}
 		c.Sets[i] = Set{Name: rs.Name, Elements: elems}
 	}
@@ -101,6 +150,10 @@ func BuildWord(dict *tokens.Dictionary, raws []RawSet) *Collection {
 // BuildQGram tokenizes raw sets into q-grams (index tokens) and q-chunks
 // (signature tokens) for edit similarity. q must be positive.
 func BuildQGram(dict *tokens.Dictionary, raws []RawSet, q int) *Collection {
+	return buildQGram(dict, raws, q, internKey)
+}
+
+func buildQGram(dict *tokens.Dictionary, raws []RawSet, q int, key keyFunc) *Collection {
 	if q <= 0 {
 		panic("dataset: BuildQGram requires q > 0")
 	}
@@ -117,6 +170,7 @@ func BuildQGram(dict *tokens.Dictionary, raws []RawSet, q int) *Collection {
 				Chunks: chunks,
 				Length: runeLen(e),
 			}
+			elems[j].Key = key(dict, &elems[j], ModeQGram)
 		}
 		c.Sets[i] = Set{Name: rs.Name, Elements: elems}
 	}
@@ -130,6 +184,19 @@ func Build(dict *tokens.Dictionary, raws []RawSet, mode TokenMode, q int) *Colle
 		return BuildWord(dict, raws)
 	}
 	return BuildQGram(dict, raws, q)
+}
+
+// BuildQuery tokenizes query sets against an existing collection's
+// dictionary. It differs from Build in one way: element keys are looked up,
+// never interned, so a steady stream of distinct queries cannot grow the
+// key table for the life of the process (a key absent from the dictionary
+// proves the element identical to nothing indexed, which is exactly what
+// NoKey means to the reduction).
+func BuildQuery(dict *tokens.Dictionary, raws []RawSet, mode TokenMode, q int) *Collection {
+	if mode == ModeWord {
+		return buildWord(dict, raws, lookupKey)
+	}
+	return buildQGram(dict, raws, q, lookupKey)
 }
 
 // Append tokenizes raws with c's dictionary and mode and appends the
@@ -151,10 +218,12 @@ func runeLen(s string) int {
 	return n
 }
 
-// ElementKey returns an exact content key for an element under the given
-// mode, for the identical-element reduction of paper §5.3. Identical
+// ElementKey returns the exact content key string for an element under the
+// given mode, for the identical-element reduction of paper §5.3. Identical
 // elements get equal keys; the empty key marks non-reducible (empty)
-// elements.
+// elements. The hot path never calls this per pair: builders intern the
+// string once at build time into Element.Key, and verification compares
+// those dense ids instead.
 func ElementKey(e *Element, mode TokenMode) string {
 	if mode == ModeQGram {
 		return e.Raw

@@ -72,6 +72,9 @@ func LoadCollection(r io.Reader) (*Collection, error) {
 					return nil, fmt.Errorf("dataset: token id %d out of range", id)
 				}
 			}
+			// Keys are derived, not persisted: token ids were remapped at
+			// save time, so recompute against the fresh dictionary.
+			s.Elements[j].Key = internKey(dict, &s.Elements[j], p.Mode)
 		}
 		c.Sets[i] = s
 	}

@@ -1,0 +1,49 @@
+package dataset
+
+import (
+	"testing"
+
+	"silkmoth/internal/tokens"
+)
+
+// TestBuildQueryKeysDoNotGrowTable pins the leak-free property of query
+// tokenization: BuildQuery resolves element keys by lookup, so serving any
+// number of distinct queries leaves the key table exactly as the indexed
+// collection built it, while still matching identical elements to their
+// indexed key ids.
+func TestBuildQueryKeysDoNotGrowTable(t *testing.T) {
+	dict := tokens.NewDictionary()
+	coll := BuildWord(dict, []RawSet{
+		{Name: "a", Elements: []string{"red bicycle", "blue kettle"}},
+	})
+	indexedKeys := dict.Keys().Size()
+	if indexedKeys == 0 {
+		t.Fatal("indexed build interned no keys")
+	}
+
+	q := BuildQuery(dict, []RawSet{
+		{Name: "q", Elements: []string{"red bicycle", "never seen before", "also novel"}},
+	}, ModeWord, 0)
+	if got := dict.Keys().Size(); got != indexedKeys {
+		t.Fatalf("query tokenization grew key table: %d -> %d", indexedKeys, got)
+	}
+	els := q.Sets[0].Elements
+	if els[0].Key != coll.Sets[0].Elements[0].Key {
+		t.Fatalf("identical query element got key %d, indexed twin has %d", els[0].Key, coll.Sets[0].Elements[0].Key)
+	}
+	if els[1].Key != NoKey || els[2].Key != NoKey {
+		t.Fatalf("novel query elements must get NoKey, got %d, %d", els[1].Key, els[2].Key)
+	}
+
+	// Same property under q-gram mode, where keys are whole raw strings.
+	dict2 := tokens.NewDictionary()
+	BuildQGram(dict2, []RawSet{{Name: "a", Elements: []string{"kitten"}}}, 2)
+	n2 := dict2.Keys().Size()
+	q2 := BuildQuery(dict2, []RawSet{{Name: "q", Elements: []string{"kitten", "sitting"}}}, ModeQGram, 2)
+	if got := dict2.Keys().Size(); got != n2 {
+		t.Fatalf("qgram query tokenization grew key table: %d -> %d", n2, got)
+	}
+	if q2.Sets[0].Elements[0].Key == NoKey || q2.Sets[0].Elements[1].Key != NoKey {
+		t.Fatalf("qgram query keys wrong: %d, %d", q2.Sets[0].Elements[0].Key, q2.Sets[0].Elements[1].Key)
+	}
+}

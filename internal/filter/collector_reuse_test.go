@@ -1,0 +1,83 @@
+package filter
+
+import (
+	"testing"
+
+	"silkmoth/internal/raceflag"
+)
+
+// TestCollectorReuseMatchesFresh runs the same collection repeatedly on one
+// Collector and checks each pass against a fresh Collector: pooled
+// Candidate slots must be fully reset per pass (BestSim, Passed, NumPassed)
+// and the reused output slice must carry no stale survivors.
+func TestCollectorReuseMatchesFresh(t *testing.T) {
+	r, sig, ix, _ := paperSetup(t)
+	opts := Options{CheckFilter: true, PruneThreshold: 2.1 - pruneSlack}
+	reused := NewCollector(ix)
+	for pass := 0; pass < 5; pass++ {
+		got, gotRaw := reused.Collect(r, sig, jacPhi, opts)
+		want, wantRaw := NewCollector(ix).Collect(r, sig, jacPhi, opts)
+		if gotRaw != wantRaw || len(got) != len(want) {
+			t.Fatalf("pass %d: reused collector (%d cands, raw %d) != fresh (%d, %d)",
+				pass, len(got), gotRaw, len(want), wantRaw)
+		}
+		for i := range got {
+			g, w := got[i], want[i]
+			if g.Set != w.Set || g.NumPassed != w.NumPassed {
+				t.Fatalf("pass %d cand %d: got set=%d passed=%d, want set=%d passed=%d",
+					pass, i, g.Set, g.NumPassed, w.Set, w.NumPassed)
+			}
+			for x := range g.BestSim {
+				if g.BestSim[x] != w.BestSim[x] || g.Passed[x] != w.Passed[x] {
+					t.Fatalf("pass %d cand %d elem %d: got (%v,%v), want (%v,%v)",
+						pass, i, x, g.BestSim[x], g.Passed[x], w.BestSim[x], w.Passed[x])
+				}
+			}
+		}
+	}
+}
+
+// TestCollectorSteadyStateAllocs pins candidate collection at zero
+// steady-state allocations: every Candidate and its backing slices must be
+// recycled across passes.
+func TestCollectorSteadyStateAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race instrumentation allocates; budgets hold only in plain builds")
+	}
+	r, sig, ix, _ := paperSetup(t)
+	opts := Options{CheckFilter: true, PruneThreshold: 2.1 - pruneSlack}
+	cl := NewCollector(ix)
+	cl.Collect(r, sig, jacPhi, opts)
+	cl.Collect(r, sig, jacPhi, opts)
+	if got := testing.AllocsPerRun(100, func() { cl.Collect(r, sig, jacPhi, opts) }); got > 0 {
+		t.Errorf("steady-state Collect allocates %.1f objects, want 0", got)
+	}
+}
+
+// TestFreeCollectCopiesOut checks the pooled single-shot form: results from
+// consecutive calls must not alias each other (the pooled collector's
+// scratch is recycled between them).
+func TestFreeCollectCopiesOut(t *testing.T) {
+	r, sig, ix, _ := paperSetup(t)
+	opts := Options{CheckFilter: true, PruneThreshold: 2.1 - pruneSlack}
+	first, _ := Collect(r, sig, ix, jacPhi, opts)
+	snapshot := make([]Candidate, len(first))
+	for i, c := range first {
+		snapshot[i] = Candidate{Set: c.Set, NumPassed: c.NumPassed,
+			BestSim: append([]float64(nil), c.BestSim...),
+			Passed:  append([]bool(nil), c.Passed...)}
+	}
+	Collect(r, sig, ix, jacPhi, Options{CheckFilter: false}) // would stomp shared scratch
+	for i, c := range first {
+		w := &snapshot[i]
+		if c.Set != w.Set || c.NumPassed != w.NumPassed {
+			t.Fatalf("cand %d mutated by later Collect: got set=%d passed=%d, want set=%d passed=%d",
+				i, c.Set, c.NumPassed, w.Set, w.NumPassed)
+		}
+		for x := range c.BestSim {
+			if c.BestSim[x] != w.BestSim[x] || c.Passed[x] != w.Passed[x] {
+				t.Fatalf("cand %d elem %d mutated by later Collect", i, x)
+			}
+		}
+	}
+}

@@ -10,6 +10,8 @@
 package filter
 
 import (
+	"sync"
+
 	"silkmoth/internal/dataset"
 	"silkmoth/internal/index"
 	"silkmoth/internal/signature"
@@ -53,8 +55,13 @@ type Options struct {
 
 // Collector runs candidate selection over one inverted index, reusing its
 // per-set scratch across search passes (discovery runs one pass per
-// reference set, so per-pass map allocations would dominate). It is not
-// safe for concurrent use; create one per worker.
+// reference set, so per-pass map allocations would dominate). Candidate
+// values are pooled per set slot: a slot's Candidate (and its BestSim /
+// Passed backing) is allocated the first time the set is ever touched and
+// recycled on every later pass, so steady-state collection performs no
+// per-candidate heap allocations. The slice Collect returns is likewise
+// reused — its contents are valid only until the next Collect call. A
+// Collector is not safe for concurrent use; create one per worker.
 type Collector struct {
 	ix *index.Inverted
 	// Per-set scratch, epoch-stamped so clearing is O(1) per pass.
@@ -65,6 +72,8 @@ type Collector struct {
 	// order records touched set ids so output order is deterministic
 	// (first-touch order) and iteration avoids scanning all sets.
 	order []int32
+	// out is the reused survivor slice handed to the caller.
+	out []*Candidate
 }
 
 // NewCollector returns a collector over the given index.
@@ -130,8 +139,7 @@ func (cl *Collector) Collect(r *dataset.Set, sig *signature.Signature, phi SimFu
 						continue
 					}
 					cl.rejected[p.Set] = false
-					c = newCandidate(p.Set, n)
-					cl.cand[p.Set] = c
+					c = cl.candidateFor(p.Set, n)
 					cl.order = append(cl.order, p.Set)
 				}
 				if !opts.CheckFilter {
@@ -150,31 +158,66 @@ func (cl *Collector) Collect(r *dataset.Set, sig *signature.Signature, phi SimFu
 		}
 	}
 
-	out := make([]*Candidate, 0, len(cl.order))
+	cl.out = cl.out[:0]
 	for _, set := range cl.order {
 		c := cl.cand[set]
-		cl.cand[set] = nil // release for GC; Candidate escapes to caller
 		if opts.CheckFilter && c.NumPassed == 0 && sig.SumBound < opts.PruneThreshold {
 			continue // Algorithm 1's rejection: bounds prove it unrelated
 		}
-		out = append(out, c)
+		cl.out = append(cl.out, c)
 	}
-	return out, len(cl.order)
+	return cl.out, len(cl.order)
 }
 
-// Collect is the single-shot convenience form of Collector.Collect.
-func Collect(r *dataset.Set, sig *signature.Signature, ix *index.Inverted, phi SimFunc, opts Options) ([]*Candidate, int) {
-	return NewCollector(ix).Collect(r, sig, phi, opts)
-}
-
-func newCandidate(set int32, n int) *Candidate {
-	c := &Candidate{
-		Set:     set,
-		BestSim: make([]float64, n),
-		Passed:  make([]bool, n),
+// candidateFor returns the pooled Candidate for a set slot, allocating it
+// on the slot's first-ever touch and resetting its per-pass state (BestSim
+// to -1, Passed to false) sized to the reference's n elements.
+func (cl *Collector) candidateFor(set int32, n int) *Candidate {
+	c := cl.cand[set]
+	if c == nil {
+		c = &Candidate{Set: set}
+		cl.cand[set] = c
 	}
-	for i := range c.BestSim {
+	if cap(c.BestSim) < n {
+		c.BestSim = make([]float64, n)
+		c.Passed = make([]bool, n)
+	}
+	c.BestSim = c.BestSim[:n]
+	c.Passed = c.Passed[:n]
+	for i := 0; i < n; i++ {
 		c.BestSim[i] = -1
+		c.Passed[i] = false
 	}
+	c.NumPassed = 0
 	return c
+}
+
+// collectorPool recycles whole Collectors for the single-shot Collect form.
+// Entries are bound to the index they were built over; a pooled collector
+// whose index differs from the caller's is discarded and rebuilt.
+var collectorPool sync.Pool
+
+// Collect is the single-shot convenience form of Collector.Collect: it
+// borrows a pooled Collector (the collection logic lives only on the
+// Collector; this function owns no duplicate of it) and deep-copies the
+// survivors out of the collector's scratch, so the returned candidates stay
+// valid indefinitely — unlike Collector.Collect's reused buffers.
+func Collect(r *dataset.Set, sig *signature.Signature, ix *index.Inverted, phi SimFunc, opts Options) ([]*Candidate, int) {
+	cl, _ := collectorPool.Get().(*Collector)
+	if cl == nil || cl.ix != ix {
+		cl = NewCollector(ix)
+	}
+	cands, raw := cl.Collect(r, sig, phi, opts)
+	out := make([]*Candidate, len(cands))
+	for i, c := range cands {
+		cp := &Candidate{
+			Set:       c.Set,
+			BestSim:   append([]float64(nil), c.BestSim...),
+			Passed:    append([]bool(nil), c.Passed...),
+			NumPassed: c.NumPassed,
+		}
+		out[i] = cp
+	}
+	collectorPool.Put(cl)
+	return out, raw
 }

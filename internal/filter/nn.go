@@ -111,7 +111,21 @@ func NNFilter(r *dataset.Set, sig *signature.Signature, c *Candidate, ns *NNSear
 // ⌈|r_i|/q⌉ mismatching q-chunks, so Eds ≤ |r_i|/(|r_i|+⌈|r_i|/q⌉)
 // (and NEds ≤ Eds, §7.1); a value below α collapses to 0.
 func NoShareFloors(r *dataset.Set, sig *signature.Signature, mode dataset.TokenMode, alpha float64) []float64 {
-	floors := make([]float64, len(r.Elements))
+	return AppendNoShareFloors(nil, r, sig, mode, alpha)
+}
+
+// AppendNoShareFloors is NoShareFloors into a caller-owned buffer: dst is
+// resized (reusing its capacity) and returned, so per-pass workers compute
+// floors without allocating.
+func AppendNoShareFloors(dst []float64, r *dataset.Set, sig *signature.Signature, mode dataset.TokenMode, alpha float64) []float64 {
+	n := len(r.Elements)
+	if cap(dst) < n {
+		dst = make([]float64, n)
+	}
+	floors := dst[:n]
+	for i := range floors {
+		floors[i] = 0
+	}
 	if mode == dataset.ModeWord {
 		return floors
 	}

@@ -1,10 +1,9 @@
 // Package matching implements maximum-weight bipartite matching, the |R ∩̃ S|
 // computation at the heart of SilkMoth's relatedness metrics (paper §2.1),
 // plus the triangle-inequality reduction of §5.3 and an exhaustive oracle
-// used by tests.
+// used by tests. The solver itself lives in Scratch (scratch.go); the
+// functions here are the allocation-per-call convenience forms.
 package matching
-
-import "math"
 
 // MaxWeightScore returns the score of the maximum-weight bipartite matching
 // of the weight matrix w, where w[i][j] ≥ 0 is the weight of the edge between
@@ -12,11 +11,10 @@ import "math"
 //
 // Because weights are non-negative, some maximum-weight matching saturates
 // the smaller side, so the problem reduces to the rectangular assignment
-// problem, solved here with the Jonker-Volgenant style Hungarian algorithm in
-// O(n²·m) time for n = min rows, m = max.
+// problem, solved with the Jonker-Volgenant style Hungarian algorithm in
+// O(n²·m) time for n = min rows, m = max (Scratch.solve).
 func MaxWeightScore(w [][]float64) float64 {
-	assign, score := Assign(w)
-	_ = assign
+	_, score := Assign(w)
 	return score
 }
 
@@ -35,109 +33,30 @@ func Assign(w [][]float64) ([]int, float64) {
 		return make([]int, n), 0
 	}
 
-	transposed := false
-	rows, cols := n, m
-	get := func(i, j int) float64 { return w[i][j] }
-	if rows > cols {
-		transposed = true
-		rows, cols = cols, rows
-		get = func(i, j int) float64 { return w[j][i] }
-	}
-
-	// Hungarian algorithm with potentials, minimizing cost = maxW - w.
-	// All rows (the smaller side) end up assigned; converting back, zero
-	// padding is implicit because cost is bounded by maxW.
-	maxW := 0.0
+	var sc Scratch
+	sc.w = growFloats(sc.w, n*m)
+	idx := 0
 	for i := 0; i < n; i++ {
 		for j := 0; j < m; j++ {
-			if w[i][j] > maxW {
-				maxW = w[i][j]
-			}
-			if w[i][j] < 0 {
-				panic("matching: negative weight")
-			}
+			sc.w[idx] = w[i][j]
+			idx++
 		}
 	}
-
-	cost := func(i, j int) float64 { return maxW - get(i, j) }
-
-	const inf = math.MaxFloat64
-	u := make([]float64, rows+1)
-	v := make([]float64, cols+1)
-	p := make([]int, cols+1) // p[j] = row assigned to column j (1-based), 0 = free
-	way := make([]int, cols+1)
-
-	for i := 1; i <= rows; i++ {
-		p[0] = i
-		j0 := 0
-		minv := make([]float64, cols+1)
-		used := make([]bool, cols+1)
-		for j := range minv {
-			minv[j] = inf
-		}
-		for {
-			used[j0] = true
-			i0 := p[j0]
-			delta := inf
-			j1 := -1
-			for j := 1; j <= cols; j++ {
-				if used[j] {
-					continue
-				}
-				cur := cost(i0-1, j-1) - u[i0] - v[j]
-				if cur < minv[j] {
-					minv[j] = cur
-					way[j] = j0
-				}
-				if minv[j] < delta {
-					delta = minv[j]
-					j1 = j
-				}
-			}
-			for j := 0; j <= cols; j++ {
-				if used[j] {
-					u[p[j]] += delta
-					v[j] -= delta
-				} else {
-					minv[j] -= delta
-				}
-			}
-			j0 = j1
-			if p[j0] == 0 {
-				break
-			}
-		}
-		for {
-			j1 := way[j0]
-			p[j0] = p[j1]
-			j0 = j1
-			if j0 == 0 {
-				break
-			}
-		}
-	}
-
-	rowTo := make([]int, rows)
-	for j := 1; j <= cols; j++ {
-		if p[j] != 0 {
-			rowTo[p[j]-1] = j - 1
-		}
-	}
+	score := sc.solve(n, m)
 
 	assign := make([]int, n)
-	score := 0.0
-	if !transposed {
-		for i := 0; i < rows; i++ {
-			assign[i] = rowTo[i]
-			score += get(i, rowTo[i])
+	if n <= m {
+		for i := 0; i < n; i++ {
+			assign[i] = int(sc.rowTo[i])
 		}
 	} else {
+		// Transposed solve: rowTo indexes original columns; rows beyond
+		// the column count stay unmatched.
 		for i := range assign {
 			assign[i] = -1
 		}
-		for i := 0; i < rows; i++ { // i indexes original columns here
-			assign[rowTo[i]] = i
-			score += get(i, rowTo[i])
+		for i := 0; i < m; i++ {
+			assign[sc.rowTo[i]] = i
 		}
 	}
 	return assign, score

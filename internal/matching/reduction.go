@@ -13,69 +13,40 @@ package matching
 // 0 by convention). sim(i, j) returns φ_α between left element i and right
 // element j and is only invoked for unreduced elements.
 //
+// This is the string-keyed convenience form: it interns the keys to dense
+// integers and delegates to Scratch.ScoreReduced, which the engine's hot
+// path calls directly with build-time interned keys (dataset.Element.Key).
+//
 // The caller is responsible for only using this when 1-φ satisfies the
 // triangle inequality and α = 0 (paper §6.5): Jaccard and Eds qualify,
 // NEds and any α > 0 do not.
 func ScoreWithReduction(keyR, keyS []string, sim func(i, j int) float64) float64 {
-	// Index right elements by key.
-	byKey := make(map[string][]int, len(keyS))
-	for j, k := range keyS {
-		if k == "" {
-			continue
-		}
-		byKey[k] = append(byKey[k], j)
-	}
-
-	usedS := make([]bool, len(keyS))
-	var leftRest []int
-	identical := 0
-	for i, k := range keyR {
-		if k != "" {
-			if js := byKey[k]; len(js) > 0 {
-				j := js[len(js)-1]
-				byKey[k] = js[:len(js)-1]
-				usedS[j] = true
-				identical++
+	ids := make(map[string]int32, len(keyR)+len(keyS))
+	conv := func(keys []string) []int32 {
+		out := make([]int32, len(keys))
+		for i, k := range keys {
+			if k == "" {
+				out[i] = -1
 				continue
 			}
+			id, ok := ids[k]
+			if !ok {
+				id = int32(len(ids))
+				ids[k] = id
+			}
+			out[i] = id
 		}
-		leftRest = append(leftRest, i)
+		return out
 	}
-	var rightRest []int
-	for j := range keyS {
-		if !usedS[j] {
-			rightRest = append(rightRest, j)
-		}
-	}
-
-	score := float64(identical)
-	if len(leftRest) == 0 || len(rightRest) == 0 {
-		return score
-	}
-	w := make([][]float64, len(leftRest))
-	for a, i := range leftRest {
-		row := make([]float64, len(rightRest))
-		for b, j := range rightRest {
-			row[b] = sim(i, j)
-		}
-		w[a] = row
-	}
-	return score + MaxWeightScore(w)
+	kr, ks := conv(keyR), conv(keyS)
+	var sc Scratch
+	return sc.ScoreReduced(kr, ks, simFunc(sim))
 }
 
 // Score computes the maximum-weight bipartite matching score between nR and
-// nS elements without the reduction, materializing the full weight matrix.
+// nS elements without the reduction. This is the allocation-per-call form of
+// Scratch.Score.
 func Score(nR, nS int, sim func(i, j int) float64) float64 {
-	if nR == 0 || nS == 0 {
-		return 0
-	}
-	w := make([][]float64, nR)
-	for i := 0; i < nR; i++ {
-		row := make([]float64, nS)
-		for j := 0; j < nS; j++ {
-			row[j] = sim(i, j)
-		}
-		w[i] = row
-	}
-	return MaxWeightScore(w)
+	var sc Scratch
+	return sc.Score(nR, nS, simFunc(sim))
 }

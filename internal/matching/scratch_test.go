@@ -1,0 +1,108 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+
+	"silkmoth/internal/raceflag"
+)
+
+// TestScratchReuseMatchesFresh drives one Scratch through many random
+// instances of varying shape and checks every score against a fresh
+// Scratch and the package-level entry points: buffer reuse must never leak
+// state between computations.
+func TestScratchReuseMatchesFresh(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var reused Scratch
+	for trial := 0; trial < 200; trial++ {
+		nR, nS := 1+rng.Intn(7), 1+rng.Intn(7)
+		w := make([][]float64, nR)
+		for i := range w {
+			w[i] = make([]float64, nS)
+			for j := range w[i] {
+				w[i][j] = float64(rng.Intn(10)) / 10
+			}
+		}
+		sim := func(i, j int) float64 { return w[i][j] }
+		got := reused.Score(nR, nS, simFunc(sim))
+		var fresh Scratch
+		if want := fresh.Score(nR, nS, simFunc(sim)); got != want {
+			t.Fatalf("trial %d (%dx%d): reused scratch %v, fresh %v", trial, nR, nS, got, want)
+		}
+		if want := MaxWeightScore(w); got != want {
+			t.Fatalf("trial %d (%dx%d): scratch %v, MaxWeightScore %v", trial, nR, nS, got, want)
+		}
+	}
+}
+
+// TestScoreReducedMatchesStringForm checks the integer-key reduction against
+// the string-keyed wrapper on random instances with heavy key collisions,
+// including interleaved reuse of one Scratch.
+func TestScoreReducedMatchesStringForm(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	keyspace := []string{"", "a", "b", "c", "d"}
+	var reused Scratch
+	for trial := 0; trial < 200; trial++ {
+		nR, nS := 1+rng.Intn(6), 1+rng.Intn(6)
+		keyR := make([]string, nR)
+		keyS := make([]string, nS)
+		for i := range keyR {
+			keyR[i] = keyspace[rng.Intn(len(keyspace))]
+		}
+		for j := range keyS {
+			keyS[j] = keyspace[rng.Intn(len(keyspace))]
+		}
+		w := make([][]float64, nR)
+		for i := range w {
+			w[i] = make([]float64, nS)
+			for j := range w[i] {
+				if keyR[i] != "" && keyR[i] == keyS[j] {
+					w[i][j] = 1 // identical elements have similarity 1
+				} else {
+					w[i][j] = float64(rng.Intn(10)) / 10
+				}
+			}
+		}
+		sim := func(i, j int) float64 { return w[i][j] }
+		want := ScoreWithReduction(keyR, keyS, sim)
+
+		// Integer keys via an arbitrary (different) interning order.
+		ids := map[string]int32{"a": 40, "b": 7, "c": 19, "d": 3}
+		conv := func(keys []string) []int32 {
+			out := make([]int32, len(keys))
+			for i, k := range keys {
+				if k == "" {
+					out[i] = -1
+				} else {
+					out[i] = ids[k]
+				}
+			}
+			return out
+		}
+		got := reused.ScoreReduced(conv(keyR), conv(keyS), simFunc(sim))
+		if got != want {
+			t.Fatalf("trial %d: ScoreReduced %v, ScoreWithReduction %v (keyR=%v keyS=%v)",
+				trial, got, want, keyR, keyS)
+		}
+	}
+}
+
+// TestScratchScoreAllocs pins the zero-allocation property of a reused
+// scratch.
+func TestScratchScoreAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race instrumentation allocates; budgets hold only in plain builds")
+	}
+	var sc Scratch
+	wts := simFunc(func(i, j int) float64 { return float64((i*7+j*3)%10) / 10 })
+	keyR := []int32{1, -1, 2, 3}
+	keyS := []int32{2, 1, -1, 5, 1}
+	sc.Score(6, 8, wts)
+	sc.ScoreReduced(keyR, keyS, wts)
+	if got := testing.AllocsPerRun(100, func() { sc.Score(6, 8, wts) }); got > 0 {
+		t.Errorf("Scratch.Score allocates %.1f objects steady-state, want 0", got)
+	}
+	if got := testing.AllocsPerRun(100, func() { sc.ScoreReduced(keyR, keyS, wts) }); got > 0 {
+		t.Errorf("Scratch.ScoreReduced allocates %.1f objects steady-state, want 0", got)
+	}
+}

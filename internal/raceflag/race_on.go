@@ -1,0 +1,10 @@
+//go:build race
+
+// Package raceflag reports whether the race detector instruments this
+// build. Allocation-regression tests skip themselves under -race: the
+// instrumentation itself allocates, so AllocsPerRun budgets only hold in
+// plain builds (which CI runs separately from the race suite).
+package raceflag
+
+// Enabled is true when the binary was built with -race.
+const Enabled = true

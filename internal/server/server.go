@@ -808,11 +808,24 @@ type statsResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
 	Engine        struct {
 		SearchPasses int64 `json:"search_passes"`
+		FullScans    int64 `json:"full_scans"`
+		SigTokens    int64 `json:"sig_tokens"`
 		Candidates   int64 `json:"candidates"`
 		AfterCheck   int64 `json:"after_check"`
+		CheckPruned  int64 `json:"check_pruned"`
 		AfterNN      int64 `json:"after_nn"`
+		NNPruned     int64 `json:"nn_pruned"`
 		Verified     int64 `json:"verified"`
 		Compactions  int64 `json:"compactions"`
+		// Scheme counts signatured passes by the concrete signature
+		// scheme that probed the index; with -scheme auto it exposes
+		// the per-query cost-based selection.
+		Scheme struct {
+			Weighted       int64 `json:"weighted"`
+			Skyline        int64 `json:"skyline"`
+			Dichotomy      int64 `json:"dichotomy"`
+			CombUnweighted int64 `json:"combunweighted"`
+		} `json:"scheme"`
 	} `json:"engine"`
 	Cache struct {
 		Entries int   `json:"entries"`
@@ -834,11 +847,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Alpha = s.cfg.Alpha
 	resp.UptimeSeconds = s.met.uptime().Seconds()
 	resp.Engine.SearchPasses = st.SearchPasses
+	resp.Engine.FullScans = st.FullScans
+	resp.Engine.SigTokens = st.SigTokens
 	resp.Engine.Candidates = st.Candidates
 	resp.Engine.AfterCheck = st.AfterCheck
+	resp.Engine.CheckPruned = st.CheckPruned
 	resp.Engine.AfterNN = st.AfterNN
+	resp.Engine.NNPruned = st.NNPruned
 	resp.Engine.Verified = st.Verified
 	resp.Engine.Compactions = st.Compactions
+	resp.Engine.Scheme.Weighted = st.SchemeWeighted
+	resp.Engine.Scheme.Skyline = st.SchemeSkyline
+	resp.Engine.Scheme.Dichotomy = st.SchemeDichotomy
+	resp.Engine.Scheme.CombUnweighted = st.SchemeCombUnweighted
 	resp.Cache.Entries = s.cache.len()
 	resp.Cache.Hits = s.met.hits()
 	resp.Cache.Misses = s.met.misses()
@@ -876,9 +897,30 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(out, "# HELP silkmothd_engine_search_passes_total Search passes run by the engine.\n")
 		fmt.Fprintf(out, "# TYPE silkmothd_engine_search_passes_total counter\n")
 		fmt.Fprintf(out, "silkmothd_engine_search_passes_total %d\n", st.SearchPasses)
+		fmt.Fprintf(out, "# HELP silkmothd_engine_full_scans_total Signatureless full-scan passes run by the engine.\n")
+		fmt.Fprintf(out, "# TYPE silkmothd_engine_full_scans_total counter\n")
+		fmt.Fprintf(out, "silkmothd_engine_full_scans_total %d\n", st.FullScans)
+		fmt.Fprintf(out, "# HELP silkmothd_engine_signature_tokens_total Signature tokens generated across passes.\n")
+		fmt.Fprintf(out, "# TYPE silkmothd_engine_signature_tokens_total counter\n")
+		fmt.Fprintf(out, "silkmothd_engine_signature_tokens_total %d\n", st.SigTokens)
+		fmt.Fprintf(out, "# HELP silkmothd_engine_candidates_total Candidate sets matched by signature tokens before refinement.\n")
+		fmt.Fprintf(out, "# TYPE silkmothd_engine_candidates_total counter\n")
+		fmt.Fprintf(out, "silkmothd_engine_candidates_total %d\n", st.Candidates)
+		fmt.Fprintf(out, "# HELP silkmothd_engine_check_pruned_total Candidates rejected by the check filter.\n")
+		fmt.Fprintf(out, "# TYPE silkmothd_engine_check_pruned_total counter\n")
+		fmt.Fprintf(out, "silkmothd_engine_check_pruned_total %d\n", st.CheckPruned)
+		fmt.Fprintf(out, "# HELP silkmothd_engine_nn_pruned_total Candidates rejected by the nearest-neighbor filter.\n")
+		fmt.Fprintf(out, "# TYPE silkmothd_engine_nn_pruned_total counter\n")
+		fmt.Fprintf(out, "silkmothd_engine_nn_pruned_total %d\n", st.NNPruned)
 		fmt.Fprintf(out, "# HELP silkmothd_engine_verified_total Maximum-matching verifications run by the engine.\n")
 		fmt.Fprintf(out, "# TYPE silkmothd_engine_verified_total counter\n")
 		fmt.Fprintf(out, "silkmothd_engine_verified_total %d\n", st.Verified)
+		fmt.Fprintf(out, "# HELP silkmothd_engine_scheme_selected_total Signatured passes by concrete signature scheme.\n")
+		fmt.Fprintf(out, "# TYPE silkmothd_engine_scheme_selected_total counter\n")
+		fmt.Fprintf(out, "silkmothd_engine_scheme_selected_total{scheme=\"weighted\"} %d\n", st.SchemeWeighted)
+		fmt.Fprintf(out, "silkmothd_engine_scheme_selected_total{scheme=\"skyline\"} %d\n", st.SchemeSkyline)
+		fmt.Fprintf(out, "silkmothd_engine_scheme_selected_total{scheme=\"dichotomy\"} %d\n", st.SchemeDichotomy)
+		fmt.Fprintf(out, "silkmothd_engine_scheme_selected_total{scheme=\"combunweighted\"} %d\n", st.SchemeCombUnweighted)
 		fmt.Fprintf(out, "# HELP silkmothd_result_cache_entries Entries in the result cache.\n")
 		fmt.Fprintf(out, "# TYPE silkmothd_result_cache_entries gauge\n")
 		fmt.Fprintf(out, "silkmothd_result_cache_entries %d\n", s.cache.len())

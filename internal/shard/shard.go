@@ -206,10 +206,17 @@ func (e *Engine) Stats() core.StatsSnapshot {
 		st := eng.Stats()
 		sum.SearchPasses += st.SearchPasses
 		sum.FullScans += st.FullScans
+		sum.SigTokens += st.SigTokens
 		sum.Candidates += st.Candidates
 		sum.AfterCheck += st.AfterCheck
+		sum.CheckPruned += st.CheckPruned
 		sum.AfterNN += st.AfterNN
+		sum.NNPruned += st.NNPruned
 		sum.Verified += st.Verified
+		sum.SchemeWeighted += st.SchemeWeighted
+		sum.SchemeCombUnweighted += st.SchemeCombUnweighted
+		sum.SchemeSkyline += st.SchemeSkyline
+		sum.SchemeDichotomy += st.SchemeDichotomy
 	}
 	return sum
 }

@@ -111,7 +111,7 @@ func generateCombUnweighted(r *dataset.Set, p Params, ix *index.Inverted, q int)
 			available = len(el.Chunks)
 		}
 		if satSize, ok := simThreshSize(p.Family, p.Alpha, el.Length, available); ok {
-			if cut, covered := cheapestCovering(keep, el, p.Family, satSize, ix); covered {
+			if cut, covered := cheapestCoveringAlloc(keep, el, p.Family, satSize, ix); covered {
 				keep = cut
 				bound = 0
 			}
@@ -120,4 +120,20 @@ func generateCombUnweighted(r *dataset.Set, p Params, ix *index.Inverted, q int)
 		sig.SumBound += bound
 	}
 	return sig
+}
+
+// cheapestCoveringAlloc is the baseline's allocation-per-call form of the
+// covering selection: it delegates to Generator.cheapestCovering on a
+// throwaway generator (one covering rule for every scheme) and copies the
+// result out of the generator's scratch. CombUnweighted exists as the
+// paper's comparison baseline, so it does not thread worker scratch
+// through.
+func cheapestCoveringAlloc(candidates []tokens.ID, el *dataset.Element, f Family, need int, ix *index.Inverted) ([]tokens.ID, bool) {
+	var g Generator
+	var s elemState
+	cut, ok := g.cheapestCovering(candidates, el, f, need, ix, &s)
+	if !ok {
+		return nil, false
+	}
+	return append([]tokens.ID(nil), cut...), true
 }

@@ -1,0 +1,140 @@
+package signature
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"silkmoth/internal/dataset"
+	"silkmoth/internal/index"
+	"silkmoth/internal/raceflag"
+	"silkmoth/internal/tokens"
+)
+
+// randomWordSetup builds a random word-mode corpus and returns its index
+// plus the tokenized references.
+func randomWordSetup(seed int64, nSets, nRefs int) ([]*dataset.Set, *index.Inverted) {
+	rng := rand.New(rand.NewSource(seed))
+	mk := func(n int) []dataset.RawSet {
+		raws := make([]dataset.RawSet, n)
+		for i := range raws {
+			ne := 1 + rng.Intn(5)
+			elems := make([]string, ne)
+			for j := range elems {
+				k := 1 + rng.Intn(5)
+				s := ""
+				for w := 0; w < k; w++ {
+					if w > 0 {
+						s += " "
+					}
+					s += fmt.Sprintf("t%d", rng.Intn(30))
+				}
+				elems[j] = s
+			}
+			raws[i] = dataset.RawSet{Name: fmt.Sprintf("s%d", i), Elements: elems}
+		}
+		return raws
+	}
+	dict := tokens.NewDictionary()
+	coll := dataset.BuildWord(dict, mk(nSets))
+	ix := index.Build(coll)
+	refColl := dataset.BuildWord(dict, mk(nRefs))
+	refs := make([]*dataset.Set, nRefs)
+	for i := range refs {
+		refs[i] = &refColl.Sets[i]
+	}
+	return refs, ix
+}
+
+func sigEqual(a, b *Signature) bool {
+	if a.Valid != b.Valid || a.SumBound != b.SumBound || len(a.Elements) != len(b.Elements) {
+		return false
+	}
+	for i := range a.Elements {
+		ea, eb := &a.Elements[i], &b.Elements[i]
+		if ea.Bound != eb.Bound || len(ea.Tokens) != len(eb.Tokens) {
+			return false
+		}
+		for x := range ea.Tokens {
+			if ea.Tokens[x] != eb.Tokens[x] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestGeneratorReuseMatchesFresh drives one Generator across many
+// references and schemes, checking every signature bit-for-bit against a
+// fresh generation: arena and buffer reuse must never leak state between
+// passes.
+func TestGeneratorReuseMatchesFresh(t *testing.T) {
+	refs, ix := randomWordSetup(11, 40, 25)
+	for _, alpha := range []float64{0, 0.5} {
+		p := Params{Delta: 0.6, Alpha: alpha}
+		var g Generator
+		for _, kind := range []Kind{Weighted, Dichotomy, Skyline, CombUnweighted} {
+			for ri, r := range refs {
+				got := g.Generate(kind, r, p, ix)
+				fresh := Generate(kind, r, p, ix)
+				if !sigEqual(got, &fresh) {
+					t.Fatalf("α=%v %v ref %d: reused generator diverged from fresh:\n got=%+v\nwant=%+v",
+						alpha, kind, ri, got, fresh)
+				}
+			}
+		}
+	}
+}
+
+// TestSelectorAutoPicksCheapest pins the Auto cost model: the selected
+// signature's probe cost never exceeds the other candidate's, and at α = 0
+// the selector short-circuits to Weighted.
+func TestSelectorAutoPicksCheapest(t *testing.T) {
+	refs, ix := randomWordSetup(13, 40, 25)
+	var sel Selector
+	p := Params{Delta: 0.6}
+	for _, r := range refs {
+		_, kind := sel.Generate(Auto, r, p, ix)
+		if kind != Weighted {
+			t.Fatalf("α=0 Auto must resolve to Weighted, got %v", kind)
+		}
+	}
+	p.Alpha = 0.5
+	var gen Generator
+	for ri, r := range refs {
+		sig, kind := sel.Generate(Auto, r, p, ix)
+		cost := ProbeCost(sig, ix)
+		costD := ProbeCost(gen.Generate(Dichotomy, r, p, ix), ix)
+		costS := ProbeCost(gen.Generate(Skyline, r, p, ix), ix)
+		minCost := costD
+		if costS < minCost {
+			minCost = costS
+		}
+		if cost != minCost {
+			t.Fatalf("ref %d: Auto picked %v with cost %d, cheapest candidate costs %d (dich %d, sky %d)",
+				ri, kind, cost, minCost, costD, costS)
+		}
+		if kind != Dichotomy && kind != Skyline {
+			t.Fatalf("ref %d: α>0 Auto must pick Dichotomy or Skyline, got %v", ri, kind)
+		}
+	}
+}
+
+// TestGeneratorAllocs pins steady-state generation allocations for the
+// weighted-family schemes at zero.
+func TestGeneratorAllocs(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race instrumentation allocates; budgets hold only in plain builds")
+	}
+	refs, ix := randomWordSetup(17, 60, 1)
+	r := refs[0]
+	p := Params{Delta: 0.6, Alpha: 0.5}
+	for _, kind := range []Kind{Weighted, Dichotomy, Skyline} {
+		var g Generator
+		g.Generate(kind, r, p, ix)
+		g.Generate(kind, r, p, ix)
+		if got := testing.AllocsPerRun(100, func() { g.Generate(kind, r, p, ix) }); got > 0 {
+			t.Errorf("%v: steady-state generation allocates %.1f objects, want 0", kind, got)
+		}
+	}
+}

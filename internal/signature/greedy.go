@@ -3,14 +3,16 @@ package signature
 import (
 	"container/heap"
 	"math"
-	"sort"
+	"slices"
 
 	"silkmoth/internal/dataset"
 	"silkmoth/internal/index"
 	"silkmoth/internal/tokens"
 )
 
-// elemState tracks one reference element during greedy selection.
+// elemState tracks one reference element during greedy selection. Its slice
+// fields are persistent scratch: a Generator reuses them across passes, so
+// steady-state generation performs no per-query heap allocations.
 type elemState struct {
 	length    int  // |r_i|: token count (word) or rune length (edit)
 	totalOcc  int  // available signature token occurrences
@@ -19,17 +21,21 @@ type elemState struct {
 	satOK     bool // whether saturation is attainable
 	saturated bool
 	contrib   float64 // current Bound_i contribution
-	// distinct picked tokens and their per-element occurrence counts
+	// pickedTokens holds the element's distinct picked signature tokens
+	// and doubles as the ElemSig.Tokens backing after assembly.
 	pickedTokens []tokens.ID
-	pickedOccs   []int
+	// cutTokens backs the element's skyline-cut signature when the cut
+	// applies (a subset of pickedTokens, chosen cheapest-first).
+	cutTokens []tokens.ID
 }
 
-// tokEntry is one distinct candidate signature token.
+// tokEntry is one distinct candidate signature token. Entries live in the
+// Generator's arena and keep their slice capacities across passes.
 type tokEntry struct {
 	id    tokens.ID
 	cost  float64 // |I[t]|
-	elems []int   // reference elements containing the token
-	occs  []int   // occurrences per element (chunks can repeat)
+	elems []int32 // reference elements containing the token
+	occs  []int32 // occurrences per element (chunks can repeat)
 	value float64 // value at the time of the last heap push
 }
 
@@ -69,7 +75,7 @@ func tokenValue(f Family, es []elemState, t *tokEntry) float64 {
 		if s.saturated || s.length == 0 {
 			continue
 		}
-		v += s.contrib - contribAfter(f, s.length, s.picked+t.occs[x])
+		v += s.contrib - contribAfter(f, s.length, s.picked+int(t.occs[x]))
 	}
 	return v
 }
@@ -101,84 +107,236 @@ func (h *ratioHeap) Pop() interface{} {
 	return x
 }
 
-// buildStates prepares the element states and candidate tokens for r.
-func buildStates(r *dataset.Set, p Params, ix *index.Inverted, q int) ([]elemState, []*tokEntry, float64) {
+// Generator owns the reusable scratch of signature generation: element
+// states, the candidate-token arena with its epoch-stamped dedup tables
+// (dense token ids replace the historical per-pass maps), the selection
+// heap, and the output Signature's buffers. Steady-state generation of the
+// weighted-family schemes performs no per-query heap allocations.
+//
+// The Signature returned by Generate points into the Generator's buffers
+// and is valid only until the next Generate call; one search pass consumes
+// it before the next begins. A Generator is not safe for concurrent use;
+// create one per worker. The zero value is ready to use.
+type Generator struct {
+	sig Signature
+	es  []elemState
+	// arena holds the pass's distinct candidate tokens; slot/stamp give
+	// O(1) token → arena-index lookup without a map (stamp[t] == epoch
+	// marks slot[t] valid).
+	arena []tokEntry
+	slot  []int32
+	stamp []uint32
+	epoch uint32
+	// occ* count chunk occurrences within one element (and back the
+	// skyline cut's occurrence lookup), epoch-stamped per element.
+	occStamp []uint32
+	occCnt   []int32
+	occEpoch uint32
+	occOrder []tokens.ID
+	h        ratioHeap
+	// tcs is the skyline cut's cost-sorting scratch.
+	tcs []tokCost
+}
+
+type tokCost struct {
+	id   tokens.ID
+	cost int
+	occ  int
+}
+
+// Generate builds a signature of the given kind for reference set r against
+// the inverted index ix (whose lengths are the token costs), reusing the
+// generator's scratch. Params.Family selects between the Jaccard-style (§4),
+// edit-similarity (§7), and the Dice/Cosine generalized formulations; it
+// must match the collection's tokenization. Kind Auto is resolved by
+// Selector, not here.
+func (g *Generator) Generate(kind Kind, r *dataset.Set, p Params, ix *index.Inverted) *Signature {
+	if p.Family.usesChunks() != (ix.Collection().Mode == dataset.ModeQGram) {
+		panic("signature: Params.Family does not match collection tokenization")
+	}
+	q := ix.Collection().Q
+	switch kind {
+	case Weighted:
+		g.generateGreedy(r, p, ix, false)
+	case Dichotomy:
+		g.generateGreedy(r, p, ix, true)
+	case Skyline:
+		g.generateGreedy(r, p, ix, false)
+		g.applySkylineCut(r, p, ix)
+	case CombUnweighted:
+		g.sig = generateCombUnweighted(r, p, ix, q)
+	default:
+		panic("signature: Generate requires a concrete scheme kind")
+	}
+	return &g.sig
+}
+
+// bumpEpoch advances the token-dedup epoch, resetting stamps on wrap.
+func (g *Generator) bumpEpoch() {
+	g.epoch++
+	if g.epoch == 0 {
+		for i := range g.stamp {
+			g.stamp[i] = 0
+		}
+		g.epoch = 1
+	}
+}
+
+// bumpOccEpoch advances the per-element occurrence epoch.
+func (g *Generator) bumpOccEpoch() {
+	g.occEpoch++
+	if g.occEpoch == 0 {
+		for i := range g.occStamp {
+			g.occStamp[i] = 0
+		}
+		g.occEpoch = 1
+	}
+}
+
+// ensureTok sizes the token-keyed tables to cover id t (query sets can
+// intern tokens past the indexed dictionary's size).
+func (g *Generator) ensureTok(t tokens.ID) {
+	if int(t) < len(g.stamp) {
+		return
+	}
+	n := int(t) + 1
+	if n < 2*len(g.stamp) {
+		n = 2 * len(g.stamp)
+	}
+	stamp := make([]uint32, n)
+	copy(stamp, g.stamp)
+	g.stamp = stamp
+	slot := make([]int32, n)
+	copy(slot, g.slot)
+	g.slot = slot
+}
+
+// ensureOcc sizes the occurrence tables to cover id t.
+func (g *Generator) ensureOcc(t tokens.ID) {
+	if int(t) < len(g.occStamp) {
+		return
+	}
+	n := int(t) + 1
+	if n < 2*len(g.occStamp) {
+		n = 2 * len(g.occStamp)
+	}
+	stamp := make([]uint32, n)
+	copy(stamp, g.occStamp)
+	g.occStamp = stamp
+	cnt := make([]int32, n)
+	copy(cnt, g.occCnt)
+	g.occCnt = cnt
+}
+
+// addOcc records one (element, token, occurrences) triple, creating the
+// token's arena entry on first encounter this pass.
+func (g *Generator) addOcc(i int, t tokens.ID, occ int, ix *index.Inverted) {
+	g.ensureTok(t)
+	var idx int32
+	if g.stamp[t] == g.epoch {
+		idx = g.slot[t]
+	} else {
+		g.stamp[t] = g.epoch
+		if len(g.arena) < cap(g.arena) {
+			g.arena = g.arena[:len(g.arena)+1]
+		} else {
+			g.arena = append(g.arena, tokEntry{})
+		}
+		idx = int32(len(g.arena) - 1)
+		e := &g.arena[idx]
+		e.id = t
+		e.cost = float64(ix.ListLen(t))
+		e.elems = e.elems[:0]
+		e.occs = e.occs[:0]
+		e.value = 0
+		g.slot[t] = idx
+	}
+	e := &g.arena[idx]
+	e.elems = append(e.elems, int32(i))
+	e.occs = append(e.occs, int32(occ))
+}
+
+// buildStates prepares the element states and candidate tokens for r,
+// returning the initial Σ Bound_i.
+func (g *Generator) buildStates(r *dataset.Set, p Params, ix *index.Inverted) float64 {
 	n := len(r.Elements)
-	es := make([]elemState, n)
-	byToken := make(map[tokens.ID]*tokEntry)
+	if cap(g.es) < n {
+		g.es = make([]elemState, n)
+	}
+	g.es = g.es[:n]
+	g.arena = g.arena[:0]
+	g.bumpEpoch()
 	remaining := 0.0
 	for i := range r.Elements {
 		el := &r.Elements[i]
-		s := &es[i]
+		s := &g.es[i]
 		s.length = el.Length
-		addOcc := func(t tokens.ID, occ int) {
-			e := byToken[t]
-			if e == nil {
-				e = &tokEntry{id: t, cost: float64(ix.ListLen(t))}
-				byToken[t] = e
-			}
-			e.elems = append(e.elems, i)
-			e.occs = append(e.occs, occ)
-		}
+		s.picked = 0
+		s.saturated = false
+		s.pickedTokens = s.pickedTokens[:0]
 		if !p.Family.usesChunks() {
-			// Word tokens are already distinct: no occurrence map needed.
+			// Word tokens are already distinct: no occurrence counting.
 			s.totalOcc = len(el.Tokens)
 			for _, t := range el.Tokens {
-				addOcc(t, 1)
+				g.addOcc(i, t, 1, ix)
 			}
 		} else {
 			s.totalOcc = len(el.Chunks)
-			occCount := make(map[tokens.ID]int, len(el.Chunks))
+			g.bumpOccEpoch()
+			g.occOrder = g.occOrder[:0]
 			for _, t := range el.Chunks {
-				occCount[t]++
+				g.ensureOcc(t)
+				if g.occStamp[t] != g.occEpoch {
+					g.occStamp[t] = g.occEpoch
+					g.occCnt[t] = 0
+					g.occOrder = append(g.occOrder, t)
+				}
+				g.occCnt[t]++
 			}
-			for t, occ := range occCount {
-				addOcc(t, occ)
+			for _, t := range g.occOrder {
+				g.addOcc(i, t, int(g.occCnt[t]), ix)
 			}
 		}
 		s.satSize, s.satOK = simThreshSize(p.Family, p.Alpha, s.length, s.totalOcc)
 		s.contrib = contribAfter(p.Family, s.length, 0)
 		remaining += s.contrib
 	}
-	entries := make([]*tokEntry, 0, len(byToken))
-	for _, e := range byToken {
-		entries = append(entries, e)
-	}
-	// Deterministic processing order independent of map iteration.
-	sort.Slice(entries, func(i, j int) bool { return entries[i].id < entries[j].id })
-	return es, entries, remaining
+	return remaining
 }
 
 // generateGreedy implements the cost/value greedy of §4.3 over the weighted
 // scheme, and with dichotomy=true the advanced heuristic of §6.4 in which an
 // element whose picked occurrences reach the sim-thresh size saturates: its
-// bound drops to 0 and it stops attracting signature tokens.
-func generateGreedy(r *dataset.Set, p Params, ix *index.Inverted, q int, dichotomy bool) Signature {
+// bound drops to 0 and it stops attracting signature tokens. The result
+// lands in g.sig.
+func (g *Generator) generateGreedy(r *dataset.Set, p Params, ix *index.Inverted, dichotomy bool) {
 	n := len(r.Elements)
 	// Stop only once the bound sum sits a full ValiditySlack below θ, so
 	// float drift in `remaining` cannot admit an invalid signature.
 	target := p.Theta(n) - ValiditySlack
-	es, entries, remaining := buildStates(r, p, ix, q)
+	remaining := g.buildStates(r, p, ix)
+	es := g.es
 
-	h := make(ratioHeap, 0, len(entries))
-	for _, e := range entries {
+	g.h = g.h[:0]
+	for idx := range g.arena {
+		e := &g.arena[idx]
 		e.value = tokenValue(p.Family, es, e)
 		if e.value > 0 {
-			h = append(h, e)
+			g.h = append(g.h, e)
 		}
 	}
-	heap.Init(&h)
+	heap.Init(&g.h)
 
 	const valueEps = 1e-15
-	for remaining >= target && h.Len() > 0 {
-		e := heap.Pop(&h).(*tokEntry)
+	for remaining >= target && g.h.Len() > 0 {
+		e := heap.Pop(&g.h).(*tokEntry)
 		cur := tokenValue(p.Family, es, e)
 		if cur <= 0 {
 			continue // all its elements saturated; drop
 		}
 		if cur < e.value-valueEps {
 			e.value = cur // stale: value shrank, ratio grew; reinsert
-			heap.Push(&h, e)
+			heap.Push(&g.h, e)
 			continue
 		}
 		// Pick e for every unsaturated element containing it.
@@ -187,12 +345,11 @@ func generateGreedy(r *dataset.Set, p Params, ix *index.Inverted, q int, dichoto
 			if s.saturated || s.length == 0 {
 				continue
 			}
-			after := contribAfter(p.Family, s.length, s.picked+e.occs[x])
+			after := contribAfter(p.Family, s.length, s.picked+int(e.occs[x]))
 			remaining -= s.contrib - after
 			s.contrib = after
-			s.picked += e.occs[x]
+			s.picked += int(e.occs[x])
 			s.pickedTokens = append(s.pickedTokens, e.id)
-			s.pickedOccs = append(s.pickedOccs, e.occs[x])
 			if dichotomy && s.satOK && s.picked >= s.satSize {
 				remaining -= s.contrib
 				s.contrib = 0
@@ -201,94 +358,109 @@ func generateGreedy(r *dataset.Set, p Params, ix *index.Inverted, q int, dichoto
 		}
 	}
 
-	sig := Signature{Elements: make([]ElemSig, n), Valid: remaining < target}
+	if cap(g.sig.Elements) < n {
+		g.sig.Elements = make([]ElemSig, n)
+	}
+	g.sig.Elements = g.sig.Elements[:n]
+	g.sig.SumBound = 0
+	g.sig.Valid = remaining < target
 	for i := range es {
 		s := &es[i]
-		sig.Elements[i] = ElemSig{
-			Tokens: tokens.SortUnique(append([]tokens.ID(nil), s.pickedTokens...)),
-			Bound:  s.contrib,
-		}
-		sig.SumBound += s.contrib
+		// Picked tokens are distinct by construction (each arena entry is
+		// picked at most once and lists an element at most once); sorting
+		// in place yields the canonical ElemSig form without copying.
+		slices.Sort(s.pickedTokens)
+		g.sig.Elements[i] = ElemSig{Tokens: s.pickedTokens, Bound: s.contrib}
+		g.sig.SumBound += s.contrib
 	}
-	return sig
 }
 
-// applySkylineCut post-processes a weighted signature into a skyline
-// signature (§6.3): any element whose signature tokens reach the sim-thresh
-// size is cut down to the cheapest sim-thresh-sized subset and its bound
-// drops to 0.
-func applySkylineCut(sig *Signature, r *dataset.Set, p Params, ix *index.Inverted, q int) {
-	if !sig.Valid {
+// applySkylineCut post-processes the weighted signature in g.sig into a
+// skyline signature (§6.3): any element whose signature tokens reach the
+// sim-thresh size is cut down to the cheapest sim-thresh-sized subset and
+// its bound drops to 0.
+func (g *Generator) applySkylineCut(r *dataset.Set, p Params, ix *index.Inverted) {
+	if !g.sig.Valid {
 		return
 	}
 	sum := 0.0
-	for i := range sig.Elements {
+	for i := range g.sig.Elements {
 		el := &r.Elements[i]
-		esig := &sig.Elements[i]
+		esig := &g.sig.Elements[i]
 		available := len(el.Tokens)
 		if p.Family.usesChunks() {
 			available = len(el.Chunks)
 		}
 		satSize, ok := simThreshSize(p.Family, p.Alpha, el.Length, available)
 		if ok {
-			cut, covered := cheapestCovering(esig.Tokens, el, p.Family, satSize, ix)
-			if covered {
+			if cut, covered := g.cheapestCovering(esig.Tokens, el, p.Family, satSize, ix, &g.es[i]); covered {
 				esig.Tokens = cut
 				esig.Bound = 0
 			}
 		}
 		sum += esig.Bound
 	}
-	sig.SumBound = sum
+	g.sig.SumBound = sum
 }
 
 // cheapestCovering returns the cheapest subset of candidate tokens whose
 // occurrence count within el reaches need, and whether that is possible.
 // Under word mode every token counts one occurrence; under edit mode a chunk
-// token counts its multiplicity in el.
-func cheapestCovering(candidates []tokens.ID, el *dataset.Element, f Family, need int, ix *index.Inverted) ([]tokens.ID, bool) {
-	type tc struct {
-		id   tokens.ID
-		cost int
-		occ  int
-	}
-	var occOf map[tokens.ID]int
-	if f.usesChunks() {
-		occOf = make(map[tokens.ID]int, len(el.Chunks))
+// token counts its multiplicity in el. The result is written into the
+// element's cutTokens scratch.
+func (g *Generator) cheapestCovering(candidates []tokens.ID, el *dataset.Element, f Family, need int, ix *index.Inverted, s *elemState) ([]tokens.ID, bool) {
+	hasOcc := f.usesChunks()
+	if hasOcc {
+		g.bumpOccEpoch()
 		for _, c := range el.Chunks {
-			occOf[c]++
+			g.ensureOcc(c)
+			if g.occStamp[c] != g.occEpoch {
+				g.occStamp[c] = g.occEpoch
+				g.occCnt[c] = 0
+			}
+			g.occCnt[c]++
 		}
 	}
-	tcs := make([]tc, 0, len(candidates))
+	g.tcs = g.tcs[:0]
 	total := 0
 	for _, t := range candidates {
 		occ := 1
-		if occOf != nil {
-			occ = occOf[t]
-			if occ == 0 {
-				occ = 1 // defensive: token not a chunk of el
-			}
+		if hasOcc {
+			g.ensureOcc(t)
+			if g.occStamp[t] == g.occEpoch && g.occCnt[t] > 0 {
+				occ = int(g.occCnt[t])
+			} // else defensive: token not a chunk of el, counts one
 		}
-		tcs = append(tcs, tc{id: t, cost: ix.ListLen(t), occ: occ})
+		g.tcs = append(g.tcs, tokCost{id: t, cost: ix.ListLen(t), occ: occ})
 		total += occ
 	}
 	if total < need {
 		return nil, false
 	}
-	sort.Slice(tcs, func(i, j int) bool {
-		if tcs[i].cost != tcs[j].cost {
-			return tcs[i].cost < tcs[j].cost
+	slices.SortFunc(g.tcs, func(a, b tokCost) int {
+		if a.cost != b.cost {
+			if a.cost < b.cost {
+				return -1
+			}
+			return 1
 		}
-		return tcs[i].id < tcs[j].id
+		if a.id < b.id {
+			return -1
+		}
+		if a.id > b.id {
+			return 1
+		}
+		return 0
 	})
-	var out []tokens.ID
+	s.cutTokens = s.cutTokens[:0]
 	covered := 0
-	for _, t := range tcs {
+	for _, t := range g.tcs {
 		if covered >= need {
 			break
 		}
-		out = append(out, t.id)
+		s.cutTokens = append(s.cutTokens, t.id)
 		covered += t.occ
 	}
-	return tokens.SortUnique(out), true
+	slices.Sort(s.cutTokens)
+	return s.cutTokens, true
 }

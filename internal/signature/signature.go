@@ -41,6 +41,13 @@ const (
 	Skyline
 	// Dichotomy is the dichotomy scheme of §6.4.
 	Dichotomy
+	// Auto selects among the weighted-family schemes per query by the
+	// §4.3 cost model over inverted-index posting statistics: signature
+	// selection is framed as cost minimization, so the engine generates
+	// the candidate signatures and probes with the cheapest (Selector).
+	// Because every valid signature yields exactly the same matches,
+	// Auto never changes results — only how much the index is probed.
+	Auto
 )
 
 func (k Kind) String() string {
@@ -53,6 +60,8 @@ func (k Kind) String() string {
 		return "SKYLINE"
 	case Dichotomy:
 		return "DICHOTOMY"
+	case Auto:
+		return "AUTO"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -159,25 +168,77 @@ func (p Params) Theta(n int) float64 { return p.Delta * float64(n) }
 // selects between the Jaccard-style (§4), edit-similarity (§7), and the
 // Dice/Cosine generalized formulations; it must match the collection's
 // tokenization.
+//
+// This is the allocation-per-call convenience form; the engine's hot path
+// holds a Selector (or Generator) per worker and reuses its scratch across
+// queries. Kind Auto resolves through a throwaway Selector here.
 func Generate(kind Kind, r *dataset.Set, p Params, ix *index.Inverted) Signature {
-	q := ix.Collection().Q
-	if p.Family.usesChunks() != (ix.Collection().Mode == dataset.ModeQGram) {
-		panic("signature: Params.Family does not match collection tokenization")
+	var sel Selector
+	sig, _ := sel.Generate(kind, r, p, ix)
+	return *sig
+}
+
+// Selector resolves a signature scheme per query: concrete kinds pass
+// through to one Generator; Auto generates the competing weighted-family
+// signatures and keeps the one with the lowest probe cost (the §4.3 cost
+// model Σ |I[t]| over the signature's per-element tokens, read off the
+// inverted index's posting statistics).
+//
+// At α = 0 the sim-thresh size is unattainable, so Dichotomy never
+// saturates and Skyline never cuts: all three weighted-family schemes
+// produce the same signature, and Auto short-circuits to one Weighted
+// generation. At α > 0 the skyline cut only ever shrinks a weighted
+// signature (the cut is a subset of the element's tokens), so Weighted is
+// dominated and Auto compares Skyline against Dichotomy, whose saturation
+// reshapes greedy selection and can win or lose depending on the
+// reference's posting lengths — exactly the trade the paper's §6
+// experiments sweep.
+//
+// Like Generator, a Selector is not safe for concurrent use and the
+// returned Signature is valid until its next Generate call. The zero value
+// is ready to use.
+type Selector struct {
+	gen Generator
+	// alt is the second arena Auto needs: the two candidate signatures
+	// must be alive at once to compare costs.
+	alt Generator
+}
+
+// Generate builds (or, for Auto, selects) the signature for r and returns
+// it along with the concrete scheme that produced it.
+func (s *Selector) Generate(kind Kind, r *dataset.Set, p Params, ix *index.Inverted) (*Signature, Kind) {
+	if kind != Auto {
+		return s.gen.Generate(kind, r, p, ix), kind
 	}
-	switch kind {
-	case Weighted:
-		return generateGreedy(r, p, ix, q, false)
-	case Dichotomy:
-		return generateGreedy(r, p, ix, q, true)
-	case Skyline:
-		sig := generateGreedy(r, p, ix, q, false)
-		applySkylineCut(&sig, r, p, ix, q)
-		return sig
-	case CombUnweighted:
-		return generateCombUnweighted(r, p, ix, q)
-	default:
-		panic(fmt.Sprintf("signature: unknown kind %d", int(kind)))
+	if p.Alpha <= 0 {
+		return s.gen.Generate(Weighted, r, p, ix), Weighted
 	}
+	sigD := s.gen.Generate(Dichotomy, r, p, ix)
+	sigS := s.alt.Generate(Skyline, r, p, ix)
+	// An invalid signature means a full scan; any valid one beats it.
+	if sigD.Valid != sigS.Valid {
+		if sigD.Valid {
+			return sigD, Dichotomy
+		}
+		return sigS, Skyline
+	}
+	if ProbeCost(sigS, ix) < ProbeCost(sigD, ix) {
+		return sigS, Skyline
+	}
+	return sigD, Dichotomy // ties go to the paper's overall best performer
+}
+
+// ProbeCost is the §4.3 cost of probing the index with sig: the sum of
+// posting-list lengths over every per-element signature token — the number
+// of ⟨reference element, posting⟩ visits candidate collection will make.
+func ProbeCost(sig *Signature, ix *index.Inverted) int64 {
+	var cost int64
+	for i := range sig.Elements {
+		for _, t := range sig.Elements[i].Tokens {
+			cost += int64(ix.ListLen(t))
+		}
+	}
+	return cost
 }
 
 // ValiditySlack is the absolute margin kept between a signature's SumBound

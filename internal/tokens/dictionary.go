@@ -46,12 +46,29 @@ type Dictionary struct {
 	// slot cannot be double-freed.
 	free  []ID
 	freed []bool
+	// keys is the element-key interner that rides along with the token
+	// dictionary: exact element content keys (dataset.ElementKey) interned
+	// to dense ids so verification compares integers instead of building
+	// strings per pair. It is itself a Dictionary — query keys follow the
+	// same "interned but never reclaimed until retained and released"
+	// lifecycle as query tokens — and shares the main dictionary's
+	// concurrency story. Nil on the keys dictionary itself.
+	keys *Dictionary
 }
 
 // NewDictionary returns an empty dictionary.
 func NewDictionary() *Dictionary {
-	return &Dictionary{ids: make(map[string]ID)}
+	return &Dictionary{
+		ids:  make(map[string]ID),
+		keys: &Dictionary{ids: make(map[string]ID)},
+	}
 }
+
+// Keys returns the element-key interner attached to this dictionary. Every
+// collection sharing the dictionary (including query collections tokenized
+// against it) interns element keys here, so two elements are identical iff
+// their key ids are equal — the integer form of the §5.3 reduction test.
+func (d *Dictionary) Keys() *Dictionary { return d.keys }
 
 // Intern returns the ID for s, assigning a fresh one if s is new, and bumps
 // its frequency counter. New tokens reuse reclaimed slots before growing
@@ -99,6 +116,26 @@ func (d *Dictionary) Retain(ids []ID) {
 	d.mu.Lock()
 	for _, id := range ids {
 		d.refs[id]++
+	}
+	d.mu.Unlock()
+}
+
+// RetainID bumps the collection refcount of a single id — the per-element
+// form of Retain, used for interned element keys (one key per element).
+func (d *Dictionary) RetainID(id ID) {
+	d.mu.Lock()
+	d.refs[id]++
+	d.mu.Unlock()
+}
+
+// ReleaseID drops one refcount bumped by RetainID.
+func (d *Dictionary) ReleaseID(id ID) {
+	d.mu.Lock()
+	if d.refs[id] > 0 {
+		d.refs[id]--
+		if d.refs[id] == 0 {
+			d.pending = append(d.pending, id)
+		}
 	}
 	d.mu.Unlock()
 }

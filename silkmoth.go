@@ -163,6 +163,15 @@ const (
 	SchemeWeighted
 	// SchemeCombUnweighted is the FastJoin-style baseline of §6.2.
 	SchemeCombUnweighted
+	// SchemeAuto picks among Weighted, Skyline, and Dichotomy per query
+	// by the paper's §4.3 cost model: the engine generates the candidate
+	// signatures and probes with the one whose posting-list cost is
+	// lowest. Results are always identical to any fixed scheme — schemes
+	// only decide how much of the index is probed — so Auto trades a
+	// little generation work for the cheapest probe each query.
+	// Stats.SchemeWeighted/SchemeSkyline/SchemeDichotomy expose the
+	// per-query choices.
+	SchemeAuto
 )
 
 // Config configures an Engine. The zero value is not valid: Delta must be
@@ -249,6 +258,8 @@ func (c Config) coreOptions() (core.Options, error) {
 		scheme = signature.Weighted
 	case SchemeCombUnweighted:
 		scheme = signature.CombUnweighted
+	case SchemeAuto:
+		scheme = signature.Auto
 	default:
 		return core.Options{}, fmt.Errorf("silkmoth: unknown scheme %d", int(c.Scheme))
 	}
@@ -294,19 +305,39 @@ type Pair struct {
 	MatchingScore float64
 }
 
-// Stats reports the pruning funnel of an engine's work so far, plus the
-// collection's mutation lifecycle counters.
+// Stats reports the per-stage pruning funnel of an engine's work so far —
+// signature generation through exact verification — plus the collection's
+// mutation lifecycle counters.
 type Stats struct {
 	// SearchPasses is the number of reference sets processed.
 	SearchPasses int64
+	// FullScans counts passes that compared the reference against every
+	// set because no valid signature existed (edit similarity at low α).
+	FullScans int64
+	// SigTokens is the total number of signature tokens generated across
+	// passes — the index probe volume the scheme selection minimizes.
+	SigTokens int64
 	// Candidates counts sets matched by signatures before refinement.
 	Candidates int64
-	// AfterCheck counts candidates surviving the check filter.
-	AfterCheck int64
-	// AfterNN counts candidates surviving the nearest-neighbor filter.
-	AfterNN int64
+	// AfterCheck counts candidates surviving the check filter;
+	// CheckPruned counts the ones it rejected.
+	AfterCheck  int64
+	CheckPruned int64
+	// AfterNN counts candidates surviving the nearest-neighbor filter;
+	// NNPruned counts the refinement's rejections.
+	AfterNN  int64
+	NNPruned int64
 	// Verified counts maximum-matching computations performed.
 	Verified int64
+	// SchemeWeighted, SchemeSkyline, SchemeDichotomy, and
+	// SchemeCombUnweighted count passes by the concrete signature scheme
+	// that probed the index. Under Config.Scheme = SchemeAuto they expose
+	// the per-query cost-based selection; under a fixed scheme exactly
+	// one of them grows.
+	SchemeWeighted       int64
+	SchemeSkyline        int64
+	SchemeDichotomy      int64
+	SchemeCombUnweighted int64
 	// Live is the number of live (non-deleted) sets.
 	Live int
 	// Tombstones is the number of deleted sets whose postings are still
