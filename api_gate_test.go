@@ -1,0 +1,213 @@
+package silkmoth_test
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// apiGoldenFile is the checked-in snapshot of the public silkmoth API.
+// TestPublicAPIGolden fails on ANY drift — removals, signature changes,
+// and additions alike — so every API change is an explicit, reviewed edit
+// of this file:
+//
+//	SILKMOTH_UPDATE_API=1 go test -run TestPublicAPIGolden .
+//
+// This is the dependency-free equivalent of a go-apidiff gate: it cannot
+// see constant values or type identity across renames, but it pins every
+// exported name, signature, struct field, and method, which is what
+// source compatibility needs.
+const apiGoldenFile = "api/silkmoth.txt"
+
+func TestPublicAPIGolden(t *testing.T) {
+	got := renderPublicAPI(t, ".")
+	if os.Getenv("SILKMOTH_UPDATE_API") == "1" {
+		if err := os.MkdirAll(filepath.Dir(apiGoldenFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(apiGoldenFile, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s", apiGoldenFile)
+		return
+	}
+	want, err := os.ReadFile(apiGoldenFile)
+	if err != nil {
+		t.Fatalf("reading API golden: %v\nregenerate with: SILKMOTH_UPDATE_API=1 go test -run TestPublicAPIGolden .", err)
+	}
+	if got == string(want) {
+		return
+	}
+	gotLines := strings.Split(got, "\n")
+	wantLines := strings.Split(string(want), "\n")
+	gotSet := make(map[string]bool, len(gotLines))
+	for _, l := range gotLines {
+		gotSet[l] = true
+	}
+	wantSet := make(map[string]bool, len(wantLines))
+	for _, l := range wantLines {
+		wantSet[l] = true
+	}
+	var diff []string
+	for _, l := range wantLines {
+		if !gotSet[l] {
+			diff = append(diff, "- "+l)
+		}
+	}
+	for _, l := range gotLines {
+		if !wantSet[l] {
+			diff = append(diff, "+ "+l)
+		}
+	}
+	t.Fatalf("public API drifted from %s:\n%s\n\nIf this change is intentional (additive changes included), regenerate the golden:\n\tSILKMOTH_UPDATE_API=1 go test -run TestPublicAPIGolden .",
+		apiGoldenFile, strings.Join(diff, "\n"))
+}
+
+// renderPublicAPI parses the package's non-test sources in dir and renders
+// one line (or block) per exported declaration: functions and methods with
+// full signatures, types with exported struct fields and interface
+// methods, and exported consts and vars. Output is sorted, so the
+// rendering is stable across file reorganizations.
+func renderPublicAPI(t *testing.T, dir string) string {
+	t.Helper()
+	fset := token.NewFileSet()
+	paths, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []string
+	for _, path := range paths {
+		if strings.HasSuffix(path, "_test.go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatalf("parsing %s: %v", path, err)
+		}
+		for _, decl := range f.Decls {
+			entries = append(entries, renderDecl(t, fset, decl)...)
+		}
+	}
+	sort.Strings(entries)
+	return strings.Join(entries, "\n") + "\n"
+}
+
+func renderDecl(t *testing.T, fset *token.FileSet, decl ast.Decl) []string {
+	switch d := decl.(type) {
+	case *ast.FuncDecl:
+		if !d.Name.IsExported() || !receiverExported(d) {
+			return nil
+		}
+		fn := *d
+		fn.Body = nil
+		fn.Doc = nil
+		return []string{printNode(t, fset, &fn)}
+	case *ast.GenDecl:
+		var out []string
+		for _, spec := range d.Specs {
+			out = append(out, renderSpec(t, fset, d.Tok, spec)...)
+		}
+		return out
+	default:
+		return nil
+	}
+}
+
+// receiverExported reports whether a function's receiver (if any) names an
+// exported type — methods on unexported types are not public API.
+func receiverExported(d *ast.FuncDecl) bool {
+	if d.Recv == nil || len(d.Recv.List) == 0 {
+		return true
+	}
+	typ := d.Recv.List[0].Type
+	for {
+		switch x := typ.(type) {
+		case *ast.StarExpr:
+			typ = x.X
+		case *ast.Ident:
+			return x.IsExported()
+		default:
+			return false
+		}
+	}
+}
+
+func renderSpec(t *testing.T, fset *token.FileSet, tok token.Token, spec ast.Spec) []string {
+	switch sp := spec.(type) {
+	case *ast.ValueSpec:
+		exported := false
+		for _, name := range sp.Names {
+			if name.IsExported() {
+				exported = true
+			}
+		}
+		if !exported {
+			return nil
+		}
+		v := *sp
+		v.Doc, v.Comment = nil, nil
+		return []string{tok.String() + " " + printNode(t, fset, &v)}
+	case *ast.TypeSpec:
+		if !sp.Name.IsExported() {
+			return nil
+		}
+		ts := *sp
+		ts.Doc, ts.Comment = nil, nil
+		stripUnexportedMembers(&ts)
+		return []string{"type " + printNode(t, fset, &ts)}
+	default:
+		return nil
+	}
+}
+
+// stripUnexportedMembers drops unexported struct fields and interface
+// methods so internal layout changes don't churn the golden.
+func stripUnexportedMembers(ts *ast.TypeSpec) {
+	switch typ := ts.Type.(type) {
+	case *ast.StructType:
+		typ.Fields.List = filterFields(typ.Fields.List)
+	case *ast.InterfaceType:
+		typ.Methods.List = filterFields(typ.Methods.List)
+	}
+}
+
+func filterFields(fields []*ast.Field) []*ast.Field {
+	var out []*ast.Field
+	for _, f := range fields {
+		f.Doc, f.Comment = nil, nil
+		if len(f.Names) == 0 {
+			out = append(out, f) // embedded: keep (type name carries export)
+			continue
+		}
+		var names []*ast.Ident
+		for _, n := range f.Names {
+			if n.IsExported() {
+				names = append(names, n)
+			}
+		}
+		if len(names) == 0 {
+			continue
+		}
+		f.Names = names
+		out = append(out, f)
+	}
+	return out
+}
+
+func printNode(t *testing.T, fset *token.FileSet, node any) string {
+	t.Helper()
+	var buf bytes.Buffer
+	cfg := printer.Config{Mode: printer.RawFormat}
+	if err := cfg.Fprint(&buf, fset, node); err != nil {
+		t.Fatalf("printing node: %v", err)
+	}
+	// Collapse whitespace runs so the rendering ignores source formatting.
+	return strings.Join(strings.Fields(buf.String()), " ")
+}

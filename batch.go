@@ -2,6 +2,8 @@ package silkmoth
 
 import (
 	"context"
+	"fmt"
+	"time"
 
 	"silkmoth/internal/core"
 	"silkmoth/internal/dataset"
@@ -13,43 +15,131 @@ import (
 // dictionary interning across queries — and the searches run concurrently,
 // bounded by Config.Concurrency; on a sharded engine each query
 // additionally fans out across all shards. Results are positionally
-// aligned with refs, each sorted exactly as Search sorts.
-func (e *Engine) SearchBatch(refs []Set) ([][]Match, error) {
-	return e.SearchBatchContext(context.Background(), refs)
+// aligned with refs, each sorted exactly as Search sorts. Options apply to
+// every item of the batch (a WithExplain capture sums the items' funnels);
+// for per-item options use SearchBatchQueries.
+func (e *Engine) SearchBatch(refs []Set, opts ...QueryOption) ([][]Match, error) {
+	return e.SearchBatchContext(context.Background(), refs, opts...)
 }
 
 // SearchBatchContext is SearchBatch with cancellation: the first failed or
 // cancelled query aborts the remaining ones.
-func (e *Engine) SearchBatchContext(ctx context.Context, refs []Set) ([][]Match, error) {
+func (e *Engine) SearchBatchContext(ctx context.Context, refs []Set, opts ...QueryOption) ([][]Match, error) {
 	if len(refs) == 0 {
 		return nil, nil
 	}
+	qo, err := compileOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	q, ps := qo.coreQuery()
+	var qs []*core.Query
+	if q != nil {
+		// One shared query (and stats capture) for the whole batch: the
+		// overrides are uniform and the explain aggregates across items.
+		qs = make([]*core.Query, len(refs))
+		for i := range qs {
+			qs[i] = q
+		}
+	}
+	var start time.Time
+	if qo.explain != nil {
+		start = time.Now()
+	}
+	// The read lock must span result conversion too: finishMatches reads
+	// e.coll, which a concurrent Add/Delete/Compact mutates.
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	qc := e.tokenizeQuery(refs)
-
-	var per [][]core.Match
-	var err error
-	if e.sh != nil {
-		rs := make([]*dataset.Set, len(qc.Sets))
-		for i := range qc.Sets {
-			rs[i] = &qc.Sets[i]
-		}
-		per, err = e.sh.SearchBatchContext(ctx, rs)
-	} else {
-		per, err = e.searchBatchSerial(ctx, qc)
-	}
+	per, err := e.searchBatchCore(ctx, refs, qs)
 	if err != nil {
 		return nil, err
 	}
 	out := make([][]Match, len(per))
 	for i, ms := range per {
-		out[i] = e.toMatches(ms)
-		if e.sh == nil {
-			sortMatches(out[i]) // the sharded engine already emits canonical order
+		m := e.finishMatches(ms)
+		if qo.hasK && len(m) > qo.k {
+			m = m[:qo.k]
+		}
+		out[i] = m
+	}
+	qo.finishExplain(ps, time.Since(start))
+	return out, nil
+}
+
+// SearchBatchQueries is the per-item form of SearchBatch: each BatchQuery
+// carries its own option list, so one batch can mix pinned and automatic
+// signature schemes, per-item k and δ, and per-item explain captures —
+// results are exactly what Search with the same options returns for each
+// item. The batch still tokenizes in one pass and shares the engine's
+// worker fan-out.
+func (e *Engine) SearchBatchQueries(queries []BatchQuery) ([]Result, error) {
+	return e.SearchBatchQueriesContext(context.Background(), queries)
+}
+
+// SearchBatchQueriesContext is SearchBatchQueries with cancellation: the
+// first failed or cancelled item aborts the remaining ones.
+func (e *Engine) SearchBatchQueriesContext(ctx context.Context, queries []BatchQuery) ([]Result, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	refs := make([]Set, len(queries))
+	qos := make([]queryOptions, len(queries))
+	var qs []*core.Query
+	for i := range queries {
+		refs[i] = queries[i].Set
+		qo, err := compileOptions(queries[i].Options)
+		if err != nil {
+			return nil, fmt.Errorf("silkmoth: batch item %d: %w", i, err)
+		}
+		qos[i] = qo
+		if q, _ := qos[i].coreQuery(); q != nil {
+			if qs == nil {
+				qs = make([]*core.Query, len(queries))
+			}
+			qs[i] = q
+		}
+	}
+	// The read lock must span result conversion too: finishMatches reads
+	// e.coll, which a concurrent Add/Delete/Compact mutates.
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	per, err := e.searchBatchCore(ctx, refs, qs)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Result, len(per))
+	for i, ms := range per {
+		m := e.finishMatches(ms)
+		if qos[i].hasK && len(m) > qos[i].k {
+			m = m[:qos[i].k]
+		}
+		out[i] = Result{Matches: m}
+		if qos[i].explain != nil {
+			// Batch items time themselves (the fan-out workers measure
+			// around each item's passes), so the capture's own elapsed
+			// stands in for the single-query wall clock.
+			qos[i].finishExplain(qs[i].Stats, -1)
+			out[i].Explain = qos[i].explain
 		}
 	}
 	return out, nil
+}
+
+// searchBatchCore tokenizes the batch and fans it out on whichever engine
+// backs e. qs, when non-nil, aligns per-item queries with refs. Callers
+// must hold at least the read lock — and keep holding it while converting
+// the returned core matches, whose indices are only meaningful against
+// the collection they were computed on.
+func (e *Engine) searchBatchCore(ctx context.Context, refs []Set, qs []*core.Query) ([][]core.Match, error) {
+	qc := e.tokenizeQuery(refs)
+	if e.sh != nil {
+		rs := make([]*dataset.Set, len(qc.Sets))
+		for i := range qc.Sets {
+			rs[i] = &qc.Sets[i]
+		}
+		return e.sh.SearchBatchQueries(ctx, rs, qs)
+	}
+	return e.searchBatchSerial(ctx, qc, qs)
 }
 
 // searchBatchSerial fans a batch across the unsharded engine: queries run
@@ -57,7 +147,7 @@ func (e *Engine) SearchBatchContext(ctx context.Context, refs []Set) ([][]Match,
 // core.Searcher (verification runs serially within a pass — the batch's
 // parallelism is across queries, so it never compounds with per-pass
 // verification fan-out). Callers must hold at least the read lock.
-func (e *Engine) searchBatchSerial(ctx context.Context, qc *dataset.Collection) ([][]core.Match, error) {
+func (e *Engine) searchBatchSerial(ctx context.Context, qc *dataset.Collection, qs []*core.Query) ([][]core.Match, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -73,9 +163,21 @@ func (e *Engine) searchBatchSerial(ctx context.Context, qc *dataset.Collection) 
 	}()
 	out := make([][]core.Match, len(qc.Sets))
 	err := shard.FanOut(ctx, len(qc.Sets), workers, func(ctx context.Context, w, qi int) error {
-		ms, err := searchers[w].Search(ctx, &qc.Sets[qi], -1)
+		var q *core.Query
+		if qs != nil {
+			q = qs[qi]
+		}
+		var start time.Time
+		timed := q != nil && q.Stats != nil
+		if timed {
+			start = time.Now()
+		}
+		ms, err := searchers[w].SearchQuery(ctx, &qc.Sets[qi], -1, q)
 		if err != nil {
 			return err
+		}
+		if timed {
+			q.Stats.AddElapsed(time.Since(start))
 		}
 		out[qi] = ms
 		return nil

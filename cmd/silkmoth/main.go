@@ -33,11 +33,13 @@ func main() {
 		delta     = flag.Float64("delta", 0.7, "relatedness threshold δ in (0,1]")
 		alpha     = flag.Float64("alpha", 0, "element similarity threshold α in [0,1)")
 		q         = flag.Int("q", 0, "gram length for edit similarities (0 = auto)")
-		scheme    = flag.String("scheme", "dichotomy", "signature scheme: dichotomy, skyline, weighted, combunweighted")
+		scheme    = flag.String("scheme", "dichotomy", "signature scheme: dichotomy, skyline, weighted, combunweighted, auto (per-query cost-based)")
 		noCheck   = flag.Bool("no-check", false, "disable the check filter")
 		noNN      = flag.Bool("no-nn", false, "disable the nearest-neighbor filter")
 		noRed     = flag.Bool("no-reduction", false, "disable reduction-based verification")
 		workers   = flag.Int("workers", 0, "parallel search passes (0 = GOMAXPROCS)")
+		topK      = flag.Int("k", 0, "search mode: keep only the k most related sets per reference (0 = all)")
+		explain   = flag.Bool("explain", false, "print each query's plan (chosen scheme + pruning funnel + time) to stderr")
 		showStats = flag.Bool("stats", false, "print the pruning funnel to stderr")
 	)
 	flag.Parse()
@@ -58,8 +60,16 @@ func main() {
 
 	switch *mode {
 	case "discover":
-		for _, p := range eng.Discover() {
+		var opts []silkmoth.QueryOption
+		var ex silkmoth.Explain
+		if *explain {
+			opts = append(opts, silkmoth.WithExplain(&ex))
+		}
+		for _, p := range eng.Discover(opts...) {
 			fmt.Printf("%s\t%s\t%.4f\t%.4f\n", p.RName, p.SName, p.Relatedness, p.MatchingScore)
+		}
+		if *explain {
+			printExplain("discover", &ex)
 		}
 	case "search":
 		if *refFile == "" {
@@ -70,12 +80,23 @@ func main() {
 			fatal(err)
 		}
 		for _, r := range refs {
-			ms, err := eng.Search(silkmoth.Set{Name: r.Name, Elements: r.Elements})
+			var opts []silkmoth.QueryOption
+			var ex silkmoth.Explain
+			if *topK > 0 {
+				opts = append(opts, silkmoth.WithK(*topK))
+			}
+			if *explain {
+				opts = append(opts, silkmoth.WithExplain(&ex))
+			}
+			ms, err := eng.Search(silkmoth.Set{Name: r.Name, Elements: r.Elements}, opts...)
 			if err != nil {
 				fatal(err)
 			}
 			for _, m := range ms {
 				fmt.Printf("%s\t%s\t%.4f\t%.4f\n", r.Name, m.Name, m.Relatedness, m.MatchingScore)
+			}
+			if *explain {
+				printExplain(r.Name, &ex)
 			}
 		}
 	default:
@@ -118,19 +139,20 @@ func buildConfig(metric, simName, scheme string, delta, alpha float64, q int, no
 	default:
 		return cfg, fmt.Errorf("unknown -sim %q", simName)
 	}
-	switch scheme {
-	case "dichotomy":
-		cfg.Scheme = silkmoth.SchemeDichotomy
-	case "skyline":
-		cfg.Scheme = silkmoth.SchemeSkyline
-	case "weighted":
-		cfg.Scheme = silkmoth.SchemeWeighted
-	case "combunweighted":
-		cfg.Scheme = silkmoth.SchemeCombUnweighted
-	default:
+	sc, err := silkmoth.ParseScheme(scheme)
+	if err != nil {
 		return cfg, fmt.Errorf("unknown -scheme %q", scheme)
 	}
+	cfg.Scheme = sc
 	return cfg, nil
+}
+
+// printExplain renders one query's plan on stderr: the chosen concrete
+// scheme and the per-stage pruning funnel.
+func printExplain(label string, ex *silkmoth.Explain) {
+	fmt.Fprintf(os.Stderr,
+		"explain %s: scheme=%s passes=%d sig-tokens=%d candidates=%d after-check=%d after-nn=%d verified=%d full-scans=%d elapsed=%s\n",
+		label, ex.Scheme, ex.Passes, ex.SigTokens, ex.Candidates, ex.AfterCheck, ex.AfterNN, ex.Verified, ex.FullScans, ex.Elapsed)
 }
 
 func loadSets(input, csvFile string) ([]silkmoth.Set, error) {

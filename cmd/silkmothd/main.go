@@ -8,6 +8,7 @@
 //	POST /v1/topk              the k best of a search
 //	POST /v1/discover-against  all related pairs vs. a batch of references
 //	POST /v1/compare           raw relatedness of two sets
+//	GET/POST /v1/explain       one search + its plan (scheme, funnel, time)
 //	POST /v1/sets              incrementally index more sets
 //	DELETE /v1/sets/{id}       tombstone one set out of every future query
 //	PUT  /v1/sets/{id}         atomically replace one set (new id returned)
@@ -60,6 +61,8 @@ func main() {
 		cacheSize = flag.Int("cache-size", 1024, "result cache entries (negative disables)")
 		compactAt = flag.Float64("compact-threshold", 0,
 			"tombstone ratio triggering automatic index compaction after deletes/updates (0 = engine default, negative disables)")
+		noExplain = flag.Bool("no-explain", false,
+			"disable /v1/explain and per-request explain fields (explained queries bypass the result cache)")
 	)
 	flag.Parse()
 
@@ -73,13 +76,14 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	log.Printf("silkmothd: indexed %d sets (metric=%s sim=%s delta=%g alpha=%g shards=%d)",
-		n, cfg.Metric, cfg.Similarity, cfg.Delta, cfg.Alpha, eng.Shards())
+	log.Printf("silkmothd: indexed %d sets (metric=%s sim=%s scheme=%s delta=%g alpha=%g shards=%d)",
+		n, cfg.Metric, cfg.Similarity, cfg.Scheme, cfg.Delta, cfg.Alpha, eng.Shards())
 
 	srv := server.New(eng, cfg, server.Options{
 		RequestTimeout: *timeout,
 		MaxInFlight:    *inflight,
 		CacheSize:      *cacheSize,
+		DisableExplain: *noExplain,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
@@ -189,20 +193,11 @@ func buildConfig(metric, simName, scheme string, delta, alpha float64, q, worker
 	default:
 		return cfg, fmt.Errorf("unknown -sim %q", simName)
 	}
-	switch scheme {
-	case "dichotomy":
-		cfg.Scheme = silkmoth.SchemeDichotomy
-	case "skyline":
-		cfg.Scheme = silkmoth.SchemeSkyline
-	case "weighted":
-		cfg.Scheme = silkmoth.SchemeWeighted
-	case "combunweighted":
-		cfg.Scheme = silkmoth.SchemeCombUnweighted
-	case "auto":
-		cfg.Scheme = silkmoth.SchemeAuto
-	default:
+	sc, err := silkmoth.ParseScheme(scheme)
+	if err != nil {
 		return cfg, fmt.Errorf("unknown -scheme %q", scheme)
 	}
+	cfg.Scheme = sc
 	return cfg, nil
 }
 

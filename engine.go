@@ -5,6 +5,7 @@ import (
 	"errors"
 	"sort"
 	"sync"
+	"time"
 
 	"silkmoth/internal/core"
 	"silkmoth/internal/dataset"
@@ -103,36 +104,93 @@ func (e *Engine) tokenizeQuery(sets []Set) *dataset.Collection {
 
 // Search returns every set in the engine's collection related to ref,
 // sorted by descending relatedness (ties by index). This is the paper's
-// RELATED SET SEARCH (Problem 2).
-func (e *Engine) Search(ref Set) ([]Match, error) {
-	return e.SearchContext(context.Background(), ref)
+// RELATED SET SEARCH (Problem 2). Options customize the single query:
+// WithK truncates to the top k, WithScheme pins the signature scheme,
+// WithDelta overrides δ, WithExplain captures the query's pruning funnel,
+// and the filter toggles stress individual stages.
+func (e *Engine) Search(ref Set, opts ...QueryOption) ([]Match, error) {
+	return e.SearchContext(context.Background(), ref, opts...)
 }
 
 // SearchContext is Search with cancellation: the pass aborts and returns
 // ctx.Err() when ctx is done. With Config.Concurrency > 1 the pass's
 // candidate verification is sharded across a worker pool.
-func (e *Engine) SearchContext(ctx context.Context, ref Set) ([]Match, error) {
+func (e *Engine) SearchContext(ctx context.Context, ref Set, opts ...QueryOption) ([]Match, error) {
+	res, err := e.searchResult(ctx, ref, opts, false)
+	return res.Matches, err
+}
+
+// Explain runs one search and returns its full Result: the matches plus
+// the Explain metadata describing how they were computed — chosen concrete
+// scheme, signature size, per-stage survivor counts, wall time. It is
+// Search with an implied WithExplain; explicit options compose as usual.
+func (e *Engine) Explain(ref Set, opts ...QueryOption) (Result, error) {
+	return e.ExplainContext(context.Background(), ref, opts...)
+}
+
+// ExplainContext is Explain with cancellation.
+func (e *Engine) ExplainContext(ctx context.Context, ref Set, opts ...QueryOption) (Result, error) {
+	return e.searchResult(ctx, ref, opts, true)
+}
+
+// searchResult runs one search under the compiled options — every public
+// single-query search path lands here. forceExplain attaches a capture
+// even when no WithExplain option did (the Explain entry points).
+func (e *Engine) searchResult(ctx context.Context, ref Set, opts []QueryOption, forceExplain bool) (Result, error) {
+	qo, err := compileOptions(opts)
+	if err != nil {
+		return Result{}, err
+	}
+	if forceExplain && qo.explain == nil {
+		qo.explain = &Explain{}
+	}
+	q, ps := qo.coreQuery()
+	var start time.Time
+	if qo.explain != nil {
+		start = time.Now()
+	}
+
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	qc := e.tokenizeQuery([]Set{ref})
-	ms, err := e.searchMatches(ctx, &qc.Sets[0])
+	r := &qc.Sets[0]
+	var ms []core.Match
+	switch {
+	case e.sh != nil && qo.hasK:
+		// The sharded top-k path answers with k·Shards heap-merged
+		// candidates instead of a full sort.
+		ms, err = e.sh.SearchTopKQueryContext(ctx, r, qo.k, q)
+	case e.sh != nil:
+		ms, err = e.sh.SearchQueryContext(ctx, r, q)
+	default:
+		ms, err = e.eng.SearchQueryContext(ctx, r, q)
+	}
 	if err != nil {
-		return nil, err
+		return Result{}, err
 	}
-	out := e.toMatches(ms)
-	if e.sh == nil {
-		sortMatches(out) // the sharded engine already emits canonical order
+	out := e.finishMatches(ms)
+	if qo.hasK && len(out) > qo.k {
+		out = out[:qo.k] // matches are canonical, so the prefix is the top k
 	}
-	return out, nil
+	res := Result{Matches: out}
+	if qo.explain != nil {
+		qo.finishExplain(ps, time.Since(start))
+		res.Explain = qo.explain
+	}
+	return res, nil
 }
 
-// searchMatches runs one core-level search on whichever engine backs e.
-// Callers must hold at least the read lock.
-func (e *Engine) searchMatches(ctx context.Context, r *dataset.Set) ([]core.Match, error) {
-	if e.sh != nil {
-		return e.sh.SearchContext(ctx, r)
-	}
-	return e.eng.SearchContext(ctx, r)
+// finishMatches rewrites core matches into the public form and sorts them
+// canonically — the one post-processing step every search path (serial,
+// sharded, batch) shares. The sharded engine's merged output is already
+// canonical, and the canonical order is total (indices are unique), so
+// re-sorting it is a deterministic no-op; hoisting the sort here keeps the
+// two engine shapes on identical code. Callers must hold at least the
+// read lock.
+func (e *Engine) finishMatches(ms []core.Match) []Match {
+	out := e.toMatches(ms)
+	sortMatches(out)
+	return out
 }
 
 // toMatches rewrites core matches into the public form, resolving names
@@ -166,52 +224,76 @@ func sortMatches(ms []Match) {
 // each unordered pair is reported once (R < S); under SetContainment every
 // ordered pair ⟨R, S⟩ with |R| ≤ |S| is considered. Pairs are sorted by
 // (R, S).
-func (e *Engine) Discover() []Pair {
-	ps, _ := e.DiscoverContext(context.Background())
+// Options apply to every reference pass of the discovery (WithK is a
+// search-shaped option and is ignored here); a WithExplain capture sums
+// the funnels of all passes. Discover's error-free signature swallows
+// failures — including option-validation errors like an out-of-range
+// WithDelta — as an empty result; callers passing options should prefer
+// DiscoverContext, which reports them.
+func (e *Engine) Discover(opts ...QueryOption) []Pair {
+	ps, _ := e.DiscoverContext(context.Background(), opts...)
 	return ps
 }
 
 // DiscoverContext is Discover with cancellation: it aborts and returns
 // ctx.Err() when ctx is done. Reference passes run on Config.Concurrency
 // workers; the sorted output is identical to the serial path's.
-func (e *Engine) DiscoverContext(ctx context.Context) ([]Pair, error) {
+func (e *Engine) DiscoverContext(ctx context.Context, opts ...QueryOption) ([]Pair, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	ps, err := e.discoverPairs(ctx, e.coll)
+	return e.discoverLocked(ctx, e.coll, opts)
+}
+
+// discoverLocked compiles the per-query options and runs one discovery
+// with refs as the R side (the engine's own collection selects self-join
+// semantics). Callers hold the read lock.
+func (e *Engine) discoverLocked(ctx context.Context, refs *dataset.Collection, opts []QueryOption) ([]Pair, error) {
+	qo, err := compileOptions(opts)
 	if err != nil {
 		return nil, err
 	}
-	return e.toPairs(ps, e.coll), nil
+	q, psc := qo.coreQuery()
+	var start time.Time
+	if qo.explain != nil {
+		start = time.Now()
+	}
+	ps, err := e.discoverPairs(ctx, refs, q)
+	if err != nil {
+		return nil, err
+	}
+	out := e.toPairs(ps, refs)
+	qo.finishExplain(psc, time.Since(start))
+	return out, nil
 }
 
 // discoverPairs runs core-level discovery on whichever engine backs e.
 // Passing e.coll itself selects self-join semantics in both backends.
 // Callers must hold at least the read lock.
-func (e *Engine) discoverPairs(ctx context.Context, refs *dataset.Collection) ([]core.Pair, error) {
+func (e *Engine) discoverPairs(ctx context.Context, refs *dataset.Collection, q *core.Query) ([]core.Pair, error) {
 	if e.sh != nil {
-		return e.sh.DiscoverContext(ctx, refs)
+		return e.sh.DiscoverQueryContext(ctx, refs, q)
 	}
-	return e.eng.DiscoverContext(ctx, refs)
+	return e.eng.DiscoverQueryContext(ctx, refs, q)
 }
 
 // DiscoverAgainst finds all related pairs ⟨R, S⟩ with R from refs and S from
-// the engine's collection.
-func (e *Engine) DiscoverAgainst(refs []Set) ([]Pair, error) {
-	return e.DiscoverAgainstContext(context.Background(), refs)
+// the engine's collection. Options apply to every reference pass.
+func (e *Engine) DiscoverAgainst(refs []Set, opts ...QueryOption) ([]Pair, error) {
+	return e.DiscoverAgainstContext(context.Background(), refs, opts...)
 }
 
 // DiscoverAgainstContext is DiscoverAgainst with cancellation.
-func (e *Engine) DiscoverAgainstContext(ctx context.Context, refs []Set) ([]Pair, error) {
+func (e *Engine) DiscoverAgainstContext(ctx context.Context, refs []Set, opts ...QueryOption) ([]Pair, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	qc := e.tokenizeQuery(refs)
-	ps, err := e.discoverPairs(ctx, qc)
-	if err != nil {
-		return nil, err
-	}
-	return e.toPairs(ps, qc), nil
+	return e.discoverLocked(ctx, qc, opts)
 }
 
+// toPairs rewrites core pairs into the public form and sorts them by
+// (R, S) — like finishMatches, the ordering runs unconditionally so both
+// engine shapes share one post-processing path (the order is total, so
+// re-sorting the sharded engine's pre-sorted output changes nothing).
 func (e *Engine) toPairs(ps []core.Pair, refs *dataset.Collection) []Pair {
 	out := make([]Pair, len(ps))
 	for i, p := range ps {
@@ -223,14 +305,12 @@ func (e *Engine) toPairs(ps []core.Pair, refs *dataset.Collection) []Pair {
 			MatchingScore: p.Score,
 		}
 	}
-	if e.sh == nil { // the sharded engine already emits (R, S) order
-		sort.Slice(out, func(i, j int) bool {
-			if out[i].R != out[j].R {
-				return out[i].R < out[j].R
-			}
-			return out[i].S < out[j].S
-		})
-	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].R != out[j].R {
+			return out[i].R < out[j].R
+		}
+		return out[i].S < out[j].S
+	})
 	return out
 }
 

@@ -53,17 +53,30 @@ func main() {
 		"77 5th St Chicago IL",
 	}}
 
-	matches, err := eng.Search(reference)
+	// Per-query options ride on any search: WithK truncates to the top k
+	// and WithExplain captures this query's own plan — which concrete
+	// signature scheme probed the index and what each filter pruned —
+	// without touching the engine's cumulative Stats.
+	var ex silkmoth.Explain
+	matches, err := eng.Search(reference, silkmoth.WithK(2), silkmoth.WithExplain(&ex))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("sets related to %q at δ=0.7 (SET-CONTAINMENT, Jaccard):\n", reference.Name)
+	fmt.Printf("top-2 sets related to %q at δ=0.7 (SET-CONTAINMENT, Jaccard):\n", reference.Name)
 	for _, m := range matches {
 		fmt.Printf("  %-4s containment=%.3f matching-score=%.3f\n",
 			m.Name, m.Relatedness, m.MatchingScore)
 	}
 
-	st := eng.Stats()
-	fmt.Printf("pruning funnel: %d candidates -> %d after check -> %d after NN -> %d verified\n",
-		st.Candidates, st.AfterCheck, st.AfterNN, st.Verified)
+	fmt.Printf("plan: scheme=%s sig-tokens=%d, funnel %d candidates -> %d after check -> %d after NN -> %d verified (%.2fms)\n",
+		ex.Scheme, ex.SigTokens, ex.Candidates, ex.AfterCheck, ex.AfterNN, ex.Verified,
+		float64(ex.Elapsed.Microseconds())/1000)
+
+	// A query can also pin the scheme or tighten δ without rebuilding:
+	strict, err := eng.Search(reference,
+		silkmoth.WithDelta(0.74), silkmoth.WithScheme(silkmoth.SchemeSkyline))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("at δ=0.74 (skyline signatures): %d related sets\n", len(strict))
 }

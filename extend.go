@@ -5,42 +5,34 @@ import (
 	"errors"
 	"io"
 	"sort"
+	"time"
 
+	"silkmoth/internal/core"
 	"silkmoth/internal/dataset"
 )
 
 // SearchTopK returns the k most related sets to ref among those whose
-// relatedness reaches Delta, ordered by descending relatedness.
-func (e *Engine) SearchTopK(ref Set, k int) ([]Match, error) {
-	return e.SearchTopKContext(context.Background(), ref, k)
+// relatedness reaches Delta, ordered by descending relatedness. It is
+// exactly Search with a trailing WithK(k), so options compose the same
+// way (the k argument wins over any WithK in opts).
+func (e *Engine) SearchTopK(ref Set, k int, opts ...QueryOption) ([]Match, error) {
+	return e.SearchTopKContext(context.Background(), ref, k, opts...)
 }
 
 // SearchTopKContext is SearchTopK with cancellation. On a sharded engine
 // each shard contributes its local top k and a heap merge selects the
 // global winners, so the answer costs k·Shards merged candidates instead
 // of a full sort.
-func (e *Engine) SearchTopKContext(ctx context.Context, ref Set, k int) ([]Match, error) {
+func (e *Engine) SearchTopKContext(ctx context.Context, ref Set, k int, opts ...QueryOption) ([]Match, error) {
 	if k <= 0 {
 		return nil, nil
 	}
-	if e.sh != nil {
-		e.mu.RLock()
-		defer e.mu.RUnlock()
-		qc := e.tokenizeQuery([]Set{ref})
-		ms, err := e.sh.SearchTopKContext(ctx, &qc.Sets[0], k)
-		if err != nil {
-			return nil, err
-		}
-		return e.toMatches(ms), nil // the merge already emits canonical order
-	}
-	ms, err := e.SearchContext(ctx, ref)
-	if err != nil {
-		return nil, err
-	}
-	if k < len(ms) {
-		ms = ms[:k]
-	}
-	return ms, nil
+	// Appending WithK last makes the method's k argument override any
+	// WithK in opts (later options win); the copy keeps the caller's
+	// backing array untouched.
+	withK := make([]QueryOption, 0, len(opts)+1)
+	withK = append(append(withK, opts...), WithK(k))
+	return e.SearchContext(ctx, ref, withK...)
 }
 
 // Add tokenizes and indexes additional sets, growing the engine's
@@ -120,7 +112,23 @@ func SortMatchesByIndex(ms []Match) {
 // without any engine machinery. Delta is not consulted; callers get the raw
 // metric. For SetContainment, r is the contained side and |r| must not
 // exceed |s| (the metric is 0 otherwise, per Definition 2).
-func Compare(r, s Set, cfg Config) (float64, error) {
+//
+// Compare accepts the same options as the query methods for uniformity,
+// but a single pairwise matching probes no index: only WithExplain (one
+// verified pair, wall time) and WithReduction observably apply; scheme,
+// k, δ, and filter options are validated and otherwise inert.
+func Compare(r, s Set, cfg Config, opts ...QueryOption) (float64, error) {
+	qo, err := compileOptions(opts)
+	if err != nil {
+		return 0, err
+	}
+	var start time.Time
+	if qo.explain != nil {
+		start = time.Now()
+	}
+	if qo.reduction == core.ToggleOff {
+		cfg.DisableReduction = true
+	}
 	if cfg.Delta == 0 {
 		cfg.Delta = 1 // Delta is irrelevant here but must validate
 	}
@@ -129,17 +137,23 @@ func Compare(r, s Set, cfg Config) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	if len(r.Elements) > len(s.Elements) && cfg.Metric == SetContainment {
-		return 0, nil
+	rel := func() float64 {
+		if len(r.Elements) > len(s.Elements) && cfg.Metric == SetContainment {
+			return 0
+		}
+		score, nR, nS := eng.matchScore(r)
+		if nR == 0 {
+			return 0
+		}
+		if cfg.Metric == SetContainment {
+			return score / float64(nR)
+		}
+		return score / (float64(nR+nS) - score)
+	}()
+	if qo.explain != nil {
+		*qo.explain = Explain{Passes: 1, Verified: 1, Elapsed: time.Since(start)}
 	}
-	score, nR, nS := eng.matchScore(r)
-	if nR == 0 {
-		return 0, nil
-	}
-	if cfg.Metric == SetContainment {
-		return score / float64(nR), nil
-	}
-	return score / (float64(nR+nS) - score), nil
+	return rel, nil
 }
 
 // matchScore computes |r ∩̃ S0| between a query set and the engine's only

@@ -164,7 +164,7 @@ func (e *Engine) SearchContext(ctx context.Context, r *dataset.Set) ([]Match, er
 		return nil, err
 	}
 	sr := e.NewSearcher()
-	ms, err := e.searchPass(ctx, r, -1, sr.w, true)
+	ms, err := e.searchPass(ctx, r, -1, sr.w, true, nil)
 	sr.Close()
 	return ms, err
 }
@@ -196,7 +196,7 @@ func (e *Engine) NewSearcher() *Searcher {
 // runs serially within the pass: callers parallelize across passes, not
 // within them.
 func (s *Searcher) Search(ctx context.Context, r *dataset.Set, skip int) ([]Match, error) {
-	return s.e.searchPass(ctx, r, skip, s.w, false)
+	return s.e.searchPass(ctx, r, skip, s.w, false, nil)
 }
 
 // Close folds the searcher's private stats shard into the engine's
@@ -212,13 +212,18 @@ func (s *Searcher) Close() {
 // reference of size nR under the engine's metric (paper footnote 6 and
 // Definition 2's |R| ≤ |S| requirement).
 func (e *Engine) sizeAccept(nR, nS int) bool {
+	return e.sizeAcceptDelta(nR, nS, e.opts.Delta)
+}
+
+// sizeAcceptDelta is sizeAccept under an explicit threshold — the pass's
+// effective δ, which a query may have overridden.
+func (e *Engine) sizeAcceptDelta(nR, nS int, delta float64) bool {
 	switch e.opts.Metric {
 	case SetContainment:
 		return nS >= nR
 	default:
-		d := e.opts.Delta
-		return float64(nS) >= d*float64(nR)-sizeEps &&
-			float64(nS) <= float64(nR)/d+sizeEps
+		return float64(nS) >= delta*float64(nR)-sizeEps &&
+			float64(nS) <= float64(nR)/delta+sizeEps
 	}
 }
 
@@ -239,7 +244,18 @@ func (e *Engine) Discover(refs *dataset.Collection) []Pair {
 // aborts with ctx.Err() when ctx is done. Pair order varies with worker
 // interleaving; the pair set does not.
 func (e *Engine) DiscoverContext(ctx context.Context, refs *dataset.Collection) ([]Pair, error) {
+	return e.DiscoverQueryContext(ctx, refs, nil)
+}
+
+// DiscoverQueryContext is DiscoverContext with per-query overrides and
+// stats capture: q shapes every reference pass of the discovery, and
+// q.Stats (when non-nil) absorbs the passes' summed funnel. A nil q is
+// exactly DiscoverContext.
+func (e *Engine) DiscoverQueryContext(ctx context.Context, refs *dataset.Collection, q *Query) ([]Pair, error) {
 	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
 		return nil, err
 	}
 	selfJoin := refs == e.coll
@@ -280,7 +296,7 @@ func (e *Engine) DiscoverContext(ctx context.Context, refs *dataset.Collection) 
 					selfSkip = ri
 				}
 				var ms []Match
-				ms, err = sr.Search(ctx, &refs.Sets[ri], selfSkip)
+				ms, err = sr.SearchQuery(ctx, &refs.Sets[ri], selfSkip, q)
 				if err != nil {
 					break
 				}

@@ -4,11 +4,144 @@ import (
 	"context"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"silkmoth/internal/dataset"
 	"silkmoth/internal/filter"
 	"silkmoth/internal/signature"
 )
+
+// PassStats captures the per-stage funnel of a single logical query — one
+// search pass, or the sum of the passes one query fans out into (every
+// shard of a scatter-gather, every reference of a discovery). It is the
+// per-query counterpart of the engine's cumulative Stats: a query that
+// wants its own funnel hangs a PassStats off its Query and reads it back
+// after the call returns.
+//
+// All adds are atomic, so one PassStats may be shared by the concurrent
+// passes of one query (shard fan-out, parallel verification); the fields
+// must only be read once the query has returned.
+type PassStats struct {
+	// Passes counts the search passes that charged this capture (shards ×
+	// references).
+	Passes int64
+	// FullScans counts passes with no valid signature that fell back to
+	// comparing every set.
+	FullScans int64
+	// SigTokens is the number of signature tokens generated — the index
+	// probe volume.
+	SigTokens int64
+	// Candidates counts sets matched by signature tokens before any
+	// refinement; AfterCheck/CheckPruned split them by the check filter
+	// (Candidates = AfterCheck + CheckPruned), and AfterNN/NNPruned split
+	// the survivors by the nearest-neighbor filter.
+	Candidates  int64
+	AfterCheck  int64
+	CheckPruned int64
+	AfterNN     int64
+	NNPruned    int64
+	// Verified counts maximum-matching computations.
+	Verified int64
+	// Scheme* count signatured passes by the concrete scheme that probed
+	// the index (per-shard choices may differ under Auto).
+	SchemeWeighted       int64
+	SchemeSkyline        int64
+	SchemeDichotomy      int64
+	SchemeCombUnweighted int64
+	// ElapsedNanos accumulates wall time at whatever granularity the
+	// caller measures (whole query, or per batch item).
+	ElapsedNanos int64
+}
+
+// The add methods are nil-safe so the plan's stages charge them
+// unconditionally; a query without capture pays one predicted branch.
+
+func (ps *PassStats) addPasses(n int64) {
+	if ps != nil {
+		atomic.AddInt64(&ps.Passes, n)
+	}
+}
+
+func (ps *PassStats) addFullScans(n int64) {
+	if ps != nil {
+		atomic.AddInt64(&ps.FullScans, n)
+	}
+}
+
+func (ps *PassStats) addSigTokens(n int64) {
+	if ps != nil {
+		atomic.AddInt64(&ps.SigTokens, n)
+	}
+}
+
+func (ps *PassStats) addCandidates(n int64) {
+	if ps != nil {
+		atomic.AddInt64(&ps.Candidates, n)
+	}
+}
+
+func (ps *PassStats) addAfterCheck(n int64) {
+	if ps != nil {
+		atomic.AddInt64(&ps.AfterCheck, n)
+	}
+}
+
+func (ps *PassStats) addCheckPruned(n int64) {
+	if ps != nil {
+		atomic.AddInt64(&ps.CheckPruned, n)
+	}
+}
+
+func (ps *PassStats) addAfterNN(n int64) {
+	if ps != nil {
+		atomic.AddInt64(&ps.AfterNN, n)
+	}
+}
+
+func (ps *PassStats) addNNPruned(n int64) {
+	if ps != nil {
+		atomic.AddInt64(&ps.NNPruned, n)
+	}
+}
+
+func (ps *PassStats) addVerified(n int64) {
+	if ps != nil {
+		atomic.AddInt64(&ps.Verified, n)
+	}
+}
+
+func (ps *PassStats) addScheme(k signature.Kind) {
+	if ps == nil {
+		return
+	}
+	switch k {
+	case signature.Weighted:
+		atomic.AddInt64(&ps.SchemeWeighted, 1)
+	case signature.CombUnweighted:
+		atomic.AddInt64(&ps.SchemeCombUnweighted, 1)
+	case signature.Skyline:
+		atomic.AddInt64(&ps.SchemeSkyline, 1)
+	case signature.Dichotomy:
+		atomic.AddInt64(&ps.SchemeDichotomy, 1)
+	}
+}
+
+// AddElapsed folds wall time into the capture (atomically, like every other
+// field). Batch paths call it per item; single-query callers usually
+// measure around the whole call instead.
+func (ps *PassStats) AddElapsed(d time.Duration) {
+	if ps != nil {
+		atomic.AddInt64(&ps.ElapsedNanos, int64(d))
+	}
+}
+
+// Elapsed returns the accumulated wall time.
+func (ps *PassStats) Elapsed() time.Duration {
+	if ps == nil {
+		return 0
+	}
+	return time.Duration(atomic.LoadInt64(&ps.ElapsedNanos))
+}
 
 // worker bundles the per-goroutine scratch of search passes — everything a
 // pass reuses across queries so the steady-state hot path performs no
@@ -44,11 +177,14 @@ type worker struct {
 	st       Stats
 }
 
-// acceptState parameterizes the per-pass candidate acceptance test.
+// acceptState parameterizes the per-pass candidate acceptance test. delta
+// is the pass's effective threshold (the engine's, unless the query
+// overrode it), set alongside nR at pass start.
 type acceptState struct {
 	e        *Engine
 	selfSkip int
 	nR       int
+	delta    float64
 }
 
 func (a *acceptState) accept(set int32) bool {
@@ -58,7 +194,7 @@ func (a *acceptState) accept(set int32) bool {
 	if !a.e.alive(int(set)) {
 		return false // tombstoned: postings remain until compaction
 	}
-	return a.e.sizeAccept(a.nR, len(a.e.coll.Sets[set].Elements))
+	return a.e.sizeAcceptDelta(a.nR, len(a.e.coll.Sets[set].Elements), a.delta)
 }
 
 func (e *Engine) newWorker() *worker {
@@ -89,6 +225,13 @@ type plan struct {
 	r          *dataset.Set
 	selfSkip   int
 	parallelOK bool
+	// opts is the pass's effective configuration: the engine's options
+	// with the query's overrides applied (queryOptions). Every stage reads
+	// it, never e.opts, so per-query overrides reach the whole pipeline.
+	opts Options
+	// ps is the query's own stats capture, nil unless requested. It is
+	// charged in lockstep with the worker's cumulative shard.
+	ps *PassStats
 
 	pruneThreshold float64
 	scheme         signature.Kind
@@ -103,23 +246,32 @@ type plan struct {
 // SET-SIMILARITY; -1 otherwise). Pass a reusable worker; its stats shard
 // absorbs the pass's counters. parallelOK permits sharding the verification
 // loop across goroutines (true for top-level searches, false inside
-// Discover's workers, which are already parallel).
-func (e *Engine) searchPass(ctx context.Context, r *dataset.Set, selfSkip int, w *worker, parallelOK bool) ([]Match, error) {
+// Discover's workers, which are already parallel). q, when non-nil,
+// overrides scheme/δ/filters for this pass and captures its funnel.
+func (e *Engine) searchPass(ctx context.Context, r *dataset.Set, selfSkip int, w *worker, parallelOK bool, q *Query) ([]Match, error) {
 	w.st.addSearchPasses(1)
+	var ps *PassStats
+	if q != nil {
+		ps = q.Stats
+	}
+	ps.addPasses(1)
 	nR := len(r.Elements)
 	if nR == 0 {
 		return nil, nil
 	}
 	p := plan{
-		e:              e,
-		w:              w,
-		r:              r,
-		selfSkip:       selfSkip,
-		parallelOK:     parallelOK,
-		pruneThreshold: e.opts.Delta*float64(nR) - pruneSlack,
+		e:          e,
+		w:          w,
+		r:          r,
+		selfSkip:   selfSkip,
+		parallelOK: parallelOK,
+		opts:       e.queryOptions(q),
+		ps:         ps,
 	}
+	p.pruneThreshold = p.opts.Delta*float64(nR) - pruneSlack
 	w.acc.selfSkip = selfSkip
 	w.acc.nR = nR
+	w.acc.delta = p.opts.Delta
 
 	if !p.buildSignature() {
 		return p.fullScan(ctx)
@@ -135,22 +287,25 @@ func (e *Engine) searchPass(ctx context.Context, r *dataset.Set, selfSkip int, w
 // similarity, §7.3) and the pass must fall back to a full scan.
 func (p *plan) buildSignature() bool {
 	e, w := p.e, p.w
-	sig, kind := w.sel.Generate(e.opts.Scheme, p.r, signature.Params{
-		Delta:  e.opts.Delta,
-		Alpha:  e.opts.Alpha,
-		Family: e.opts.Sim.family(),
+	sig, kind := w.sel.Generate(p.opts.Scheme, p.r, signature.Params{
+		Delta:  p.opts.Delta,
+		Alpha:  p.opts.Alpha,
+		Family: p.opts.Sim.family(),
 	}, e.ix)
 	p.sig, p.scheme = sig, kind
 	if !sig.Valid {
 		w.st.addFullScans(1)
+		p.ps.addFullScans(1)
 		return false
 	}
 	w.st.addScheme(kind)
+	p.ps.addScheme(kind)
 	n := 0
 	for i := range sig.Elements {
 		n += len(sig.Elements[i].Tokens)
 	}
 	w.st.addSigTokens(int64(n))
+	p.ps.addSigTokens(int64(n))
 	return true
 }
 
@@ -169,7 +324,8 @@ func (p *plan) fullScan(ctx context.Context) ([]Match, error) {
 			continue
 		}
 		w.st.addVerified(1)
-		if m, ok := e.verify(p.r, s, &w.vs); ok {
+		p.ps.addVerified(1)
+		if m, ok := e.verifyWith(p.r, s, &w.vs, &p.opts); ok {
 			out = append(out, m)
 		}
 	}
@@ -183,14 +339,17 @@ func (p *plan) collect() {
 	e, w := p.e, p.w
 	cands, raw := w.cl.Collect(p.r, p.sig, e.phi, filter.Options{
 		Accept:         w.acceptFn,
-		CheckFilter:    e.opts.CheckFilter,
+		CheckFilter:    p.opts.CheckFilter,
 		PruneThreshold: p.pruneThreshold,
 	})
 	p.cands = cands
 	w.st.addCandidates(int64(raw))
+	p.ps.addCandidates(int64(raw))
 	w.st.addAfterCheck(int64(len(cands)))
-	if e.opts.CheckFilter {
+	p.ps.addAfterCheck(int64(len(cands)))
+	if p.opts.CheckFilter {
 		w.st.addCheckPruned(int64(raw - len(cands)))
+		p.ps.addCheckPruned(int64(raw - len(cands)))
 	}
 }
 
@@ -198,8 +357,8 @@ func (p *plan) collect() {
 // into the worker's buffer.
 func (p *plan) prepareRefine() {
 	e, w := p.e, p.w
-	if e.opts.NNFilter {
-		w.floors = filter.AppendNoShareFloors(w.floors, p.r, p.sig, e.coll.Mode, e.opts.Alpha)
+	if p.opts.NNFilter {
+		w.floors = filter.AppendNoShareFloors(w.floors, p.r, p.sig, e.coll.Mode, p.opts.Alpha)
 		p.floors = w.floors
 	} else {
 		p.floors = nil
@@ -232,13 +391,16 @@ func (p *plan) verifyAll(ctx context.Context) ([]Match, error) {
 // stage hands each goroutine its own worker).
 func (p *plan) refineAndVerify(c *filter.Candidate, w *worker) (Match, bool) {
 	e := p.e
-	if e.opts.NNFilter && !filter.NNFilter(p.r, p.sig, c, w.ns, p.floors, p.pruneThreshold) {
+	if p.opts.NNFilter && !filter.NNFilter(p.r, p.sig, c, w.ns, p.floors, p.pruneThreshold) {
 		w.st.addNNPruned(1)
+		p.ps.addNNPruned(1)
 		return Match{}, false
 	}
 	w.st.addAfterNN(1)
+	p.ps.addAfterNN(1)
 	w.st.addVerified(1)
-	return e.verify(p.r, int(c.Set), &w.vs)
+	p.ps.addVerified(1)
+	return e.verifyWith(p.r, int(c.Set), &w.vs, &p.opts)
 }
 
 // verifyParallel shards the pass's surviving candidates across Concurrency

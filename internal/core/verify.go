@@ -50,27 +50,41 @@ type verifyScratch struct {
 // set s (with the §5.3 reduction when enabled) and reports whether the pair
 // is related under the engine's metric.
 func (e *Engine) verify(r *dataset.Set, s int, vs *verifyScratch) (Match, bool) {
+	return e.verifyWith(r, s, vs, &e.opts)
+}
+
+// verifyWith is verify under explicit effective options — the engine's
+// configuration with any per-query overrides (δ, reduction) applied. The
+// search pipeline always routes through it so query overrides reach exact
+// verification.
+func (e *Engine) verifyWith(r *dataset.Set, s int, vs *verifyScratch, o *Options) (Match, bool) {
 	sSet := &e.coll.Sets[s]
-	score := e.matchScore(r, sSet, vs)
+	score := e.matchScoreWith(r, sSet, vs, o.Reduction)
 	nR, nS := len(r.Elements), len(sSet.Elements)
-	t := scoreThreshold(e.opts.Metric, e.opts.Delta, nR, nS)
+	t := scoreThreshold(o.Metric, o.Delta, nR, nS)
 	if score < t-acceptEps {
 		return Match{}, false
 	}
 	return Match{
 		Set:         s,
-		Relatedness: relatedness(e.opts.Metric, score, nR, nS),
+		Relatedness: relatedness(o.Metric, score, nR, nS),
 		Score:       score,
 	}, true
 }
 
-// matchScore computes |R ∩̃ S| between two tokenized sets. With the
+// matchScore computes |R ∩̃ S| between two tokenized sets under the
+// engine's reduction setting.
+func (e *Engine) matchScore(r, s *dataset.Set, vs *verifyScratch) float64 {
+	return e.matchScoreWith(r, s, vs, e.opts.Reduction)
+}
+
+// matchScoreWith computes |R ∩̃ S| between two tokenized sets. With the
 // reduction enabled it compares the elements' build-time interned keys
 // (dataset.Element.Key) — integers, never materialized strings.
-func (e *Engine) matchScore(r, s *dataset.Set, vs *verifyScratch) float64 {
+func (e *Engine) matchScoreWith(r, s *dataset.Set, vs *verifyScratch, reduction bool) float64 {
 	vs.ps.phi = e.phi
 	vs.ps.r, vs.ps.s = r, s
-	if e.opts.Reduction {
+	if reduction {
 		vs.keyR = appendElementKeys(vs.keyR[:0], r.Elements)
 		vs.keyS = appendElementKeys(vs.keyS[:0], s.Elements)
 		return vs.mat.ScoreReduced(vs.keyR, vs.keyS, &vs.ps)

@@ -62,6 +62,14 @@ type Options struct {
 // per-candidate heap allocations. The slice Collect returns is likewise
 // reused — its contents are valid only until the next Collect call. A
 // Collector is not safe for concurrent use; create one per worker.
+//
+// Retention is capped: a slot whose set has not been touched for trimAge
+// passes has its pooled Candidate released at the next trim boundary
+// (every trimInterval passes), so a long-lived worker's arena tracks its
+// recent working set instead of every set the collection ever matched —
+// O(recently touched), not O(collection). Slots a steady workload touches
+// every pass are never trimmed, keeping the steady-state zero-allocation
+// budget intact.
 type Collector struct {
 	ix *index.Inverted
 	// Per-set scratch, epoch-stamped so clearing is O(1) per pass.
@@ -75,6 +83,15 @@ type Collector struct {
 	// out is the reused survivor slice handed to the caller.
 	out []*Candidate
 }
+
+// Trim policy: every trimInterval passes, pooled Candidates for slots
+// untouched in the last trimAge passes are released to the garbage
+// collector. The interval amortizes the O(collection) sweep to O(1) per
+// pass; the age keeps any slot in a worker's recent working set resident.
+const (
+	trimInterval = 256
+	trimAge      = 256
+)
 
 // NewCollector returns a collector over the given index.
 func NewCollector(ix *index.Inverted) *Collector {
@@ -108,6 +125,7 @@ func (cl *Collector) Collect(r *dataset.Set, sig *signature.Signature, phi SimFu
 		cl.rejected = append(cl.rejected, make([]bool, n-len(cl.rejected))...)
 		cl.cand = append(cl.cand, make([]*Candidate, n-len(cl.cand))...)
 	}
+	cl.maybeTrim()
 	cl.epoch++
 	if cl.epoch == 0 { // wrapped: reset stamps
 		for i := range cl.seen {
@@ -167,6 +185,23 @@ func (cl *Collector) Collect(r *dataset.Set, sig *signature.Signature, phi SimFu
 		cl.out = append(cl.out, c)
 	}
 	return cl.out, len(cl.order)
+}
+
+// maybeTrim releases pooled Candidates for cold slots at trim boundaries.
+// It runs before the pass's epoch bump, so the previous pass's survivors —
+// which the caller consumed before starting this pass — are the youngest
+// slots and always survive. After an epoch wrap every stamp was reset to
+// 0, which makes all slots look cold at the next boundary; that one-time
+// full release is the cap working as intended.
+func (cl *Collector) maybeTrim() {
+	if cl.epoch == 0 || cl.epoch%trimInterval != 0 {
+		return
+	}
+	for set, c := range cl.cand {
+		if c != nil && cl.epoch-cl.seen[set] > trimAge {
+			cl.cand[set] = nil
+		}
+	}
 }
 
 // candidateFor returns the pooled Candidate for a set slot, allocating it

@@ -1,0 +1,155 @@
+package filter
+
+import (
+	"fmt"
+	"testing"
+
+	"silkmoth/internal/dataset"
+	"silkmoth/internal/index"
+	"silkmoth/internal/raceflag"
+	"silkmoth/internal/signature"
+	"silkmoth/internal/tokens"
+)
+
+// trimSetup builds a collection where one "hot" set and many "cold" sets
+// are reachable through disjoint tokens, plus a reference whose broad
+// signature touches every set and whose narrow signature touches only the
+// hot one.
+func trimSetup(t *testing.T, cold int) (r *dataset.Set, broad, narrow *signature.Signature, ix *index.Inverted) {
+	t.Helper()
+	dict := tokens.NewDictionary()
+	raws := []dataset.RawSet{{Name: "hot", Elements: []string{"hot"}}}
+	for i := 0; i < cold; i++ {
+		raws = append(raws, dataset.RawSet{
+			Name:     fmt.Sprintf("cold%d", i),
+			Elements: []string{fmt.Sprintf("tok%d", i)},
+		})
+	}
+	coll := dataset.BuildWord(dict, raws)
+	ix = index.Build(coll)
+
+	var allTokens []string
+	for i := 0; i < cold; i++ {
+		allTokens = append(allTokens, fmt.Sprintf("tok%d", i))
+	}
+	refColl := dataset.BuildQuery(dict, []dataset.RawSet{{
+		Name:     "ref",
+		Elements: []string{"hot", join(allTokens)},
+	}}, coll.Mode, coll.Q)
+	r = &refColl.Sets[0]
+
+	id := func(name string) tokens.ID {
+		v, ok := dict.Lookup(name)
+		if !ok {
+			t.Fatalf("token %q missing", name)
+		}
+		return v
+	}
+	hotSig := signature.ElemSig{Tokens: []tokens.ID{id("hot")}}
+	coldIDs := make([]tokens.ID, 0, cold)
+	for i := 0; i < cold; i++ {
+		coldIDs = append(coldIDs, id(fmt.Sprintf("tok%d", i)))
+	}
+	broad = &signature.Signature{
+		Elements: []signature.ElemSig{hotSig, {Tokens: tokens.SortUnique(coldIDs)}},
+		Valid:    true,
+	}
+	narrow = &signature.Signature{
+		Elements: []signature.ElemSig{hotSig, {}},
+		Valid:    true,
+	}
+	return r, broad, narrow, ix
+}
+
+func join(parts []string) string {
+	out := ""
+	for i, p := range parts {
+		if i > 0 {
+			out += " "
+		}
+		out += p
+	}
+	return out
+}
+
+// retainedSlots counts slots still holding a pooled Candidate.
+func retainedSlots(cl *Collector) int {
+	n := 0
+	for _, c := range cl.cand {
+		if c != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// TestCollectorTrimReleasesColdSlots pins the retention cap: slots whose
+// sets stop appearing in passes must have their pooled Candidates released
+// once a trim boundary finds them older than trimAge, while slots the
+// workload keeps touching stay resident.
+func TestCollectorTrimReleasesColdSlots(t *testing.T) {
+	const coldSets = 40
+	r, broad, narrow, ix := trimSetup(t, coldSets)
+	cl := NewCollector(ix)
+	opts := Options{CheckFilter: true}
+
+	// Pass 1 touches every set — the hot slot plus all cold ones.
+	cands, _ := cl.Collect(r, broad, jacPhi, opts)
+	if len(cands) != coldSets+1 {
+		t.Fatalf("broad pass collected %d candidates, want %d", len(cands), coldSets+1)
+	}
+	before := retainedSlots(cl)
+
+	// The narrow signature keeps touching only the hot slot for well past
+	// a trim boundary plus the age window.
+	for pass := 0; pass < trimInterval+trimAge+trimInterval; pass++ {
+		hc, _ := cl.Collect(r, narrow, jacPhi, opts)
+		if len(hc) != 1 {
+			t.Fatalf("narrow pass collected %d candidates, want 1", len(hc))
+		}
+	}
+
+	got := retainedSlots(cl)
+	if got >= before {
+		t.Fatalf("trim released nothing: %d slots retained before, %d after %d narrow passes",
+			before, got, trimInterval+trimAge+trimInterval)
+	}
+	if got < 1 {
+		t.Fatalf("trim released the hot slot touched every pass (retained %d)", got)
+	}
+
+	// Trimmed slots must be rebuilt correctly when the broad signature
+	// returns: results identical to a fresh collector's.
+	back, backRaw := cl.Collect(r, broad, jacPhi, opts)
+	want, wantRaw := NewCollector(ix).Collect(r, broad, jacPhi, opts)
+	if backRaw != wantRaw || len(back) != len(want) {
+		t.Fatalf("post-trim collection diverged: got %d cands raw %d, want %d raw %d",
+			len(back), backRaw, len(want), wantRaw)
+	}
+	for i := range back {
+		g, w := back[i], want[i]
+		if g.Set != w.Set || g.NumPassed != w.NumPassed {
+			t.Fatalf("post-trim cand %d: got set=%d passed=%d, want set=%d passed=%d",
+				i, g.Set, g.NumPassed, w.Set, w.NumPassed)
+		}
+	}
+}
+
+// TestCollectorTrimKeepsSteadyStateAllocFree pins the arena budget across
+// trim boundaries: a workload that touches the same slots every pass must
+// never have them trimmed, so steady-state collection stays at zero
+// allocations even while the collector crosses multiple trim intervals.
+func TestCollectorTrimKeepsSteadyStateAllocFree(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race instrumentation allocates; budgets hold only in plain builds")
+	}
+	r, sig, ix, _ := paperSetup(t)
+	cl := NewCollector(ix)
+	opts := Options{CheckFilter: true, PruneThreshold: 2.1 - pruneSlack}
+	cl.Collect(r, sig, jacPhi, opts)
+	cl.Collect(r, sig, jacPhi, opts)
+	// 3 × trimInterval runs cross at least three trim boundaries.
+	if got := testing.AllocsPerRun(3*trimInterval, func() { cl.Collect(r, sig, jacPhi, opts) }); got > 0 {
+		t.Errorf("steady-state Collect allocates %.2f objects across trim boundaries, want 0", got)
+	}
+}

@@ -57,6 +57,12 @@ type Options struct {
 	// larger batch is rejected with 413 before any work starts. 0 means
 	// 256; negative disables the bound.
 	MaxBatchSize int
+	// DisableExplain turns off execution introspection: /v1/explain
+	// answers 404 and explain request fields are rejected with 400.
+	// Explained queries bypass the result cache (their wall-time field
+	// would otherwise go stale), so operators fronting hot repeated
+	// workloads may prefer them off.
+	DisableExplain bool
 }
 
 func (o Options) normalize() Options {
@@ -123,6 +129,8 @@ func New(eng *silkmoth.Engine, cfg silkmoth.Config, opts Options) *Server {
 	mux.HandleFunc("POST /v1/search/batch", s.handleSearchBatch)
 	mux.HandleFunc("POST /v1/topk", s.handleTopK)
 	mux.HandleFunc("POST /v1/discover-against", s.handleDiscoverAgainst)
+	mux.HandleFunc("GET /v1/explain", s.handleExplain)
+	mux.HandleFunc("POST /v1/explain", s.handleExplain)
 	mux.HandleFunc("POST /v1/compare", s.handleCompare)
 	mux.HandleFunc("POST /v1/sets", s.handleAddSets)
 	mux.HandleFunc("DELETE /v1/sets/{id}", s.handleDeleteSet)
@@ -142,6 +150,7 @@ var knownPaths = map[string]bool{
 	"/v1/search/batch":     true,
 	"/v1/topk":             true,
 	"/v1/discover-against": true,
+	"/v1/explain":          true,
 	"/v1/compare":          true,
 	"/v1/sets":             true,
 	"/v1/sets/{id}":        true,
@@ -313,15 +322,16 @@ func (s *Server) writeCtxErr(w http.ResponseWriter, err error) {
 }
 
 // cacheKey builds the result cache key for one query: endpoint kind, the
-// engine's metric/δ/α identity, any endpoint scalar (like k), then every
-// query set's elements, all length-prefixed so distinct queries can never
-// collide.
-func (s *Server) cacheKey(kind string, scalar int, sets ...SetJSON) string {
+// engine's metric/δ/α identity, any endpoint scalar (like k), any
+// per-query override spec (scheme/δ overrides change the response body,
+// so they must key separately), then every query set's elements, all
+// length-prefixed so distinct queries can never collide.
+func (s *Server) cacheKey(kind string, scalar int, overrides string, sets ...SetJSON) string {
 	var b strings.Builder
 	b.WriteString(kind)
 	b.WriteByte(0)
-	fmt.Fprintf(&b, "%d|%d|%d|%g|%g|%d", atomic.LoadInt64(&s.gen),
-		int(s.cfg.Metric), int(s.cfg.Similarity), s.cfg.Delta, s.cfg.Alpha, scalar)
+	fmt.Fprintf(&b, "%d|%d|%d|%g|%g|%d|%s", atomic.LoadInt64(&s.gen),
+		int(s.cfg.Metric), int(s.cfg.Similarity), s.cfg.Delta, s.cfg.Alpha, scalar, overrides)
 	for _, set := range sets {
 		b.WriteByte(0)
 		b.WriteString(strconv.Itoa(len(set.Elements)))
@@ -365,10 +375,49 @@ func (s *Server) finish(w http.ResponseWriter, key string, v any) {
 type searchRequest struct {
 	Set SetJSON `json:"set"`
 	K   int     `json:"k,omitempty"`
+	// Scheme pins this query's signature scheme ("dichotomy", "skyline",
+	// "weighted", "combunweighted", "auto"); empty inherits the engine's.
+	Scheme string `json:"scheme,omitempty"`
+	// Delta overrides the relatedness threshold δ ∈ (0, 1] for this query;
+	// 0 inherits the engine's.
+	Delta float64 `json:"delta,omitempty"`
+	// Explain attaches the query's execution metadata to the response.
+	// Explained responses bypass the result cache.
+	Explain bool `json:"explain,omitempty"`
+}
+
+// overrides validates the request's per-query fields and compiles them to
+// engine options plus the cache-key override spec. ex, when non-nil, is
+// the explain destination wired through WithExplain.
+func (s *Server) overrides(w http.ResponseWriter, scheme string, delta float64, explain bool, ex *silkmoth.Explain) (opts []silkmoth.QueryOption, keySpec string, ok bool) {
+	if scheme != "" {
+		sc, err := silkmoth.ParseScheme(scheme)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return nil, "", false
+		}
+		opts = append(opts, silkmoth.WithScheme(sc))
+	}
+	if delta != 0 {
+		if delta < 0 || delta > 1 {
+			writeError(w, http.StatusBadRequest, "delta must be in (0, 1], got %g", delta)
+			return nil, "", false
+		}
+		opts = append(opts, silkmoth.WithDelta(delta))
+	}
+	if explain {
+		if s.opts.DisableExplain {
+			writeError(w, http.StatusBadRequest, "explain is disabled on this server")
+			return nil, "", false
+		}
+		opts = append(opts, silkmoth.WithExplain(ex))
+	}
+	return opts, fmt.Sprintf("%s|%g", scheme, delta), true
 }
 
 type searchResponse struct {
-	Matches []MatchJSON `json:"matches"`
+	Matches []MatchJSON  `json:"matches"`
+	Explain *ExplainJSON `json:"explain,omitempty"`
 }
 
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
@@ -397,9 +446,16 @@ func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, topk bool) 
 		}
 		kind, k = "topk", req.K
 	}
+	var ex silkmoth.Explain
+	opts, keySpec, ok := s.overrides(w, req.Scheme, req.Delta, req.Explain, &ex)
+	if !ok {
+		return
+	}
 
-	key := s.cacheKey(kind, k, req.Set)
-	if s.serveCached(w, key) {
+	// Explained responses carry wall time, which a cache would freeze;
+	// they skip both lookup and store.
+	key := s.cacheKey(kind, k, keySpec, req.Set)
+	if !req.Explain && s.serveCached(w, key) {
 		return
 	}
 
@@ -413,29 +469,46 @@ func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, topk bool) 
 	var ms []silkmoth.Match
 	var err error
 	if topk {
-		ms, err = s.eng.SearchTopKContext(ctx, req.Set.toSet(), req.K)
+		ms, err = s.eng.SearchTopKContext(ctx, req.Set.toSet(), req.K, opts...)
 	} else {
-		ms, err = s.eng.SearchContext(ctx, req.Set.toSet())
+		ms, err = s.eng.SearchContext(ctx, req.Set.toSet(), opts...)
 	}
 	if err != nil {
 		s.writeCtxErr(w, err)
 		return
 	}
-	s.finish(w, key, searchResponse{Matches: matchesJSON(ms)})
+	resp := searchResponse{Matches: matchesJSON(ms)}
+	if req.Explain {
+		resp.Explain = explainJSON(&ex)
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	s.finish(w, key, resp)
 }
 
 type batchSearchRequest struct {
 	Sets []SetJSON `json:"sets"`
 	// K, when ≥ 1, truncates each item's matches to its top k.
 	K int `json:"k,omitempty"`
+	// Schemes, when present, must align positionally with Sets: each
+	// non-empty entry pins that item's signature scheme (an empty string
+	// inherits the engine's, including Auto's per-query choice). The
+	// response reports the concrete scheme each item probed with.
+	Schemes []string `json:"schemes,omitempty"`
+	// Explain attaches per-item execution metadata to every result.
+	// Explained responses bypass the result cache.
+	Explain bool `json:"explain,omitempty"`
 }
 
 // BatchItemJSON is one batch item's outcome on the wire: its matches, or a
 // per-item error (e.g. an empty set) that left the rest of the batch
-// unaffected.
+// unaffected. When the request pinned schemes or asked for explain, Scheme
+// carries the concrete signature scheme the item's passes probed with.
 type BatchItemJSON struct {
-	Matches []MatchJSON `json:"matches"`
-	Error   string      `json:"error,omitempty"`
+	Matches []MatchJSON  `json:"matches"`
+	Scheme  string       `json:"scheme,omitempty"`
+	Explain *ExplainJSON `json:"explain,omitempty"`
+	Error   string       `json:"error,omitempty"`
 }
 
 type batchSearchResponse struct {
@@ -464,9 +537,39 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "k must be >= 0")
 		return
 	}
+	if req.Schemes != nil && len(req.Schemes) != len(req.Sets) {
+		writeError(w, http.StatusBadRequest, "schemes must align with sets: %d schemes for %d sets",
+			len(req.Schemes), len(req.Sets))
+		return
+	}
+	perItem := req.Schemes != nil || req.Explain
+	schemes := make([]silkmoth.Scheme, len(req.Sets))
+	pinned := make([]bool, len(req.Sets))
+	for i, name := range req.Schemes {
+		if name == "" {
+			continue
+		}
+		sc, err := silkmoth.ParseScheme(name)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "schemes[%d]: %v", i, err)
+			return
+		}
+		schemes[i], pinned[i] = sc, true
+	}
+	if req.Explain && s.opts.DisableExplain {
+		writeError(w, http.StatusBadRequest, "explain is disabled on this server")
+		return
+	}
 
-	key := s.cacheKey("search-batch", req.K, req.Sets...)
-	if s.serveCached(w, key) {
+	// The key must separate a nil schemes array from one of empty strings:
+	// their results match, but only the latter reports per-item chosen
+	// schemes, so the response bodies differ.
+	keySpec := ""
+	if req.Schemes != nil {
+		keySpec = "schemes:" + strings.Join(req.Schemes, ",")
+	}
+	key := s.cacheKey("search-batch", req.K, keySpec, req.Sets...)
+	if !req.Explain && s.serveCached(w, key) {
 		return
 	}
 
@@ -479,7 +582,8 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 
 	// Split valid queries from per-item rejects; only the former reach
 	// the engine.
-	queries := make([]silkmoth.Set, 0, len(req.Sets))
+	queries := make([]silkmoth.BatchQuery, 0, len(req.Sets))
+	explains := make([]*silkmoth.Explain, 0, len(req.Sets))
 	validAt := make([]int, 0, len(req.Sets))
 	results := make([]BatchItemJSON, len(req.Sets))
 	for i, set := range req.Sets {
@@ -489,23 +593,48 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 			results[i] = BatchItemJSON{Matches: []MatchJSON{}, Error: "elements must be non-empty"}
 			continue
 		}
-		queries = append(queries, set.toSet())
+		bq := silkmoth.BatchQuery{Set: set.toSet()}
+		var ex *silkmoth.Explain
+		if perItem {
+			// Per-item chosen schemes come from the same capture explain
+			// uses, so both features ride one option.
+			ex = &silkmoth.Explain{}
+			bq.Options = append(bq.Options, silkmoth.WithExplain(ex))
+		}
+		if pinned[i] {
+			bq.Options = append(bq.Options, silkmoth.WithScheme(schemes[i]))
+		}
+		queries = append(queries, bq)
+		explains = append(explains, ex)
 		validAt = append(validAt, i)
 	}
 	if len(queries) > 0 {
-		per, err := s.eng.SearchBatchContext(ctx, queries)
+		per, err := s.eng.SearchBatchQueriesContext(ctx, queries)
 		if err != nil {
 			s.writeCtxErr(w, err)
 			return
 		}
-		for qi, ms := range per {
+		for qi, res := range per {
+			ms := res.Matches
 			if req.K >= 1 && len(ms) > req.K {
 				ms = ms[:req.K] // matches are sorted, so the prefix is the top k
 			}
-			results[validAt[qi]].Matches = matchesJSON(ms)
+			item := &results[validAt[qi]]
+			item.Matches = matchesJSON(ms)
+			if ex := explains[qi]; ex != nil {
+				item.Scheme = ex.Scheme
+				if req.Explain {
+					item.Explain = explainJSON(ex)
+				}
+			}
 		}
 	}
-	s.finish(w, key, batchSearchResponse{Results: results})
+	resp := batchSearchResponse{Results: results}
+	if req.Explain {
+		writeJSON(w, http.StatusOK, resp)
+		return
+	}
+	s.finish(w, key, resp)
 }
 
 type discoverRequest struct {
@@ -527,7 +656,7 @@ func (s *Server) handleDiscoverAgainst(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := s.cacheKey("discover-against", -1, req.Sets...)
+	key := s.cacheKey("discover-against", -1, "", req.Sets...)
 	if s.serveCached(w, key) {
 		return
 	}
@@ -576,7 +705,7 @@ func (s *Server) handleCompare(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := s.cacheKey("compare", -1, req.R, req.S)
+	key := s.cacheKey("compare", -1, "", req.R, req.S)
 	if s.serveCached(w, key) {
 		return
 	}
@@ -797,16 +926,20 @@ type statsResponse struct {
 	// Sets is the live set count; Tombstones counts deleted sets whose
 	// postings await compaction. Generation is the mutation counter
 	// conditional mutations (if_generation) compare against.
-	Sets          int     `json:"sets"`
-	Tombstones    int     `json:"tombstones"`
-	Generation    int64   `json:"generation"`
-	Shards        int     `json:"shards"`
-	Metric        string  `json:"metric"`
-	Similarity    string  `json:"similarity"`
-	Delta         float64 `json:"delta"`
-	Alpha         float64 `json:"alpha"`
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	Engine        struct {
+	Sets       int    `json:"sets"`
+	Tombstones int    `json:"tombstones"`
+	Generation int64  `json:"generation"`
+	Shards     int    `json:"shards"`
+	Metric     string `json:"metric"`
+	Similarity string `json:"similarity"`
+	// ConfiguredScheme is the engine's signature scheme by name ("auto"
+	// means per-query cost-based selection; individual queries may also
+	// pin a scheme per request).
+	ConfiguredScheme string  `json:"scheme"`
+	Delta            float64 `json:"delta"`
+	Alpha            float64 `json:"alpha"`
+	UptimeSeconds    float64 `json:"uptime_seconds"`
+	Engine           struct {
 		SearchPasses int64 `json:"search_passes"`
 		FullScans    int64 `json:"full_scans"`
 		SigTokens    int64 `json:"sig_tokens"`
@@ -843,6 +976,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Shards = s.eng.Shards()
 	resp.Metric = s.cfg.Metric.String()
 	resp.Similarity = s.cfg.Similarity.String()
+	resp.ConfiguredScheme = s.cfg.Scheme.String()
 	resp.Delta = s.cfg.Delta
 	resp.Alpha = s.cfg.Alpha
 	resp.UptimeSeconds = s.met.uptime().Seconds()

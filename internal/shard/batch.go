@@ -2,6 +2,8 @@ package shard
 
 import (
 	"context"
+	"errors"
+	"time"
 
 	"silkmoth/internal/core"
 	"silkmoth/internal/dataset"
@@ -17,8 +19,26 @@ import (
 // (ties by global index), identical to running SearchContext per ref. The
 // first error aborts the whole batch.
 func (e *Engine) SearchBatchContext(ctx context.Context, refs []*dataset.Set) ([][]core.Match, error) {
+	return e.SearchBatchQueries(ctx, refs, nil)
+}
+
+// SearchBatchQueries is SearchBatchContext with per-item overrides: qs,
+// when non-nil, must align positionally with refs, and each item's passes
+// run under its own query (nil items inherit the engine's configuration).
+// An item whose query carries a Stats capture also gets its wall time
+// accumulated there (AddElapsed), measured around the item's full
+// cross-shard pass sequence.
+func (e *Engine) SearchBatchQueries(ctx context.Context, refs []*dataset.Set, qs []*core.Query) ([][]core.Match, error) {
 	if len(refs) == 0 {
 		return nil, nil
+	}
+	if qs != nil && len(qs) != len(refs) {
+		return nil, errors.New("shard: per-item queries must align with refs")
+	}
+	for _, q := range qs {
+		if err := q.Validate(); err != nil {
+			return nil, err
+		}
 	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
@@ -44,9 +64,18 @@ func (e *Engine) SearchBatchContext(ctx context.Context, refs []*dataset.Set) ([
 
 	out := make([][]core.Match, len(refs))
 	err := FanOut(ctx, len(refs), workers, func(ctx context.Context, w, qi int) error {
+		var q *core.Query
+		if qs != nil {
+			q = qs[qi]
+		}
+		var start time.Time
+		timed := q != nil && q.Stats != nil
+		if timed {
+			start = time.Now()
+		}
 		var ms []core.Match
 		for s := 0; s < e.nshards; s++ {
-			sm, err := searchers[w][s].Search(ctx, refs[qi], -1)
+			sm, err := searchers[w][s].SearchQuery(ctx, refs[qi], -1, q)
 			if err != nil {
 				return err
 			}
@@ -58,6 +87,9 @@ func (e *Engine) SearchBatchContext(ctx context.Context, refs []*dataset.Set) ([
 		}
 		sortMatches(ms)
 		out[qi] = ms
+		if timed {
+			q.Stats.AddElapsed(time.Since(start))
+		}
 		return nil
 	})
 	if err != nil {

@@ -393,12 +393,18 @@ func sortPairs(ps []core.Pair) {
 // shard fan-out IS the query's parallelism, never compounded with the
 // per-pass verification pool. The first shard error cancels the remaining
 // shards' passes. Callers must hold the engine's read lock.
-func (e *Engine) scatter(ctx context.Context, r *dataset.Set, k int) ([][]core.Match, error) {
+//
+// q's overrides apply to every shard's pass, and its Stats capture (being
+// internally synchronized) absorbs all of their funnels — the query-level
+// explain of a scatter is the sum over shards, with each shard counting
+// one pass. Under scheme Auto the per-shard cost models may pick different
+// concrete schemes; the capture's per-scheme counters keep the split.
+func (e *Engine) scatter(ctx context.Context, r *dataset.Set, k int, q *core.Query) ([][]core.Match, error) {
 	per := make([][]core.Match, e.nshards)
 	err := FanOut(ctx, e.nshards, e.nshards, func(ctx context.Context, _, s int) error {
 		sr := e.engines[s].NewSearcher()
 		defer sr.Close()
-		ms, err := sr.Search(ctx, r, -1)
+		ms, err := sr.SearchQuery(ctx, r, -1, q)
 		if err != nil {
 			return err
 		}
@@ -421,9 +427,19 @@ func (e *Engine) scatter(ctx context.Context, r *dataset.Set, k int) ([][]core.M
 // ties by global index. r must be tokenized against the global
 // collection's dictionary.
 func (e *Engine) SearchContext(ctx context.Context, r *dataset.Set) ([]core.Match, error) {
+	return e.SearchQueryContext(ctx, r, nil)
+}
+
+// SearchQueryContext is SearchContext with per-query overrides and stats
+// capture threaded into every shard's pass. A nil q is exactly
+// SearchContext.
+func (e *Engine) SearchQueryContext(ctx context.Context, r *dataset.Set, q *core.Query) ([]core.Match, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	per, err := e.scatter(ctx, r, -1)
+	per, err := e.scatter(ctx, r, -1, q)
 	if err != nil {
 		return nil, err
 	}
@@ -446,6 +462,16 @@ func (e *Engine) SearchContext(ctx context.Context, r *dataset.Set) ([]core.Matc
 // Pairs are returned sorted by (R, S); scores are bit-identical to the
 // serial engine's.
 func (e *Engine) DiscoverContext(ctx context.Context, refs *dataset.Collection) ([]core.Pair, error) {
+	return e.DiscoverQueryContext(ctx, refs, nil)
+}
+
+// DiscoverQueryContext is DiscoverContext with per-query overrides and
+// stats capture: q shapes every ⟨reference, shard⟩ pass and its Stats
+// capture absorbs all of their funnels. A nil q is exactly DiscoverContext.
+func (e *Engine) DiscoverQueryContext(ctx context.Context, refs *dataset.Collection, q *core.Query) ([]core.Pair, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
 	if err := ctx.Err(); err != nil {
@@ -487,7 +513,7 @@ func (e *Engine) DiscoverContext(ctx context.Context, refs *dataset.Collection) 
 				// l2g list.
 				skip = sort.SearchInts(e.l2g[s], ri+1) - 1
 			}
-			ms, err := searchers[w][s].Search(ctx, r, skip)
+			ms, err := searchers[w][s].SearchQuery(ctx, r, skip, q)
 			if err != nil {
 				return err
 			}

@@ -15,12 +15,22 @@ import (
 // costs k·N merged candidates, never a full concat-and-sort of every
 // shard's matches.
 func (e *Engine) SearchTopKContext(ctx context.Context, r *dataset.Set, k int) ([]core.Match, error) {
+	return e.SearchTopKQueryContext(ctx, r, k, nil)
+}
+
+// SearchTopKQueryContext is SearchTopKContext with per-query overrides and
+// stats capture threaded into every shard's pass. A nil q is exactly
+// SearchTopKContext.
+func (e *Engine) SearchTopKQueryContext(ctx context.Context, r *dataset.Set, k int, q *core.Query) ([]core.Match, error) {
 	if k <= 0 {
 		return nil, nil
 	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	per, err := e.scatter(ctx, r, k)
+	per, err := e.scatter(ctx, r, k, q)
 	if err != nil {
 		return nil, err
 	}

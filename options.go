@@ -1,0 +1,304 @@
+package silkmoth
+
+import (
+	"fmt"
+	"time"
+
+	"silkmoth/internal/core"
+)
+
+// QueryOption customizes a single query without touching the engine's
+// configuration. Every query method accepts a trailing list of options —
+// Search, SearchTopK, SearchBatch, Discover, DiscoverAgainst, Explain, and
+// the package-level Compare — and a call with no options behaves exactly
+// as the engine was configured. Options apply in order, so a later option
+// overrides an earlier one of the same kind.
+//
+// Overrides come in two flavors. WithScheme only changes how the inverted
+// index is probed — results are identical for every valid scheme, so
+// pinning a scheme is a performance and auditing knob. WithDelta and the
+// filter toggles change or stress the result set itself: WithDelta(d)
+// returns exactly what an engine built with Delta = d would, and disabling
+// filters must never change results (the exactness guarantee), only cost.
+type QueryOption func(*queryOptions) error
+
+// queryOptions is the compiled form of a query's option list.
+type queryOptions struct {
+	k         int
+	hasK      bool
+	scheme    Scheme
+	hasScheme bool
+	delta     float64
+	hasDelta  bool
+	check     core.Toggle
+	nn        core.Toggle
+	reduction core.Toggle
+	explain   *Explain
+}
+
+// WithK truncates the query's matches to the k most related (k ≥ 1), like
+// SearchTopK. On a sharded engine the heap-merged top-k path answers it
+// with k·Shards merged candidates instead of a full sort.
+func WithK(k int) QueryOption {
+	return func(qo *queryOptions) error {
+		if k < 1 {
+			return fmt.Errorf("silkmoth: WithK requires k >= 1, got %d", k)
+		}
+		qo.k, qo.hasK = k, true
+		return nil
+	}
+}
+
+// WithScheme pins this query's signature scheme, overriding the engine's
+// (including SchemeAuto's per-query cost-based choice). Schemes only
+// decide how much of the index is probed, so matches are identical under
+// every scheme; pair it with WithExplain to audit the probe cost of each.
+func WithScheme(s Scheme) QueryOption {
+	return func(qo *queryOptions) error {
+		if _, err := s.kind(); err != nil {
+			return err
+		}
+		qo.scheme, qo.hasScheme = s, true
+		return nil
+	}
+}
+
+// WithDelta overrides the relatedness threshold δ ∈ (0, 1] for this query.
+// Matches are exactly those of an engine built with Config.Delta = d.
+func WithDelta(d float64) QueryOption {
+	return func(qo *queryOptions) error {
+		if d <= 0 || d > 1 {
+			return fmt.Errorf("silkmoth: WithDelta requires δ in (0, 1], got %v", d)
+		}
+		qo.delta, qo.hasDelta = d, true
+		return nil
+	}
+}
+
+// WithExplain captures how the query executed into *dst: the concrete
+// signature scheme that probed the index, the per-stage pruning funnel
+// (signature tokens → candidates → check filter → NN filter → exact
+// verification), and wall time. dst is written once, when the query
+// returns successfully. Capture is cheap — a handful of atomic adds per
+// stage — but explained server requests bypass the result cache.
+func WithExplain(dst *Explain) QueryOption {
+	return func(qo *queryOptions) error {
+		if dst == nil {
+			return fmt.Errorf("silkmoth: WithExplain requires a non-nil destination")
+		}
+		qo.explain = dst
+		return nil
+	}
+}
+
+// WithCheckFilter enables or disables the check filter (§5.1) for this
+// query. Disabling a filter never changes matches — only how many
+// candidates reach exact verification.
+func WithCheckFilter(enabled bool) QueryOption {
+	return func(qo *queryOptions) error {
+		qo.check = toggle(enabled)
+		return nil
+	}
+}
+
+// WithNNFilter enables or disables the nearest-neighbor filter (§5.2) for
+// this query. Enabling it implies the check filter, whose state it
+// consumes.
+func WithNNFilter(enabled bool) QueryOption {
+	return func(qo *queryOptions) error {
+		qo.nn = toggle(enabled)
+		return nil
+	}
+}
+
+// WithReduction enables or disables reduction-based verification (§5.3)
+// for this query. The reduction stays off where its metric requirements
+// fail (α ≠ 0, or a similarity whose dual distance is not a metric),
+// regardless of the toggle.
+func WithReduction(enabled bool) QueryOption {
+	return func(qo *queryOptions) error {
+		qo.reduction = toggle(enabled)
+		return nil
+	}
+}
+
+func toggle(enabled bool) core.Toggle {
+	if enabled {
+		return core.ToggleOn
+	}
+	return core.ToggleOff
+}
+
+// compileOptions folds an option list into its compiled form, validating
+// each option's arguments.
+func compileOptions(opts []QueryOption) (queryOptions, error) {
+	var qo queryOptions
+	for _, opt := range opts {
+		if opt == nil {
+			continue
+		}
+		if err := opt(&qo); err != nil {
+			return queryOptions{}, err
+		}
+	}
+	return qo, nil
+}
+
+// coreQuery lowers the compiled options into the core engine's per-query
+// override form, allocating the stats capture when explain was requested.
+// It returns nil when nothing was overridden or captured, which keeps
+// option-less queries on the exact pre-options code path.
+func (qo *queryOptions) coreQuery() (*core.Query, *core.PassStats) {
+	if !qo.hasScheme && !qo.hasDelta && qo.check == core.ToggleInherit &&
+		qo.nn == core.ToggleInherit && qo.reduction == core.ToggleInherit &&
+		qo.explain == nil {
+		return nil, nil
+	}
+	q := &core.Query{
+		Delta:       qo.delta,
+		CheckFilter: qo.check,
+		NNFilter:    qo.nn,
+		Reduction:   qo.reduction,
+	}
+	if qo.hasScheme {
+		kind, err := qo.scheme.kind()
+		if err != nil {
+			// WithScheme validated already; this is unreachable.
+			panic(err)
+		}
+		q.Scheme, q.SchemeSet = kind, true
+	}
+	var ps *core.PassStats
+	if qo.explain != nil {
+		ps = &core.PassStats{}
+		q.Stats = ps
+	}
+	return q, ps
+}
+
+// finishExplain writes the capture into the caller's Explain destination.
+// elapsed < 0 means "use the capture's own accumulated wall time" (batch
+// items time themselves; single queries are timed around the whole call).
+func (qo *queryOptions) finishExplain(ps *core.PassStats, elapsed time.Duration) {
+	if qo.explain == nil || ps == nil {
+		return
+	}
+	if elapsed < 0 {
+		elapsed = ps.Elapsed()
+	}
+	*qo.explain = explainFromPass(ps, elapsed)
+}
+
+// Explain describes how one query executed: which concrete signature
+// scheme probed the inverted index, how many sets each pipeline stage let
+// through, and how long the whole query took. Capture one with
+// WithExplain or the Engine.Explain method; serving layers expose the same
+// shape via /v1/explain.
+//
+// The funnel is internally consistent by construction:
+// Candidates = AfterCheck + CheckPruned, AfterCheck = AfterNN + NNPruned,
+// and every AfterNN survivor is Verified (full-scan passes verify without
+// entering the funnel).
+type Explain struct {
+	// Scheme is the concrete signature scheme that probed the index —
+	// the per-query resolution under SchemeAuto. When the query fanned
+	// out into passes that chose differently (shards, batch references)
+	// it is "mixed" and Schemes has the split; a query with no valid
+	// signature reports "full-scan".
+	Scheme string
+	// Schemes counts signatured passes by concrete scheme name. Nil when
+	// no pass generated a signature.
+	Schemes map[string]int64
+	// Passes counts the search passes the query fanned out into (shards ×
+	// references); FullScans counts those with no valid signature.
+	Passes    int64
+	FullScans int64
+	// SigTokens is the number of signature tokens generated — the index
+	// probe volume the scheme selection minimizes.
+	SigTokens int64
+	// Candidates counts sets matched by signature tokens before
+	// refinement; AfterCheck/CheckPruned split them by the check filter,
+	// AfterNN/NNPruned split the survivors by the nearest-neighbor
+	// filter, and Verified counts exact maximum-matching computations.
+	Candidates  int64
+	AfterCheck  int64
+	CheckPruned int64
+	AfterNN     int64
+	NNPruned    int64
+	Verified    int64
+	// Elapsed is the query's wall time (for a batch item, that item's own
+	// pass time).
+	Elapsed time.Duration
+}
+
+// explainFromPass converts a core stats capture into the public shape.
+func explainFromPass(ps *core.PassStats, elapsed time.Duration) Explain {
+	ex := Explain{
+		Passes:      ps.Passes,
+		FullScans:   ps.FullScans,
+		SigTokens:   ps.SigTokens,
+		Candidates:  ps.Candidates,
+		AfterCheck:  ps.AfterCheck,
+		CheckPruned: ps.CheckPruned,
+		AfterNN:     ps.AfterNN,
+		NNPruned:    ps.NNPruned,
+		Verified:    ps.Verified,
+		Elapsed:     elapsed,
+	}
+	type schemeCount struct {
+		name  string
+		count int64
+	}
+	counts := []schemeCount{
+		{SchemeWeighted.String(), ps.SchemeWeighted},
+		{SchemeSkyline.String(), ps.SchemeSkyline},
+		{SchemeDichotomy.String(), ps.SchemeDichotomy},
+		{SchemeCombUnweighted.String(), ps.SchemeCombUnweighted},
+	}
+	var total int64
+	var last string
+	distinct := 0
+	for _, sc := range counts {
+		if sc.count == 0 {
+			continue
+		}
+		if ex.Schemes == nil {
+			ex.Schemes = make(map[string]int64, 2)
+		}
+		ex.Schemes[sc.name] = sc.count
+		total += sc.count
+		last = sc.name
+		distinct++
+	}
+	switch {
+	case distinct == 1 && ex.FullScans == 0:
+		ex.Scheme = last
+	case total == 0 && ex.FullScans > 0:
+		ex.Scheme = "full-scan"
+	case total > 0:
+		ex.Scheme = "mixed"
+	}
+	return ex
+}
+
+// Result is a query's full outcome: its matches plus, when requested, the
+// explain metadata describing how they were computed.
+type Result struct {
+	// Matches is the query's answer, sorted by descending relatedness
+	// (ties by ascending collection index).
+	Matches []Match
+	// Explain is non-nil when the query captured its execution (the
+	// Explain method, a WithExplain option, or a per-item batch capture).
+	Explain *Explain
+}
+
+// BatchQuery is one item of a per-item batch: a reference set plus the
+// options shaping its query. SearchBatchQueries runs many of them in one
+// engine pass, so mixed workloads can pin schemes, adjust k or δ, and
+// capture explains item by item.
+type BatchQuery struct {
+	Set Set
+	// Options shape this item alone. WithExplain destinations must be
+	// distinct per item, or later items overwrite earlier captures.
+	Options []QueryOption
+}

@@ -1,0 +1,358 @@
+package silkmoth
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+// matchesEqual asserts two match lists are bit-identical.
+func matchesEqual(t *testing.T, label string, got, want []Match) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d matches, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: match %d differs: got %+v want %+v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestWithSchemePinMatchesFixedEngine pins the per-query scheme override:
+// on an Auto engine, a query pinned to any fixed scheme must return
+// bit-identical results to an engine built with that scheme, and the
+// explain capture must report the pinned concrete scheme — serial and
+// sharded.
+func TestWithSchemePinMatchesFixedEngine(t *testing.T) {
+	sets := autoGridCorpus(101, 24)
+	queries := autoGridCorpus(102, 5)
+	for _, shards := range []int{1, 2, 7} {
+		base := Config{Similarity: Jaccard, Delta: 0.6, Alpha: 0.5, Shards: shards}
+		autoCfg := base
+		autoCfg.Scheme = SchemeAuto
+		autoEng, err := NewEngine(sets, autoCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, pin := range []Scheme{SchemeDichotomy, SchemeSkyline, SchemeWeighted, SchemeCombUnweighted} {
+			fixedCfg := base
+			fixedCfg.Scheme = pin
+			fixedEng, err := NewEngine(sets, fixedCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for qi, q := range queries {
+				label := fmt.Sprintf("shards=%d pin=%v query=%d", shards, pin, qi)
+				var ex Explain
+				pinned, err := autoEng.Search(q, WithScheme(pin), WithExplain(&ex))
+				if err != nil {
+					t.Fatal(err)
+				}
+				fixed, err := fixedEng.Search(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				matchesEqual(t, label, pinned, fixed)
+				if ex.FullScans == 0 && ex.Scheme != pin.String() {
+					t.Fatalf("%s: explain scheme %q, want %q", label, ex.Scheme, pin)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchMixedSchemesMatchesFixedEngines is the per-item batch
+// equivalence: an Auto-engine batch mixing pinned and auto items must
+// return results bit-identical to per-query searches on fixed-scheme
+// engines (pinned items) and on the Auto engine itself (auto items) —
+// serial and sharded at N ∈ {1, 2, 7}.
+func TestBatchMixedSchemesMatchesFixedEngines(t *testing.T) {
+	sets := autoGridCorpus(103, 30)
+	queries := autoGridCorpus(104, 9)
+	pins := []Scheme{SchemeDichotomy, SchemeSkyline, SchemeWeighted, SchemeCombUnweighted}
+	for _, shards := range []int{1, 2, 7} {
+		base := Config{Similarity: Jaccard, Delta: 0.6, Alpha: 0.5, Shards: shards, Concurrency: 3}
+		autoCfg := base
+		autoCfg.Scheme = SchemeAuto
+		autoEng, err := NewEngine(sets, autoCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fixedEngs := make(map[Scheme]*Engine, len(pins))
+		for _, pin := range pins {
+			cfg := base
+			cfg.Scheme = pin
+			fixedEngs[pin], err = NewEngine(sets, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+
+		// Items alternate: pinned to each scheme in turn, with every third
+		// item left on Auto.
+		batch := make([]BatchQuery, len(queries))
+		explains := make([]Explain, len(queries))
+		itemPin := make([]Scheme, len(queries))
+		itemAuto := make([]bool, len(queries))
+		for i, q := range queries {
+			batch[i] = BatchQuery{Set: q, Options: []QueryOption{WithExplain(&explains[i])}}
+			if i%3 == 2 {
+				itemAuto[i] = true
+				continue
+			}
+			itemPin[i] = pins[i%len(pins)]
+			batch[i].Options = append(batch[i].Options, WithScheme(itemPin[i]))
+		}
+		results, err := autoEng.SearchBatchQueries(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != len(queries) {
+			t.Fatalf("shards=%d: got %d results, want %d", shards, len(results), len(queries))
+		}
+		for i, res := range results {
+			label := fmt.Sprintf("shards=%d item=%d", shards, i)
+			var want []Match
+			if itemAuto[i] {
+				want, err = autoEng.Search(queries[i])
+			} else {
+				want, err = fixedEngs[itemPin[i]].Search(queries[i])
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			matchesEqual(t, label, res.Matches, want)
+			if res.Explain == nil {
+				t.Fatalf("%s: missing per-item explain", label)
+			}
+			if !itemAuto[i] && res.Explain.FullScans == 0 && res.Explain.Scheme != itemPin[i].String() {
+				t.Fatalf("%s: explain scheme %q, want pinned %q", label, res.Explain.Scheme, itemPin[i])
+			}
+		}
+	}
+}
+
+// TestWithDeltaMatchesRebuiltEngine pins the per-query δ override: results
+// must be exactly those of an engine built with that δ, serial and
+// sharded, for both metrics.
+func TestWithDeltaMatchesRebuiltEngine(t *testing.T) {
+	sets := autoGridCorpus(105, 24)
+	queries := autoGridCorpus(106, 5)
+	for _, metric := range []Metric{SetSimilarity, SetContainment} {
+		for _, shards := range []int{1, 3} {
+			for _, delta := range []float64{0.4, 0.8} {
+				loose := Config{Metric: metric, Similarity: Jaccard, Delta: 0.6, Shards: shards}
+				eng, err := NewEngine(sets, loose)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rebuilt := loose
+				rebuilt.Delta = delta
+				wantEng, err := NewEngine(sets, rebuilt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for qi, q := range queries {
+					got, err := eng.Search(q, WithDelta(delta))
+					if err != nil {
+						t.Fatal(err)
+					}
+					want, err := wantEng.Search(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					matchesEqual(t, fmt.Sprintf("%v shards=%d δ=%g query=%d", metric, shards, delta, qi), got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestWithKMatchesTopK pins the three top-k spellings against each other:
+// WithK, SearchTopK, and truncating a full Search must agree bit-for-bit,
+// serial and sharded (the sharded WithK path goes through the heap merge).
+func TestWithKMatchesTopK(t *testing.T) {
+	sets := autoGridCorpus(107, 24)
+	queries := autoGridCorpus(108, 5)
+	for _, shards := range []int{1, 3} {
+		eng, err := NewEngine(sets, Config{Similarity: Jaccard, Delta: 0.5, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range queries {
+			full, err := eng.Search(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{1, 2, len(full), len(full) + 3} {
+				if k < 1 {
+					continue
+				}
+				want := full
+				if k < len(want) {
+					want = want[:k]
+				}
+				byOpt, err := eng.Search(q, WithK(k))
+				if err != nil {
+					t.Fatal(err)
+				}
+				byTopK, err := eng.SearchTopK(q, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := fmt.Sprintf("shards=%d query=%d k=%d", shards, qi, k)
+				matchesEqual(t, label+" WithK", byOpt, want)
+				matchesEqual(t, label+" SearchTopK", byTopK, want)
+			}
+		}
+	}
+}
+
+// TestFilterTogglesNeverChangeResults pins the exactness guarantee under
+// the per-query filter toggles: disabling any combination of filters (and
+// the reduction) must return identical matches.
+func TestFilterTogglesNeverChangeResults(t *testing.T) {
+	sets := autoGridCorpus(109, 24)
+	queries := autoGridCorpus(110, 5)
+	for _, shards := range []int{1, 3} {
+		eng, err := NewEngine(sets, Config{Similarity: Jaccard, Delta: 0.5, Alpha: 0.4, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		toggleSets := [][]QueryOption{
+			{WithNNFilter(false)},
+			{WithCheckFilter(false), WithNNFilter(false)},
+			{WithReduction(false)},
+			{WithCheckFilter(false), WithNNFilter(false), WithReduction(false)},
+		}
+		for qi, q := range queries {
+			want, err := eng.Search(q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for ti, opts := range toggleSets {
+				got, err := eng.Search(q, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				matchesEqual(t, fmt.Sprintf("shards=%d query=%d toggles=%d", shards, qi, ti), got, want)
+			}
+		}
+	}
+}
+
+// TestExplainFunnelConsistency pins the per-query capture arithmetic on
+// search and discovery, serial and sharded: candidates split exactly
+// across the check filter, survivors across the NN filter, and signatured
+// passes verify exactly their NN survivors.
+func TestExplainFunnelConsistency(t *testing.T) {
+	sets := autoGridCorpus(111, 24)
+	queries := autoGridCorpus(112, 4)
+	check := func(t *testing.T, label string, ex *Explain) {
+		t.Helper()
+		if ex.Passes == 0 {
+			t.Fatalf("%s: no passes recorded", label)
+		}
+		if ex.Candidates != ex.AfterCheck+ex.CheckPruned {
+			t.Fatalf("%s: candidates %d != after-check %d + check-pruned %d",
+				label, ex.Candidates, ex.AfterCheck, ex.CheckPruned)
+		}
+		if ex.AfterCheck != ex.AfterNN+ex.NNPruned {
+			t.Fatalf("%s: after-check %d != after-nn %d + nn-pruned %d",
+				label, ex.AfterCheck, ex.AfterNN, ex.NNPruned)
+		}
+		if ex.FullScans == 0 && ex.Verified != ex.AfterNN {
+			t.Fatalf("%s: verified %d != after-nn %d on signatured passes",
+				label, ex.Verified, ex.AfterNN)
+		}
+		if ex.Scheme == "" && ex.Passes > ex.FullScans {
+			t.Fatalf("%s: signatured passes but no scheme name (%+v)", label, ex)
+		}
+	}
+	for _, shards := range []int{1, 2, 7} {
+		for _, scheme := range []Scheme{SchemeDichotomy, SchemeAuto} {
+			eng, err := NewEngine(sets, Config{Similarity: Jaccard, Delta: 0.6, Alpha: 0.5, Shards: shards, Scheme: scheme, Concurrency: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for qi, q := range queries {
+				res, err := eng.Explain(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Explain == nil {
+					t.Fatal("Explain returned nil metadata")
+				}
+				label := fmt.Sprintf("shards=%d scheme=%v query=%d", shards, scheme, qi)
+				check(t, label, res.Explain)
+				if want := int64(eng.Shards()); res.Explain.Passes != want {
+					t.Fatalf("%s: %d passes, want one per shard (%d)", label, res.Explain.Passes, want)
+				}
+				plain, err := eng.Search(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				matchesEqual(t, label, res.Matches, plain)
+			}
+
+			var dex Explain
+			if _, err := eng.DiscoverContext(context.Background(), WithExplain(&dex)); err != nil {
+				t.Fatal(err)
+			}
+			check(t, fmt.Sprintf("shards=%d scheme=%v discover", shards, scheme), &dex)
+			if want := int64(len(sets) * eng.Shards()); dex.Passes != want {
+				t.Fatalf("shards=%d scheme=%v discover: %d passes, want refs×shards (%d)",
+					shards, scheme, dex.Passes, want)
+			}
+		}
+	}
+}
+
+// TestQueryOptionValidation pins the option error surface.
+func TestQueryOptionValidation(t *testing.T) {
+	eng, err := NewEngine(autoGridCorpus(113, 8), Config{Similarity: Jaccard, Delta: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Set{Elements: []string{"tok1 tok2"}}
+	cases := map[string]QueryOption{
+		"k=0":          WithK(0),
+		"delta=0":      WithDelta(0),
+		"delta=1.5":    WithDelta(1.5),
+		"scheme=99":    WithScheme(Scheme(99)),
+		"explain(nil)": WithExplain(nil),
+	}
+	for name, opt := range cases {
+		if _, err := eng.Search(q, opt); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+	// Later options win: WithDelta(0.9) after WithDelta(0.2) behaves as 0.9.
+	strict, err := eng.Search(q, WithDelta(0.2), WithDelta(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.Search(q, WithDelta(0.9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	matchesEqual(t, "later option wins", strict, want)
+}
+
+// TestSchemeStringRoundTrip pins Scheme.String and ParseScheme as exact
+// inverses over every scheme.
+func TestSchemeStringRoundTrip(t *testing.T) {
+	for _, s := range []Scheme{SchemeDichotomy, SchemeSkyline, SchemeWeighted, SchemeCombUnweighted, SchemeAuto} {
+		got, err := ParseScheme(s.String())
+		if err != nil {
+			t.Fatalf("ParseScheme(%q): %v", s.String(), err)
+		}
+		if got != s {
+			t.Fatalf("round trip %v -> %q -> %v", s, s.String(), got)
+		}
+	}
+	if _, err := ParseScheme("Scheme(42)"); err == nil {
+		t.Fatal("ParseScheme accepted an out-of-range formatting")
+	}
+}

@@ -40,6 +40,34 @@
 // similarities below it. Engines additionally support top-k search,
 // collection persistence, and direct pairwise Compare.
 //
+// # Per-query options and explainable results
+//
+// Config freezes an engine's defaults; QueryOptions override them one
+// query at a time. Every query method takes a trailing option list:
+//
+//	var ex silkmoth.Explain
+//	matches, err := eng.Search(ref,
+//		silkmoth.WithK(10),                        // top-k truncation
+//		silkmoth.WithScheme(silkmoth.SchemeSkyline), // pin the signature scheme
+//		silkmoth.WithDelta(0.9),                   // per-query threshold
+//		silkmoth.WithExplain(&ex),                 // capture the plan
+//	)
+//
+// Option-less calls are bit-identical to the engine's configured behavior.
+// WithScheme never changes results (schemes only decide how the index is
+// probed — pair it with WithExplain to audit SchemeAuto's choices), while
+// WithDelta returns exactly what an engine built with that δ would.
+// WithCheckFilter, WithNNFilter, and WithReduction stress individual
+// pipeline stages; disabling them never changes matches, only cost.
+//
+// Explain (or the Engine.Explain method, which returns a Result) reports
+// the executed plan: the concrete scheme that probed the index, the
+// per-stage pruning funnel — signature tokens, candidates, check-filter
+// and NN-filter survivors, verifications — and wall time. On a sharded
+// engine the capture merges all shards (one pass each). SearchBatchQueries
+// is the per-item batch form: each BatchQuery carries its own options, so
+// a mixed workload can pin schemes and capture explains item by item.
+//
 // # Mutation
 //
 // Collections are fully mutable: Add indexes more sets incrementally,
@@ -70,9 +98,11 @@
 // across shards and workers.
 //
 // To serve an engine over HTTP/JSON — search, top-k, discovery, compare,
-// and incremental indexing behind a bounded worker pool with an LRU result
-// cache and Prometheus-style metrics — run the cmd/silkmothd daemon (built
-// on the internal server package).
+// explain, and incremental indexing behind a bounded worker pool with an
+// LRU result cache and Prometheus-style metrics — run the cmd/silkmothd
+// daemon (built on the internal server package). Its /v1/explain endpoint
+// and per-request scheme/delta/explain fields expose the query options on
+// the wire.
 package silkmoth
 
 import (
@@ -174,6 +204,53 @@ const (
 	SchemeAuto
 )
 
+func (s Scheme) String() string {
+	switch s {
+	case SchemeDichotomy:
+		return "dichotomy"
+	case SchemeSkyline:
+		return "skyline"
+	case SchemeWeighted:
+		return "weighted"
+	case SchemeCombUnweighted:
+		return "combunweighted"
+	case SchemeAuto:
+		return "auto"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// ParseScheme maps a scheme's String form ("dichotomy", "skyline",
+// "weighted", "combunweighted", "auto") back to the constant — the inverse
+// serving layers and CLIs use for flag and request parsing.
+func ParseScheme(name string) (Scheme, error) {
+	for _, s := range []Scheme{SchemeDichotomy, SchemeSkyline, SchemeWeighted, SchemeCombUnweighted, SchemeAuto} {
+		if name == s.String() {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("silkmoth: unknown scheme %q", name)
+}
+
+// kind lowers the public scheme to the signature package's kind.
+func (s Scheme) kind() (signature.Kind, error) {
+	switch s {
+	case SchemeDichotomy:
+		return signature.Dichotomy, nil
+	case SchemeSkyline:
+		return signature.Skyline, nil
+	case SchemeWeighted:
+		return signature.Weighted, nil
+	case SchemeCombUnweighted:
+		return signature.CombUnweighted, nil
+	case SchemeAuto:
+		return signature.Auto, nil
+	default:
+		return 0, fmt.Errorf("silkmoth: unknown scheme %d", int(s))
+	}
+}
+
 // Config configures an Engine. The zero value is not valid: Delta must be
 // positive. Filters and the verification reduction are on by default and
 // can be disabled for experimentation.
@@ -248,20 +325,9 @@ func (c Config) coreOptions() (core.Options, error) {
 	default:
 		return core.Options{}, fmt.Errorf("silkmoth: unknown similarity %d", int(c.Similarity))
 	}
-	var scheme signature.Kind
-	switch c.Scheme {
-	case SchemeDichotomy:
-		scheme = signature.Dichotomy
-	case SchemeSkyline:
-		scheme = signature.Skyline
-	case SchemeWeighted:
-		scheme = signature.Weighted
-	case SchemeCombUnweighted:
-		scheme = signature.CombUnweighted
-	case SchemeAuto:
-		scheme = signature.Auto
-	default:
-		return core.Options{}, fmt.Errorf("silkmoth: unknown scheme %d", int(c.Scheme))
+	scheme, err := c.Scheme.kind()
+	if err != nil {
+		return core.Options{}, err
 	}
 	compact := c.CompactionThreshold
 	if compact == 0 {
