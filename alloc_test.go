@@ -70,10 +70,11 @@ func TestQueryAllocationBudgets(t *testing.T) {
 	ref := sets[7]
 	for _, shards := range []int{1, 3} {
 		eng, err := NewEngine(sets, Config{
-			Similarity: Jaccard,
-			Delta:      0.5,
-			Alpha:      0.3,
-			Shards:     shards,
+			Similarity:  Jaccard,
+			Delta:       0.5,
+			Alpha:       0.3,
+			Shards:      shards,
+			StageSample: 1, // stage timing on every pass — must ride for free
 		})
 		if err != nil {
 			t.Fatal(err)

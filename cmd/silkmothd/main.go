@@ -13,14 +13,17 @@
 //	DELETE /v1/sets/{id}       tombstone one set out of every future query
 //	PUT  /v1/sets/{id}         atomically replace one set (new id returned)
 //	GET  /v1/stats             engine pruning funnel + lifecycle + cache stats
+//	GET  /v1/version           build metadata (module version, Go, revision)
 //	GET  /healthz              liveness
 //	GET  /metrics              Prometheus text metrics
+//	GET  /debug/pprof/*        runtime profiles (opt-in via -pprof)
 //
 // Usage:
 //
 //	silkmothd -input sets.txt -metric similarity -delta 0.8
 //	silkmothd -csv table.csv -metric containment -delta 0.9 -addr :8080
 //	silkmothd -json sets.json -sim eds -delta 0.75 -timeout 10s
+//	silkmothd -json sets.json -log-format json -slow-query 250ms -pprof
 package main
 
 import (
@@ -38,6 +41,7 @@ import (
 
 	"silkmoth"
 	"silkmoth/internal/dataset"
+	"silkmoth/internal/obs"
 	"silkmoth/internal/server"
 )
 
@@ -63,14 +67,39 @@ func main() {
 			"tombstone ratio triggering automatic index compaction after deletes/updates (0 = engine default, negative disables)")
 		noExplain = flag.Bool("no-explain", false,
 			"disable /v1/explain and per-request explain fields (explained queries bypass the result cache)")
+		logFormat = flag.String("log-format", "text",
+			"text (human startup/shutdown messages only) or json (adds one structured access line per request to stderr)")
+		slowQuery = flag.Duration("slow-query", 0,
+			"log any query at or past this engine latency as a JSON funnel line on stderr (0 disables)")
+		slowSample = flag.Int("slow-query-sample", 0,
+			"additionally log 1 in N queries' funnels regardless of latency, as a baseline (0 disables)")
+		stageSample = flag.Int("stage-sample", 0,
+			"time pipeline stages on 1 in N search passes for the /metrics stage histograms (0 = engine default 16, 1 = every pass, negative disables)")
+		pprofOn = flag.Bool("pprof", false,
+			"mount /debug/pprof/* (CPU/heap profiles, goroutine dumps); off by default")
+		version = flag.Bool("version", false, "print build metadata and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		bi := obs.ReadBuildInfo()
+		fmt.Printf("silkmothd %s (%s", bi.Version, bi.GoVersion)
+		if bi.Revision != "" {
+			fmt.Printf(", %s", bi.Revision)
+		}
+		fmt.Println(")")
+		return
+	}
+	if *logFormat != "text" && *logFormat != "json" {
+		fatal(fmt.Errorf("unknown -log-format %q (want text or json)", *logFormat))
+	}
 
 	cfg, err := buildConfig(*metric, *simName, *scheme, *delta, *alpha, *q, *workers, *shards)
 	if err != nil {
 		fatal(err)
 	}
 	cfg.CompactionThreshold = *compactAt
+	cfg.StageSample = *stageSample
 
 	eng, n, err := buildEngine(cfg, *input, *csvFile, *jsonFile, *saved)
 	if err != nil {
@@ -79,12 +108,22 @@ func main() {
 	log.Printf("silkmothd: indexed %d sets (metric=%s sim=%s scheme=%s delta=%g alpha=%g shards=%d)",
 		n, cfg.Metric, cfg.Similarity, cfg.Scheme, cfg.Delta, cfg.Alpha, eng.Shards())
 
-	srv := server.New(eng, cfg, server.Options{
-		RequestTimeout: *timeout,
-		MaxInFlight:    *inflight,
-		CacheSize:      *cacheSize,
-		DisableExplain: *noExplain,
-	})
+	srvOpts := server.Options{
+		RequestTimeout:     *timeout,
+		MaxInFlight:        *inflight,
+		CacheSize:          *cacheSize,
+		DisableExplain:     *noExplain,
+		SlowQueryThreshold: *slowQuery,
+		SlowQuerySample:    *slowSample,
+		AccessLog:          *logFormat == "json",
+		EnablePprof:        *pprofOn,
+	}
+	// Structured lines (access log, slow-query funnels) go to stderr
+	// whenever anything emits them; stdout stays clean for redirection.
+	if srvOpts.AccessLog || *slowQuery > 0 || *slowSample > 0 {
+		srvOpts.LogWriter = os.Stderr
+	}
+	srv := server.New(eng, cfg, srvOpts)
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 
 	// Serve until SIGINT/SIGTERM, then drain in-flight requests.

@@ -364,5 +364,15 @@ func (e *Engine) Stats() Stats {
 	out.SchemeSkyline = st.SchemeSkyline
 	out.SchemeDichotomy = st.SchemeDichotomy
 	out.SchemeCombUnweighted = st.SchemeCombUnweighted
+	out.TimedPasses = st.TimedPasses
+	out.Stages = StageTimes{
+		Signature: time.Duration(st.SigNanos),
+		Collect:   time.Duration(st.CollectNanos),
+		Refine:    time.Duration(st.RefineNanos),
+		Verify:    time.Duration(st.VerifyNanos),
+	}
+	if e.sh != nil {
+		out.Stragglers = e.sh.Stragglers()
+	}
 	return out
 }

@@ -9,6 +9,7 @@ import (
 	"silkmoth/internal/dataset"
 	"silkmoth/internal/filter"
 	"silkmoth/internal/index"
+	"silkmoth/internal/obs"
 	"silkmoth/internal/sim"
 )
 
@@ -66,6 +67,9 @@ type Engine struct {
 	ix   *index.Inverted
 	phi  filter.SimFunc
 	st   Stats
+	// stage holds the per-stage latency histograms fed by timed passes
+	// (Options.StageSample); snapshot via StageLatencies.
+	stage [NumStages]obs.Histogram
 	// srPool recycles Searchers (and the workers inside them): every
 	// query path draws its per-pass scratch from here, so steady-state
 	// queries reuse a bounded set of arenas instead of allocating.

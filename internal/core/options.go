@@ -135,6 +135,13 @@ type Options struct {
 	// Concurrency is the number of parallel search passes Discover may
 	// run; values < 1 mean one.
 	Concurrency int
+	// StageSample is the per-worker sampling interval for per-stage wall
+	// timing: one in every StageSample search passes records
+	// signature/collect/refine/verify durations into the engine's stage
+	// histograms and counters. 0 means DefaultStageSample, 1 times every
+	// pass, negative disables sampling entirely. Queries with a stats
+	// capture (explain) are always timed.
+	StageSample int
 	// CompactionThreshold triggers automatic compaction after a Delete
 	// once the tombstone ratio — dead-but-still-indexed sets over all
 	// indexed sets — reaches it. Compaction rebuilds the posting lists
@@ -202,6 +209,9 @@ func (o Options) normalize() (Options, error) {
 	}
 	if o.Concurrency < 1 {
 		o.Concurrency = 1
+	}
+	if o.StageSample == 0 {
+		o.StageSample = DefaultStageSample
 	}
 	if o.Reduction && (o.Alpha != 0 || (o.Sim != Jaccard && o.Sim != Eds)) {
 		// The §5.3 reduction needs 1-φ_α to be a metric: true only for

@@ -51,6 +51,15 @@ type PassStats struct {
 	// ElapsedNanos accumulates wall time at whatever granularity the
 	// caller measures (whole query, or per batch item).
 	ElapsedNanos int64
+	// Per-stage wall time summed over the capture's timed passes. A query
+	// with a capture is always timed, so these are populated whenever the
+	// funnel is; TimedPasses counts the passes measured (equal to Passes
+	// for explained queries).
+	TimedPasses  int64
+	SigNanos     int64
+	CollectNanos int64
+	RefineNanos  int64
+	VerifyNanos  int64
 }
 
 // The add methods are nil-safe so the plan's stages charge them
@@ -126,6 +135,18 @@ func (ps *PassStats) addScheme(k signature.Kind) {
 	}
 }
 
+// addStageNanos records one timed pass's per-stage wall time.
+func (ps *PassStats) addStageNanos(sig, collect, refine, verify int64) {
+	if ps == nil {
+		return
+	}
+	atomic.AddInt64(&ps.TimedPasses, 1)
+	atomic.AddInt64(&ps.SigNanos, sig)
+	atomic.AddInt64(&ps.CollectNanos, collect)
+	atomic.AddInt64(&ps.RefineNanos, refine)
+	atomic.AddInt64(&ps.VerifyNanos, verify)
+}
+
 // AddElapsed folds wall time into the capture (atomically, like every other
 // field). Batch paths call it per item; single-query callers usually
 // measure around the whole call instead.
@@ -175,6 +196,9 @@ type worker struct {
 	acc      acceptState
 	acceptFn func(set int32) bool
 	st       Stats
+	// passSeq drives stage-timing sampling (see sampleTick); single-
+	// goroutine like the rest of the worker.
+	passSeq int64
 }
 
 // acceptState parameterizes the per-pass candidate acceptance test. delta
@@ -232,6 +256,15 @@ type plan struct {
 	// ps is the query's own stats capture, nil unless requested. It is
 	// charged in lockstep with the worker's cumulative shard.
 	ps *PassStats
+	// timed marks a pass whose stages are wall-timed: sampled per
+	// Options.StageSample, or unconditionally when ps != nil. sigNanos and
+	// collectNanos are written serially; refineNanos/verifyNanos accumulate
+	// under atomics because parallel verification shares the plan.
+	timed        bool
+	sigNanos     int64
+	collectNanos int64
+	refineNanos  int64
+	verifyNanos  int64
 
 	pruneThreshold float64
 	scheme         signature.Kind
@@ -272,13 +305,41 @@ func (e *Engine) searchPass(ctx context.Context, r *dataset.Set, selfSkip int, w
 	w.acc.selfSkip = selfSkip
 	w.acc.nR = nR
 	w.acc.delta = p.opts.Delta
+	// Explained queries are always stage-timed; otherwise sampling decides.
+	p.timed = ps != nil || w.sampleTick(p.opts.StageSample)
 
-	if !p.buildSignature() {
-		return p.fullScan(ctx)
+	if !p.timed {
+		if !p.buildSignature() {
+			return p.fullScan(ctx)
+		}
+		p.collect()
+		p.prepareRefine()
+		return p.verifyAll(ctx)
 	}
-	p.collect()
-	p.prepareRefine()
-	return p.verifyAll(ctx)
+
+	var ms []Match
+	var err error
+	t0 := time.Now()
+	if !p.buildSignature() {
+		t1 := time.Now()
+		p.sigNanos = t1.Sub(t0).Nanoseconds()
+		ms, err = p.fullScan(ctx)
+		// The signatureless fallback is all verification.
+		p.verifyNanos = time.Since(t1).Nanoseconds()
+	} else {
+		t1 := time.Now()
+		p.sigNanos = t1.Sub(t0).Nanoseconds()
+		p.collect()
+		t2 := time.Now()
+		p.collectNanos = t2.Sub(t1).Nanoseconds()
+		p.prepareRefine()
+		// Floor precomputation belongs to refinement; the per-candidate
+		// NN-filter/verify split is timed inside refineAndVerify.
+		p.refineNanos = time.Since(t2).Nanoseconds()
+		ms, err = p.verifyAll(ctx)
+	}
+	p.finishTiming()
+	return ms, err
 }
 
 // buildSignature runs the signature stage: the worker's selector resolves
@@ -391,16 +452,36 @@ func (p *plan) verifyAll(ctx context.Context) ([]Match, error) {
 // stage hands each goroutine its own worker).
 func (p *plan) refineAndVerify(c *filter.Candidate, w *worker) (Match, bool) {
 	e := p.e
+	if !p.timed {
+		if p.opts.NNFilter && !filter.NNFilter(p.r, p.sig, c, w.ns, p.floors, p.pruneThreshold) {
+			w.st.addNNPruned(1)
+			p.ps.addNNPruned(1)
+			return Match{}, false
+		}
+		w.st.addAfterNN(1)
+		p.ps.addAfterNN(1)
+		w.st.addVerified(1)
+		p.ps.addVerified(1)
+		return e.verifyWith(p.r, int(c.Set), &w.vs, &p.opts)
+	}
+	// Timed pass: split this candidate's cost between the refine and
+	// verify stages. Atomic adds — parallel verification shares the plan.
+	t0 := time.Now()
 	if p.opts.NNFilter && !filter.NNFilter(p.r, p.sig, c, w.ns, p.floors, p.pruneThreshold) {
 		w.st.addNNPruned(1)
 		p.ps.addNNPruned(1)
+		atomic.AddInt64(&p.refineNanos, time.Since(t0).Nanoseconds())
 		return Match{}, false
 	}
+	t1 := time.Now()
+	atomic.AddInt64(&p.refineNanos, t1.Sub(t0).Nanoseconds())
 	w.st.addAfterNN(1)
 	p.ps.addAfterNN(1)
 	w.st.addVerified(1)
 	p.ps.addVerified(1)
-	return e.verifyWith(p.r, int(c.Set), &w.vs, &p.opts)
+	m, ok := e.verifyWith(p.r, int(c.Set), &w.vs, &p.opts)
+	atomic.AddInt64(&p.verifyNanos, time.Since(t1).Nanoseconds())
+	return m, ok
 }
 
 // verifyParallel shards the pass's surviving candidates across Concurrency

@@ -28,6 +28,14 @@ type Stats struct {
 	schemeComb      int64
 	schemeSkyline   int64
 	schemeDichotomy int64
+	// Stage wall time from sampled timed passes (see Options.StageSample):
+	// timedPasses counts the passes measured, the nanos fields their summed
+	// per-stage durations. Divide to estimate where a pass spends its time.
+	timedPasses  int64
+	sigNanos     int64
+	collectNanos int64
+	refineNanos  int64
+	verifyNanos  int64
 }
 
 func (s *Stats) addSearchPasses(n int64) { atomic.AddInt64(&s.searchPasses, n) }
@@ -39,6 +47,15 @@ func (s *Stats) addCheckPruned(n int64)  { atomic.AddInt64(&s.checkPruned, n) }
 func (s *Stats) addAfterNN(n int64)      { atomic.AddInt64(&s.afterNN, n) }
 func (s *Stats) addNNPruned(n int64)     { atomic.AddInt64(&s.nnPruned, n) }
 func (s *Stats) addVerified(n int64)     { atomic.AddInt64(&s.verified, n) }
+
+// addStageNanos records one timed pass's per-stage wall time.
+func (s *Stats) addStageNanos(sig, collect, refine, verify int64) {
+	atomic.AddInt64(&s.timedPasses, 1)
+	atomic.AddInt64(&s.sigNanos, sig)
+	atomic.AddInt64(&s.collectNanos, collect)
+	atomic.AddInt64(&s.refineNanos, refine)
+	atomic.AddInt64(&s.verifyNanos, verify)
+}
 
 // addScheme records which concrete scheme a pass probed with.
 func (s *Stats) addScheme(k signature.Kind) {
@@ -71,6 +88,11 @@ func (s *Stats) merge(from *Stats) {
 	atomic.AddInt64(&s.schemeComb, atomic.LoadInt64(&from.schemeComb))
 	atomic.AddInt64(&s.schemeSkyline, atomic.LoadInt64(&from.schemeSkyline))
 	atomic.AddInt64(&s.schemeDichotomy, atomic.LoadInt64(&from.schemeDichotomy))
+	atomic.AddInt64(&s.timedPasses, atomic.LoadInt64(&from.timedPasses))
+	atomic.AddInt64(&s.sigNanos, atomic.LoadInt64(&from.sigNanos))
+	atomic.AddInt64(&s.collectNanos, atomic.LoadInt64(&from.collectNanos))
+	atomic.AddInt64(&s.refineNanos, atomic.LoadInt64(&from.refineNanos))
+	atomic.AddInt64(&s.verifyNanos, atomic.LoadInt64(&from.verifyNanos))
 }
 
 // reset zeroes a retired worker's private shard so the worker can be pooled
@@ -113,6 +135,14 @@ type StatsSnapshot struct {
 	SchemeCombUnweighted int64
 	SchemeSkyline        int64
 	SchemeDichotomy      int64
+	// TimedPasses counts the search passes whose stages were wall-timed
+	// (sampled per Options.StageSample, plus every explained query); the
+	// *Nanos fields hold those passes' summed per-stage durations.
+	TimedPasses  int64
+	SigNanos     int64
+	CollectNanos int64
+	RefineNanos  int64
+	VerifyNanos  int64
 }
 
 // Stats returns a snapshot of the engine's counters.
@@ -131,6 +161,11 @@ func (e *Engine) Stats() StatsSnapshot {
 		SchemeCombUnweighted: atomic.LoadInt64(&e.st.schemeComb),
 		SchemeSkyline:        atomic.LoadInt64(&e.st.schemeSkyline),
 		SchemeDichotomy:      atomic.LoadInt64(&e.st.schemeDichotomy),
+		TimedPasses:          atomic.LoadInt64(&e.st.timedPasses),
+		SigNanos:             atomic.LoadInt64(&e.st.sigNanos),
+		CollectNanos:         atomic.LoadInt64(&e.st.collectNanos),
+		RefineNanos:          atomic.LoadInt64(&e.st.refineNanos),
+		VerifyNanos:          atomic.LoadInt64(&e.st.verifyNanos),
 	}
 }
 
@@ -149,6 +184,11 @@ func (e *Engine) ResetStats() {
 	atomic.StoreInt64(&e.st.schemeComb, 0)
 	atomic.StoreInt64(&e.st.schemeSkyline, 0)
 	atomic.StoreInt64(&e.st.schemeDichotomy, 0)
+	atomic.StoreInt64(&e.st.timedPasses, 0)
+	atomic.StoreInt64(&e.st.sigNanos, 0)
+	atomic.StoreInt64(&e.st.collectNanos, 0)
+	atomic.StoreInt64(&e.st.refineNanos, 0)
+	atomic.StoreInt64(&e.st.verifyNanos, 0)
 }
 
 // String renders the snapshot as one report line.

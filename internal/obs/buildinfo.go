@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo describes the running binary, read once from the Go build
+// metadata stamped into it (no version file or ldflags needed).
+type BuildInfo struct {
+	// Version is the main module's version: a tag for released builds,
+	// a pseudo-version or "(devel)" otherwise.
+	Version string
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+	// Revision is the VCS commit hash when stamped, possibly suffixed
+	// "+dirty"; empty when the build had no VCS info.
+	Revision string
+}
+
+var buildInfoOnce = sync.OnceValue(func() BuildInfo {
+	bi := BuildInfo{Version: "unknown", GoVersion: runtime.Version()}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	if v := info.Main.Version; v != "" {
+		bi.Version = v
+	}
+	if info.GoVersion != "" {
+		bi.GoVersion = info.GoVersion
+	}
+	var rev string
+	dirty := false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" {
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if dirty {
+			rev += "+dirty"
+		}
+		bi.Revision = rev
+	}
+	return bi
+})
+
+// ReadBuildInfo returns the binary's build metadata. The first call reads
+// and caches it; later calls are free.
+func ReadBuildInfo() BuildInfo { return buildInfoOnce() }

@@ -1,0 +1,67 @@
+// Command promcheck validates a Prometheus text exposition page (a saved
+// /metrics scrape) against the conformance rules in internal/obs: every
+// family has HELP and TYPE, metric and label names are legal, histogram
+// buckets are cumulative with a terminal +Inf, and _sum/_count are
+// consistent. CI scrapes a live silkmothd and pipes the page through it.
+//
+// Usage:
+//
+//	promcheck [file]          # reads stdin when no file is given
+//	promcheck -require name,name2 [file]
+//
+// -require lists family names that must be present, so CI fails if a
+// route or stage histogram silently disappears, not just if it's broken.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"silkmoth/internal/obs"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated metric family names that must be present")
+	flag.Parse()
+
+	var in io.Reader = os.Stdin
+	src := "stdin"
+	if flag.NArg() > 0 {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal("%v", err)
+		}
+		defer f.Close()
+		in, src = f, flag.Arg(0)
+	}
+
+	fams, err := obs.ParseText(in)
+	if err != nil {
+		fatal("%s: parse: %v", src, err)
+	}
+	if err := obs.Validate(fams); err != nil {
+		fatal("%s: %v", src, err)
+	}
+	have := make(map[string]bool, len(fams))
+	for _, f := range fams {
+		have[f.Name] = true
+	}
+	var missing []string
+	for _, name := range strings.Split(*require, ",") {
+		if name = strings.TrimSpace(name); name != "" && !have[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		fatal("%s: missing required families: %s", src, strings.Join(missing, ", "))
+	}
+	fmt.Printf("promcheck: %s ok (%d families)\n", src, len(fams))
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "promcheck: "+format+"\n", args...)
+	os.Exit(1)
+}

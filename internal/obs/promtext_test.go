@@ -1,0 +1,148 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func parseAndValidate(t *testing.T, page string) error {
+	t.Helper()
+	fams, err := ParseText(strings.NewReader(page))
+	if err != nil {
+		return err
+	}
+	return Validate(fams)
+}
+
+func TestParseValidPage(t *testing.T) {
+	page := `# HELP up Whether the target is up.
+# TYPE up gauge
+up 1
+# HELP reqs_total Requests served.
+# TYPE reqs_total counter
+reqs_total{path="/v1/search",code="200"} 42
+reqs_total{path="/v1/search",code="500"} 1
+# HELP lat_seconds Request latency.
+# TYPE lat_seconds histogram
+lat_seconds_bucket{le="0.001"} 10
+lat_seconds_bucket{le="0.01"} 15
+lat_seconds_bucket{le="+Inf"} 16
+lat_seconds_sum 0.0123
+lat_seconds_count 16
+`
+	fams, err := ParseText(strings.NewReader(page))
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	if err := Validate(fams); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if len(fams) != 3 {
+		t.Fatalf("got %d families, want 3", len(fams))
+	}
+	if fams[1].Samples[0].Labels["path"] != "/v1/search" {
+		t.Errorf("label parse: %+v", fams[1].Samples[0].Labels)
+	}
+	if fams[2].Name != "lat_seconds" || len(fams[2].Samples) != 5 {
+		t.Errorf("histogram family grouping: name=%s samples=%d", fams[2].Name, len(fams[2].Samples))
+	}
+}
+
+func TestParseEscapedLabels(t *testing.T) {
+	page := "# HELP m test\n# TYPE m gauge\nm{k=\"a\\\"b\\\\c\\nd\"} 1\n"
+	fams, err := ParseText(strings.NewReader(page))
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	if got := fams[0].Samples[0].Labels["k"]; got != "a\"b\\c\nd" {
+		t.Errorf("unescape = %q", got)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		page string
+		want string // substring of the expected error
+	}{
+		{"missing HELP", "# TYPE m gauge\nm 1\n", "missing HELP"},
+		{"missing TYPE", "# HELP m test\nm 1\n", "missing TYPE"},
+		{"bad metric name", "# HELP 9m test\n# TYPE 9m gauge\n9m 1\n", "illegal metric name"},
+		{"bad label name", "# HELP m test\n# TYPE m gauge\nm{9k=\"v\"} 1\n", "illegal label name"},
+		{"reserved label name", "# HELP m test\n# TYPE m gauge\nm{__k=\"v\"} 1\n", "illegal label name"},
+		{"unquoted label value", "# HELP m test\n# TYPE m gauge\nm{k=v} 1\n", "quoted"},
+		{"duplicate sample", "# HELP m test\n# TYPE m gauge\nm{k=\"v\"} 1\nm{k=\"v\"} 2\n", "duplicate sample"},
+		{"bad value", "# HELP m test\n# TYPE m gauge\nm abc\n", "bad value"},
+		{"unknown type", "# HELP m test\n# TYPE m widget\nm 1\n", "unknown TYPE"},
+		{
+			"non-cumulative buckets",
+			"# HELP h test\n# TYPE h histogram\nh_bucket{le=\"0.1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+			"not cumulative",
+		},
+		{
+			"missing +Inf terminal",
+			"# HELP h test\n# TYPE h histogram\nh_bucket{le=\"0.1\"} 5\nh_sum 1\nh_count 5\n",
+			"want +Inf",
+		},
+		{
+			"count mismatch",
+			"# HELP h test\n# TYPE h histogram\nh_bucket{le=\"0.1\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 7\n",
+			"_count",
+		},
+		{
+			"missing sum",
+			"# HELP h test\n# TYPE h histogram\nh_bucket{le=\"0.1\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n",
+			"missing _sum",
+		},
+		{
+			"bounds not increasing",
+			"# HELP h test\n# TYPE h histogram\nh_bucket{le=\"0.2\"} 5\nh_bucket{le=\"0.1\"} 5\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 5\n",
+			"not increasing",
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := parseAndValidate(t, c.page)
+			if err == nil {
+				t.Fatalf("accepted invalid page:\n%s", c.page)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not mention %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestHistogramPerSeriesValidation(t *testing.T) {
+	// Two labeled series in one family validate independently.
+	page := `# HELP h test
+# TYPE h histogram
+h_bucket{path="/a",le="0.1"} 2
+h_bucket{path="/a",le="+Inf"} 2
+h_sum{path="/a"} 0.05
+h_count{path="/a"} 2
+h_bucket{path="/b",le="0.1"} 0
+h_bucket{path="/b",le="+Inf"} 1
+h_sum{path="/b"} 1.5
+h_count{path="/b"} 1
+`
+	if err := parseAndValidate(t, page); err != nil {
+		t.Fatalf("multi-series histogram rejected: %v", err)
+	}
+}
+
+func TestPlainCounterWithHistogramSuffix(t *testing.T) {
+	// A counter that merely ends in _count is its own family, not part of
+	// some histogram.
+	page := "# HELP gc_count total gcs\n# TYPE gc_count counter\ngc_count 7\n"
+	fams, err := ParseText(strings.NewReader(page))
+	if err != nil {
+		t.Fatalf("ParseText: %v", err)
+	}
+	if len(fams) != 1 || fams[0].Name != "gc_count" {
+		t.Fatalf("family split wrong: %+v", fams)
+	}
+	if err := Validate(fams); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+}

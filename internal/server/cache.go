@@ -15,6 +15,10 @@ type resultCache struct {
 	max   int
 	order *list.List // front = most recent; values are *cacheEntry
 	byKey map[string]*list.Element
+	// evicted counts entries pushed out by capacity pressure — not purges,
+	// which are deliberate invalidation. A climbing rate under a steady
+	// working set means the cache is undersized.
+	evicted int64
 }
 
 type cacheEntry struct {
@@ -65,6 +69,7 @@ func (c *resultCache) put(key string, body []byte) {
 		back := c.order.Back()
 		c.order.Remove(back)
 		delete(c.byKey, back.Value.(*cacheEntry).key)
+		c.evicted++
 	}
 }
 
@@ -81,4 +86,11 @@ func (c *resultCache) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// evictions reports how many entries capacity pressure has pushed out.
+func (c *resultCache) evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicted
 }

@@ -121,6 +121,7 @@ func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
 		s.writeCtxErr(w, err)
 		return
 	}
+	s.logSlow(r, "/v1/explain", &ex, nil)
 	writeJSON(w, http.StatusOK, explainResponse{
 		Matches: matchesJSON(ms),
 		Explain: *explainJSON(&ex),

@@ -7,12 +7,17 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"silkmoth/internal/obs"
 )
 
 // metrics collects the server's counters and renders them in the Prometheus
 // text exposition format (version 0.0.4). It deliberately avoids external
-// dependencies: a handful of atomics and one small locked map are all a
-// text endpoint needs.
+// dependencies, and its hot path — observe, called once per request — takes
+// no lock: per-route latency histograms are pre-registered in a read-only
+// map at construction (the route label space is bounded by knownPaths), and
+// the {path, code} request counters live in a copy-on-write map where only
+// the first observation of a new pair pays a mutex.
 type metrics struct {
 	start time.Time
 
@@ -20,10 +25,28 @@ type metrics struct {
 	cacheHits   int64
 	cacheMisses int64
 
-	mu sync.Mutex
-	// perRoute aggregates request counts and latency; bounded because
-	// routes and status codes are.
-	perRoute map[routeKey]*routeStats
+	// queueDepth counts requests waiting for a worker-pool slot; queueHWM
+	// is the deepest the queue has ever been (admission-control sizing).
+	queueDepth int64
+	queueHWM   int64
+
+	// Rejections split by cause: the pool never freed a slot within the
+	// request's budget (pool_full), or the engine gave up mid-query on a
+	// deadline (timeout) or a client hangup (cancelled).
+	rejectPoolFull  int64
+	rejectTimeout   int64
+	rejectCancelled int64
+
+	// routeHist maps every route label to its latency histogram. Built
+	// once in newMetrics and never mutated, so observe reads it lock-free.
+	routeHist map[string]*obs.Histogram
+
+	// counts holds requests_total{path,code}. The map value is immutable;
+	// inserting a new pair copies it under countsMu, while bumping an
+	// existing pair is one atomic add. Bounded because paths and status
+	// codes are.
+	counts   atomic.Value // map[routeKey]*int64
+	countsMu sync.Mutex
 }
 
 type routeKey struct {
@@ -31,29 +54,89 @@ type routeKey struct {
 	code int
 }
 
-type routeStats struct {
-	count   int64
-	seconds float64
-}
-
 func newMetrics() *metrics {
-	return &metrics{start: time.Now(), perRoute: make(map[routeKey]*routeStats)}
-}
-
-func (m *metrics) observe(path string, code int, d time.Duration) {
-	key := routeKey{path: path, code: code}
-	m.mu.Lock()
-	rs := m.perRoute[key]
-	if rs == nil {
-		rs = &routeStats{}
-		m.perRoute[key] = rs
+	m := &metrics{start: time.Now()}
+	m.routeHist = make(map[string]*obs.Histogram, len(knownPaths)+1)
+	for path := range knownPaths {
+		m.routeHist[path] = &obs.Histogram{}
 	}
-	rs.count++
-	rs.seconds += d.Seconds()
-	m.mu.Unlock()
+	m.routeHist[otherRoute] = &obs.Histogram{}
+	m.counts.Store(make(map[routeKey]*int64))
+	return m
 }
 
-func (m *metrics) addInflight(n int64)   { atomic.AddInt64(&m.inflight, n) }
+// observe records one served request. path must already be normalized to a
+// route label (metricPath); the fast path is histogram bucketing plus two
+// atomic adds.
+func (m *metrics) observe(path string, code int, d time.Duration) {
+	h := m.routeHist[path]
+	if h == nil {
+		h = m.routeHist[otherRoute] // metricPath should prevent this
+	}
+	h.Observe(d)
+	key := routeKey{path: path, code: code}
+	counts := m.counts.Load().(map[routeKey]*int64)
+	c := counts[key]
+	if c == nil {
+		c = m.registerCount(key)
+	}
+	atomic.AddInt64(c, 1)
+}
+
+// registerCount inserts a counter for a first-seen {path, code} pair by
+// copying the map — readers keep going lock-free on the old snapshot.
+func (m *metrics) registerCount(key routeKey) *int64 {
+	m.countsMu.Lock()
+	defer m.countsMu.Unlock()
+	counts := m.counts.Load().(map[routeKey]*int64)
+	if c := counts[key]; c != nil {
+		return c // another request registered it while we waited
+	}
+	next := make(map[routeKey]*int64, len(counts)+1)
+	for k, v := range counts {
+		next[k] = v
+	}
+	c := new(int64)
+	next[key] = c
+	m.counts.Store(next)
+	return c
+}
+
+func (m *metrics) addInflight(n int64) { atomic.AddInt64(&m.inflight, n) }
+
+// enterQueue marks one request waiting for a pool slot, ratcheting the
+// high-water mark.
+func (m *metrics) enterQueue() {
+	d := atomic.AddInt64(&m.queueDepth, 1)
+	for {
+		hwm := atomic.LoadInt64(&m.queueHWM)
+		if d <= hwm || atomic.CompareAndSwapInt64(&m.queueHWM, hwm, d) {
+			return
+		}
+	}
+}
+
+func (m *metrics) exitQueue() { atomic.AddInt64(&m.queueDepth, -1) }
+
+// Rejection causes. rejectPoolFull is charged when a request never got a
+// worker slot; the other two when the engine aborted a running query.
+const (
+	causePoolFull  = "pool_full"
+	causeTimeout   = "timeout"
+	causeCancelled = "cancelled"
+)
+
+func (m *metrics) reject(cause string) {
+	switch cause {
+	case causePoolFull:
+		atomic.AddInt64(&m.rejectPoolFull, 1)
+	case causeTimeout:
+		atomic.AddInt64(&m.rejectTimeout, 1)
+	case causeCancelled:
+		atomic.AddInt64(&m.rejectCancelled, 1)
+	}
+}
+
 func (m *metrics) cacheHit()             { atomic.AddInt64(&m.cacheHits, 1) }
 func (m *metrics) cacheMiss()            { atomic.AddInt64(&m.cacheMisses, 1) }
 func (m *metrics) hits() int64           { return atomic.LoadInt64(&m.cacheHits) }
@@ -62,7 +145,7 @@ func (m *metrics) inflightNow() int64    { return atomic.LoadInt64(&m.inflight) 
 func (m *metrics) uptime() time.Duration { return time.Since(m.start) }
 
 // write renders all metrics. extra emits server-specific gauges (engine
-// funnel, collection size) supplied by the caller.
+// funnel, collection size, stage histograms) supplied by the caller.
 func (m *metrics) write(w io.Writer, extra func(io.Writer)) {
 	fmt.Fprintf(w, "# HELP silkmothd_uptime_seconds Seconds since the server started.\n")
 	fmt.Fprintf(w, "# TYPE silkmothd_uptime_seconds gauge\n")
@@ -71,6 +154,19 @@ func (m *metrics) write(w io.Writer, extra func(io.Writer)) {
 	fmt.Fprintf(w, "# HELP silkmothd_inflight_requests Query requests currently executing.\n")
 	fmt.Fprintf(w, "# TYPE silkmothd_inflight_requests gauge\n")
 	fmt.Fprintf(w, "silkmothd_inflight_requests %d\n", m.inflightNow())
+
+	fmt.Fprintf(w, "# HELP silkmothd_queue_depth Requests waiting for a worker-pool slot.\n")
+	fmt.Fprintf(w, "# TYPE silkmothd_queue_depth gauge\n")
+	fmt.Fprintf(w, "silkmothd_queue_depth %d\n", atomic.LoadInt64(&m.queueDepth))
+	fmt.Fprintf(w, "# HELP silkmothd_queue_depth_high_water Deepest the worker-pool queue has been since startup.\n")
+	fmt.Fprintf(w, "# TYPE silkmothd_queue_depth_high_water gauge\n")
+	fmt.Fprintf(w, "silkmothd_queue_depth_high_water %d\n", atomic.LoadInt64(&m.queueHWM))
+
+	fmt.Fprintf(w, "# HELP silkmothd_rejections_total Query requests that failed without a full result, by cause.\n")
+	fmt.Fprintf(w, "# TYPE silkmothd_rejections_total counter\n")
+	fmt.Fprintf(w, "silkmothd_rejections_total{cause=%q} %d\n", causePoolFull, atomic.LoadInt64(&m.rejectPoolFull))
+	fmt.Fprintf(w, "silkmothd_rejections_total{cause=%q} %d\n", causeTimeout, atomic.LoadInt64(&m.rejectTimeout))
+	fmt.Fprintf(w, "silkmothd_rejections_total{cause=%q} %d\n", causeCancelled, atomic.LoadInt64(&m.rejectCancelled))
 
 	fmt.Fprintf(w, "# HELP silkmothd_cache_hits_total Result-cache hits.\n")
 	fmt.Fprintf(w, "# TYPE silkmothd_cache_hits_total counter\n")
@@ -81,30 +177,33 @@ func (m *metrics) write(w io.Writer, extra func(io.Writer)) {
 
 	type row struct {
 		routeKey
-		routeStats
+		count int64
 	}
-	var rows []row
-	m.mu.Lock()
-	for key, rs := range m.perRoute {
-		rows = append(rows, row{routeKey: key, routeStats: *rs})
+	counts := m.counts.Load().(map[routeKey]*int64)
+	rows := make([]row, 0, len(counts))
+	for key, c := range counts {
+		rows = append(rows, row{routeKey: key, count: atomic.LoadInt64(c)})
 	}
-	m.mu.Unlock()
 	sort.Slice(rows, func(i, j int) bool {
 		if rows[i].path != rows[j].path {
 			return rows[i].path < rows[j].path
 		}
 		return rows[i].code < rows[j].code
 	})
-
 	fmt.Fprintf(w, "# HELP silkmothd_requests_total Requests served, by path and status code.\n")
 	fmt.Fprintf(w, "# TYPE silkmothd_requests_total counter\n")
 	for _, r := range rows {
 		fmt.Fprintf(w, "silkmothd_requests_total{path=%q,code=\"%d\"} %d\n", r.path, r.code, r.count)
 	}
-	fmt.Fprintf(w, "# HELP silkmothd_request_seconds_total Cumulative request latency, by path and status code.\n")
-	fmt.Fprintf(w, "# TYPE silkmothd_request_seconds_total counter\n")
-	for _, r := range rows {
-		fmt.Fprintf(w, "silkmothd_request_seconds_total{path=%q,code=\"%d\"} %g\n", r.path, r.code, r.seconds)
+
+	paths := make([]string, 0, len(m.routeHist))
+	for path := range m.routeHist {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	obs.WriteHistogramHeader(w, "silkmothd_request_seconds", "Request latency by route.")
+	for _, path := range paths {
+		obs.WriteHistogram(w, "silkmothd_request_seconds", fmt.Sprintf("path=%q", path), m.routeHist[path].Snapshot())
 	}
 
 	if extra != nil {

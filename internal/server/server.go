@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"strconv"
 	"strings"
@@ -28,6 +29,7 @@ import (
 	"time"
 
 	"silkmoth"
+	"silkmoth/internal/obs"
 )
 
 // Options configures the serving layer. The zero value serves with sane
@@ -59,10 +61,30 @@ type Options struct {
 	MaxBatchSize int
 	// DisableExplain turns off execution introspection: /v1/explain
 	// answers 404 and explain request fields are rejected with 400.
-	// Explained queries bypass the result cache (their wall-time field
+	// Explained responses bypass the result cache (their wall-time field
 	// would otherwise go stale), so operators fronting hot repeated
-	// workloads may prefer them off.
+	// workloads may prefer them off. Server-side slow-query capture is
+	// unaffected — it never changes response bodies.
 	DisableExplain bool
+	// LogWriter receives the server's structured JSON logs (access lines
+	// and slow-query funnels), one object per line. Nil disables logging.
+	LogWriter io.Writer
+	// AccessLog emits one JSON line per request to LogWriter: request id,
+	// method, path, route label, status, latency.
+	AccessLog bool
+	// SlowQueryThreshold emits a query's full execution funnel — chosen
+	// scheme, per-stage survivor counts, per-stage nanoseconds, shard
+	// count — as one JSON line on LogWriter whenever its engine time
+	// meets the threshold. 0 disables threshold-triggered capture.
+	SlowQueryThreshold time.Duration
+	// SlowQuerySample emits the same funnel line for one in every N
+	// queries regardless of latency, so the log always carries a baseline
+	// to compare slow outliers against. 0 disables sampling.
+	SlowQuerySample int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ — CPU and
+	// heap profiles, goroutine dumps, execution traces. Off by default:
+	// profiles can leak operational detail, so exposure is opt-in.
+	EnablePprof bool
 }
 
 func (o Options) normalize() Options {
@@ -99,7 +121,11 @@ type Server struct {
 	sem   chan struct{}
 	cache *resultCache
 	met   *metrics
+	log   *obs.Logger
 	mux   *http.ServeMux
+	// slowSeq drives 1-in-N slow-query sampling across all query
+	// endpoints.
+	slowSeq int64
 	// gen is bumped by every mutation (Add, Delete, Update) and baked
 	// into cache keys, so a result computed against an older collection
 	// can never be served after the collection changes — even if it is
@@ -124,6 +150,9 @@ func New(eng *silkmoth.Engine, cfg silkmoth.Config, opts Options) *Server {
 		cache: newResultCache(opts.CacheSize),
 		met:   newMetrics(),
 	}
+	if opts.LogWriter != nil {
+		s.log = obs.NewLogger(opts.LogWriter)
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/search", s.handleSearch)
 	mux.HandleFunc("POST /v1/search/batch", s.handleSearchBatch)
@@ -136,8 +165,16 @@ func New(eng *silkmoth.Engine, cfg silkmoth.Config, opts Options) *Server {
 	mux.HandleFunc("DELETE /v1/sets/{id}", s.handleDeleteSet)
 	mux.HandleFunc("PUT /v1/sets/{id}", s.handleUpdateSet)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/version", s.handleVersion)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if opts.EnablePprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	s.mux = mux
 	return s
 }
@@ -155,24 +192,68 @@ var knownPaths = map[string]bool{
 	"/v1/sets":             true,
 	"/v1/sets/{id}":        true,
 	"/v1/stats":            true,
+	"/v1/version":          true,
 	"/healthz":             true,
 	"/metrics":             true,
+	"/debug/pprof":         true,
 }
 
-// ServeHTTP dispatches to the API routes, recording per-route request
-// counts and latency.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	start := time.Now()
-	rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
-	s.mux.ServeHTTP(rec, r)
-	path := r.URL.Path
+// otherRoute is the aggregate label for paths outside knownPaths.
+const otherRoute = "other"
+
+// metricPath collapses a request path to its bounded route label: set ids
+// and pprof profile names fold into one label each, and anything unmatched
+// (scanners, typos) aggregates under otherRoute.
+func metricPath(path string) string {
 	if rest, ok := strings.CutPrefix(path, "/v1/sets/"); ok && rest != "" && !strings.Contains(rest, "/") {
-		path = "/v1/sets/{id}" // collapse ids so the label space stays bounded
+		return "/v1/sets/{id}"
+	}
+	if strings.HasPrefix(path, "/debug/pprof") {
+		return "/debug/pprof"
 	}
 	if !knownPaths[path] {
-		path = "other" // multi-segment probes and typos stay aggregated here
+		return otherRoute
 	}
-	s.met.observe(path, rec.code, time.Since(start))
+	return path
+}
+
+// ridKey carries the request id through the request context.
+type ridKey struct{}
+
+// requestID returns the id ServeHTTP assigned to this request.
+func requestID(r *http.Request) string {
+	rid, _ := r.Context().Value(ridKey{}).(string)
+	return rid
+}
+
+// ServeHTTP dispatches to the API routes. Every request gets an id — the
+// caller's X-Request-Id when it is well-formed, a fresh one otherwise —
+// echoed in the response header and carried through the context so log
+// lines from any layer correlate. Per-route request counts and latency are
+// recorded lock-free, and an access line is emitted when configured.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rid := r.Header.Get("X-Request-Id")
+	if !obs.ValidRequestID(rid) {
+		rid = obs.NewRequestID()
+	}
+	w.Header().Set("X-Request-Id", rid)
+	r = r.WithContext(context.WithValue(r.Context(), ridKey{}, rid))
+	rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+	s.mux.ServeHTTP(rec, r)
+	path := metricPath(r.URL.Path)
+	elapsed := time.Since(start)
+	s.met.observe(path, rec.code, elapsed)
+	if s.opts.AccessLog && s.log.Enabled() {
+		s.log.Emit("access", map[string]any{
+			"request_id": rid,
+			"method":     r.Method,
+			"path":       r.URL.Path,
+			"route":      path,
+			"code":       rec.code,
+			"elapsed_us": elapsed.Microseconds(),
+		})
+	}
 }
 
 // statusRecorder captures the response code for metrics.
@@ -296,14 +377,19 @@ func (s *Server) queryCtx(r *http.Request) (context.Context, context.CancelFunc)
 }
 
 // acquire takes a worker-pool slot, waiting within ctx. It reports whether
-// the slot was obtained; on false the response has already been written.
+// the slot was obtained; on false the response has already been written and
+// the rejection charged to the pool (the slot never freed within the
+// request's budget — however the wait ended, the pool was the bottleneck).
 func (s *Server) acquire(ctx context.Context, w http.ResponseWriter) bool {
+	s.met.enterQueue()
+	defer s.met.exitQueue()
 	select {
 	case s.sem <- struct{}{}:
 		s.met.addInflight(1)
 		return true
 	case <-ctx.Done():
-		s.writeCtxErr(w, ctx.Err())
+		s.met.reject(causePoolFull)
+		s.writeHTTPCtxErr(w, ctx.Err())
 		return false
 	}
 }
@@ -313,7 +399,21 @@ func (s *Server) release() {
 	<-s.sem
 }
 
+// writeCtxErr reports a query the engine abandoned mid-flight, splitting
+// the rejection counter by whether the deadline fired or the client hung
+// up.
 func (s *Server) writeCtxErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		s.met.reject(causeTimeout)
+	} else {
+		s.met.reject(causeCancelled)
+	}
+	s.writeHTTPCtxErr(w, err)
+}
+
+// writeHTTPCtxErr maps a context error to its response without touching
+// rejection counters (callers attribute the cause).
+func (s *Server) writeHTTPCtxErr(w http.ResponseWriter, err error) {
 	if errors.Is(err, context.DeadlineExceeded) {
 		writeError(w, http.StatusGatewayTimeout, "request timed out")
 		return
@@ -451,6 +551,13 @@ func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, topk bool) 
 	if !ok {
 		return
 	}
+	// Slow-query logging needs the funnel even when the client did not ask
+	// for it; the capture is server-side only, so the response body (and
+	// its cacheability) is unchanged.
+	capture := s.captureSlow()
+	if capture && !req.Explain {
+		opts = append(opts, silkmoth.WithExplain(&ex))
+	}
 
 	// Explained responses carry wall time, which a cache would freeze;
 	// they skip both lookup and store.
@@ -476,6 +583,9 @@ func (s *Server) serveSearch(w http.ResponseWriter, r *http.Request, topk bool) 
 	if err != nil {
 		s.writeCtxErr(w, err)
 		return
+	}
+	if req.Explain || capture {
+		s.logSlow(r, metricPath(r.URL.Path), &ex, nil)
 	}
 	resp := searchResponse{Matches: matchesJSON(ms)}
 	if req.Explain {
@@ -543,6 +653,10 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	perItem := req.Schemes != nil || req.Explain
+	// Slow-query capture rides the same per-item explain plumbing but is
+	// invisible on the wire: the response only reports schemes/explains
+	// when the request asked for them.
+	capture := s.captureSlow()
 	schemes := make([]silkmoth.Scheme, len(req.Sets))
 	pinned := make([]bool, len(req.Sets))
 	for i, name := range req.Schemes {
@@ -595,7 +709,7 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		bq := silkmoth.BatchQuery{Set: set.toSet()}
 		var ex *silkmoth.Explain
-		if perItem {
+		if perItem || capture {
 			// Per-item chosen schemes come from the same capture explain
 			// uses, so both features ride one option.
 			ex = &silkmoth.Explain{}
@@ -622,9 +736,16 @@ func (s *Server) handleSearchBatch(w http.ResponseWriter, r *http.Request) {
 			item := &results[validAt[qi]]
 			item.Matches = matchesJSON(ms)
 			if ex := explains[qi]; ex != nil {
-				item.Scheme = ex.Scheme
-				if req.Explain {
-					item.Explain = explainJSON(ex)
+				if perItem {
+					item.Scheme = ex.Scheme
+					if req.Explain {
+						item.Explain = explainJSON(ex)
+					}
+				}
+				if capture {
+					// Fan-out keeps the batch request's id, so every
+					// item's funnel line correlates back to one request.
+					s.logSlow(r, "/v1/search/batch", ex, map[string]any{"batch_index": validAt[qi]})
 				}
 			}
 		}
@@ -672,10 +793,19 @@ func (s *Server) handleDiscoverAgainst(w http.ResponseWriter, r *http.Request) {
 	for i, set := range req.Sets {
 		refs[i] = set.toSet()
 	}
-	ps, err := s.eng.DiscoverAgainstContext(ctx, refs)
+	var ex silkmoth.Explain
+	var opts []silkmoth.QueryOption
+	capture := s.captureSlow()
+	if capture {
+		opts = append(opts, silkmoth.WithExplain(&ex))
+	}
+	ps, err := s.eng.DiscoverAgainstContext(ctx, refs, opts...)
 	if err != nil {
 		s.writeCtxErr(w, err)
 		return
+	}
+	if capture {
+		s.logSlow(r, "/v1/discover-against", &ex, nil)
 	}
 	s.finish(w, key, discoverResponse{Pairs: pairsJSON(ps)})
 }
@@ -1000,6 +1130,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+type versionResponse struct {
+	Version   string `json:"version"`
+	GoVersion string `json:"go"`
+	Revision  string `json:"revision,omitempty"`
+}
+
+// handleVersion serves GET /v1/version from the binary's embedded build
+// metadata (module version, Go toolchain, VCS revision when stamped).
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	bi := obs.ReadBuildInfo()
+	writeJSON(w, http.StatusOK, versionResponse{
+		Version:   bi.Version,
+		GoVersion: bi.GoVersion,
+		Revision:  bi.Revision,
+	})
+}
+
 type healthResponse struct {
 	Status string `json:"status"`
 	Sets   int    `json:"sets"`
@@ -1058,5 +1205,48 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(out, "# HELP silkmothd_result_cache_entries Entries in the result cache.\n")
 		fmt.Fprintf(out, "# TYPE silkmothd_result_cache_entries gauge\n")
 		fmt.Fprintf(out, "silkmothd_result_cache_entries %d\n", s.cache.len())
+		fmt.Fprintf(out, "# HELP silkmothd_result_cache_evictions_total Cache entries evicted by capacity pressure (purges excluded).\n")
+		fmt.Fprintf(out, "# TYPE silkmothd_result_cache_evictions_total counter\n")
+		fmt.Fprintf(out, "silkmothd_result_cache_evictions_total %d\n", s.cache.evictions())
+
+		sl := s.eng.StageLatencies()
+		obs.WriteHistogramHeader(out, "silkmothd_stage_seconds",
+			"Per-pass pipeline stage latency: signature generation, candidate collect/check, NN-refine, exact verification (sampled; see StageSample).")
+		for _, st := range []struct {
+			name string
+			h    silkmoth.LatencyHistogram
+		}{
+			{"signature", sl.Signature},
+			{"collect", sl.Collect},
+			{"refine", sl.Refine},
+			{"verify", sl.Verify},
+		} {
+			obs.WriteHistogram(out, "silkmothd_stage_seconds", fmt.Sprintf("stage=%q", st.name), snapFromPublic(st.h))
+		}
+		if shl := s.eng.ShardLatencies(); shl != nil {
+			obs.WriteHistogramHeader(out, "silkmothd_shard_seconds", "Per-shard scatter pass latency.")
+			for i, h := range shl {
+				obs.WriteHistogram(out, "silkmothd_shard_seconds", fmt.Sprintf("shard=\"%d\"", i), snapFromPublic(h))
+			}
+		}
+		fmt.Fprintf(out, "# HELP silkmothd_shard_stragglers_total Scatters whose slowest shard exceeded twice the median shard time.\n")
+		fmt.Fprintf(out, "# TYPE silkmothd_shard_stragglers_total counter\n")
+		fmt.Fprintf(out, "silkmothd_shard_stragglers_total %d\n", st.Stragglers)
+
+		obs.WriteRuntimeMetrics(out)
+		obs.WriteBuildInfoMetric(out)
 	})
+}
+
+// snapFromPublic rebuilds an obs snapshot from the engine's public
+// histogram shape so the shared text renderer can emit it. The public
+// bounds are the obs bounds, so the copy is index-aligned by construction.
+func snapFromPublic(h silkmoth.LatencyHistogram) obs.HistogramSnapshot {
+	var s obs.HistogramSnapshot
+	for i := 0; i < len(h.Counts) && i < len(s.Counts); i++ {
+		s.Counts[i] = h.Counts[i]
+	}
+	s.Count = h.Count
+	s.SumNanos = h.Sum.Nanoseconds()
+	return s
 }

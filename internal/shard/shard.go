@@ -19,9 +19,12 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"silkmoth/internal/core"
 	"silkmoth/internal/dataset"
+	"silkmoth/internal/obs"
 )
 
 // Engine is a sharded related-set engine: N independent core engines over
@@ -55,7 +58,25 @@ type Engine struct {
 	// compaction globally so the shared dictionary and the global
 	// collection headers are reclaimed together.
 	threshold float64
+	// shardHist[s] is shard s's scatter-pass latency histogram; every
+	// scatter observes each shard's pass wall time, so a skewed partition
+	// or a slow shard shows up as a diverging per-shard distribution.
+	shardHist []obs.Histogram
+	// stragglers counts scatters whose slowest shard exceeded
+	// stragglerFactor × the median shard time (above stragglerFloor, with
+	// at least two shards) — the tail-latency signal scatter-gather lives
+	// or dies by.
+	stragglers int64
 }
+
+// Straggler detection thresholds: a scatter counts as straggled when its
+// slowest shard takes more than stragglerFactor times the median shard's
+// wall time, and the slowest shard exceeded stragglerFloor (sub-100µs
+// scatters are all noise).
+const (
+	stragglerFactor = 2
+	stragglerFloor  = int64(100 * time.Microsecond)
+)
 
 // ShardOf returns the shard owning global set index g among n shards. The
 // assignment hashes the index through a 64-bit finalizer, so shard loads
@@ -88,6 +109,7 @@ func New(coll *dataset.Collection, shards int, opts core.Options) (*Engine, erro
 		l2g:       make([][]int, shards),
 		threshold: opts.CompactionThreshold,
 	}
+	e.shardHist = make([]obs.Histogram, shards)
 	opts.CompactionThreshold = 0 // compaction is driven globally, not per shard
 	for s := range e.colls {
 		e.colls[s] = &dataset.Collection{Dict: coll.Dict, Mode: coll.Mode, Q: coll.Q}
@@ -217,6 +239,11 @@ func (e *Engine) Stats() core.StatsSnapshot {
 		sum.SchemeCombUnweighted += st.SchemeCombUnweighted
 		sum.SchemeSkyline += st.SchemeSkyline
 		sum.SchemeDichotomy += st.SchemeDichotomy
+		sum.TimedPasses += st.TimedPasses
+		sum.SigNanos += st.SigNanos
+		sum.CollectNanos += st.CollectNanos
+		sum.RefineNanos += st.RefineNanos
+		sum.VerifyNanos += st.VerifyNanos
 	}
 	return sum
 }
@@ -401,10 +428,17 @@ func sortPairs(ps []core.Pair) {
 // concrete schemes; the capture's per-scheme counters keep the split.
 func (e *Engine) scatter(ctx context.Context, r *dataset.Set, k int, q *core.Query) ([][]core.Match, error) {
 	per := make([][]core.Match, e.nshards)
+	durs := make([]int64, e.nshards)
 	err := FanOut(ctx, e.nshards, e.nshards, func(ctx context.Context, _, s int) error {
+		start := time.Now()
 		sr := e.engines[s].NewSearcher()
 		defer sr.Close()
 		ms, err := sr.SearchQuery(ctx, r, -1, q)
+		// Observe before the error check so cancelled shards still count
+		// toward the latency distribution.
+		d := time.Since(start)
+		durs[s] = int64(d)
+		e.shardHist[s].Observe(d)
 		if err != nil {
 			return err
 		}
@@ -418,7 +452,76 @@ func (e *Engine) scatter(ctx context.Context, r *dataset.Set, k int, q *core.Que
 		per[s] = ms
 		return nil
 	})
+	if err == nil {
+		e.noteStraggler(durs)
+	}
 	return per, err
+}
+
+// noteStraggler bumps the straggler counter when the scatter's slowest
+// shard ran away from the median. The median is found by rank counting —
+// O(shards²) but allocation-free, and shard counts are small.
+func (e *Engine) noteStraggler(durs []int64) {
+	n := len(durs)
+	if n < 2 {
+		return
+	}
+	slowest := durs[0]
+	for _, d := range durs[1:] {
+		if d > slowest {
+			slowest = d
+		}
+	}
+	if slowest < stragglerFloor {
+		return
+	}
+	var median int64
+	for _, d := range durs {
+		less, equal := 0, 0
+		for _, o := range durs {
+			switch {
+			case o < d:
+				less++
+			case o == d:
+				equal++
+			}
+		}
+		// d is the (lower) median when rank n/2 falls inside its tie run.
+		if less <= n/2 && less+equal > n/2 {
+			median = d
+			break
+		}
+	}
+	if median > 0 && slowest > stragglerFactor*median {
+		atomic.AddInt64(&e.stragglers, 1)
+	}
+}
+
+// ShardLatencies returns per-shard snapshots of scatter-pass latency,
+// indexed by shard.
+func (e *Engine) ShardLatencies() []obs.HistogramSnapshot {
+	out := make([]obs.HistogramSnapshot, len(e.shardHist))
+	for s := range e.shardHist {
+		out[s] = e.shardHist[s].Snapshot()
+	}
+	return out
+}
+
+// Stragglers returns the number of scatters whose slowest shard exceeded
+// stragglerFactor × the median shard time.
+func (e *Engine) Stragglers() int64 { return atomic.LoadInt64(&e.stragglers) }
+
+// StageLatencies returns the per-stage latency histograms merged across
+// every shard engine, indexed by core.Stage.
+func (e *Engine) StageLatencies() [core.NumStages]obs.HistogramSnapshot {
+	var out [core.NumStages]obs.HistogramSnapshot
+	for _, eng := range e.engines {
+		hs := eng.StageLatencies()
+		for i := range out {
+			out[i].Add(hs[i])
+		}
+	}
+	return out
 }
 
 // SearchContext answers RELATED SET SEARCH for r by scatter-gather:

@@ -229,6 +229,11 @@ type Explain struct {
 	// Elapsed is the query's wall time (for a batch item, that item's own
 	// pass time).
 	Elapsed time.Duration
+	// Stages splits the query's pass time by pipeline stage — where inside
+	// the funnel the wall time went. Explained queries time every pass, so
+	// the four durations sum over all of Passes (they total less than
+	// Elapsed, which also covers tokenization, fan-out, and merging).
+	Stages StageTimes
 }
 
 // explainFromPass converts a core stats capture into the public shape.
@@ -244,6 +249,12 @@ func explainFromPass(ps *core.PassStats, elapsed time.Duration) Explain {
 		NNPruned:    ps.NNPruned,
 		Verified:    ps.Verified,
 		Elapsed:     elapsed,
+		Stages: StageTimes{
+			Signature: time.Duration(ps.SigNanos),
+			Collect:   time.Duration(ps.CollectNanos),
+			Refine:    time.Duration(ps.RefineNanos),
+			Verify:    time.Duration(ps.VerifyNanos),
+		},
 	}
 	type schemeCount struct {
 		name  string

@@ -285,6 +285,14 @@ type Config struct {
 	// engine (same matches, same scores, same order). Values < 2 mean a
 	// single unsharded engine.
 	Shards int
+	// StageSample controls per-stage wall timing of search passes: one in
+	// every StageSample passes records its signature/collect/refine/verify
+	// durations into the engine's stage histograms (StageLatencies) and
+	// cumulative counters (Stats). 0 means the default sampling interval
+	// (one in 16), 1 times every pass, negative disables sampling. Queries
+	// with an explain capture are always timed regardless. Timing is
+	// allocation-free either way.
+	StageSample int
 	// CompactionThreshold controls when Delete and Update trigger
 	// automatic compaction: once the fraction of tombstoned sets still
 	// occupying the inverted index reaches it, posting lists are rebuilt
@@ -347,6 +355,7 @@ func (c Config) coreOptions() (core.Options, error) {
 		NNFilter:            !c.DisableNNFilter,
 		Reduction:           !c.DisableReduction,
 		Concurrency:         c.Concurrency,
+		StageSample:         c.StageSample,
 		CompactionThreshold: compact,
 	}, nil
 }
@@ -404,6 +413,16 @@ type Stats struct {
 	SchemeSkyline        int64
 	SchemeDichotomy      int64
 	SchemeCombUnweighted int64
+	// TimedPasses counts the search passes whose stages were wall-timed
+	// (sampled per Config.StageSample, plus every explained query); Stages
+	// holds those passes' summed per-stage durations. Divide by
+	// TimedPasses for a mean per-pass stage profile.
+	TimedPasses int64
+	Stages      StageTimes
+	// Stragglers counts sharded scatters whose slowest shard took more
+	// than twice the median shard's time — the scatter-gather tail-latency
+	// signal. Always zero on an unsharded engine.
+	Stragglers int64
 	// Live is the number of live (non-deleted) sets.
 	Live int
 	// Tombstones is the number of deleted sets whose postings are still
