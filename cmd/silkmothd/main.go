@@ -12,6 +12,7 @@
 //	POST /v1/sets              incrementally index more sets
 //	DELETE /v1/sets/{id}       tombstone one set out of every future query
 //	PUT  /v1/sets/{id}         atomically replace one set (new id returned)
+//	POST /v1/snapshot          force a durable snapshot + WAL rotation (-data-dir)
 //	GET  /v1/stats             engine pruning funnel + lifecycle + cache stats
 //	GET  /v1/version           build metadata (module version, Go, revision)
 //	GET  /healthz              liveness
@@ -47,11 +48,13 @@ import (
 
 func main() {
 	var (
-		addr      = flag.String("addr", ":7133", "listen address")
-		input     = flag.String("input", "", "set file to index (one set per line)")
-		csvFile   = flag.String("csv", "", "CSV file whose columns become sets")
-		jsonFile  = flag.String("json", "", "JSON file with an array of {name, elements} sets")
-		saved     = flag.String("saved", "", "binary collection previously written by the library's SaveCollection")
+		addr     = flag.String("addr", ":7133", "listen address")
+		input    = flag.String("input", "", "set file to index (one set per line)")
+		csvFile  = flag.String("csv", "", "CSV file whose columns become sets")
+		jsonFile = flag.String("json", "", "JSON file with an array of {name, elements} sets")
+		saved    = flag.String("saved", "", "binary collection previously written by the library's SaveCollection")
+		dataDir  = flag.String("data-dir", "",
+			"durability directory: recover from its latest snapshot + WAL at startup (the input flags then only bootstrap an empty directory); POST /v1/snapshot rotates")
 		metric    = flag.String("metric", "similarity", "similarity or containment")
 		simName   = flag.String("sim", "jaccard", "element similarity: jaccard, eds, neds, dice, or cosine")
 		delta     = flag.Float64("delta", 0.7, "relatedness threshold δ in (0,1]")
@@ -100,6 +103,7 @@ func main() {
 	}
 	cfg.CompactionThreshold = *compactAt
 	cfg.StageSample = *stageSample
+	cfg.DataDir = *dataDir
 
 	eng, n, err := buildEngine(cfg, *input, *csvFile, *jsonFile, *saved)
 	if err != nil {
@@ -107,6 +111,15 @@ func main() {
 	}
 	log.Printf("silkmothd: indexed %d sets (metric=%s sim=%s scheme=%s delta=%g alpha=%g shards=%d)",
 		n, cfg.Metric, cfg.Similarity, cfg.Scheme, cfg.Delta, cfg.Alpha, eng.Shards())
+	if *dataDir != "" {
+		st := eng.Stats()
+		if st.RecoveredSnapshot {
+			log.Printf("silkmothd: recovered from %s (replayed %d WAL records, torn tail: %v)",
+				*dataDir, st.WALReplayed, st.WALTornTail)
+		} else {
+			log.Printf("silkmothd: initialized %s with a fresh snapshot", *dataDir)
+		}
+	}
 
 	srvOpts := server.Options{
 		RequestTimeout:     *timeout,
@@ -146,11 +159,18 @@ func main() {
 		if err := httpSrv.Shutdown(ctx); err != nil {
 			fatal(err)
 		}
+		// In-flight mutations have drained; release the WAL handle.
+		if err := eng.Close(); err != nil {
+			fatal(err)
+		}
 	}
 }
 
 // buildEngine loads the startup collection from exactly one source and
-// builds the engine over it, returning the indexed set count.
+// builds the engine over it, returning the indexed set count. With
+// cfg.DataDir set the sources become optional — recovery supplies the
+// collection when the directory has state, and the engine may start empty —
+// and when one is given it only bootstraps an empty directory.
 func buildEngine(cfg silkmoth.Config, input, csvFile, jsonFile, saved string) (*silkmoth.Engine, int, error) {
 	sources := 0
 	for _, s := range []string{input, csvFile, jsonFile, saved} {
@@ -158,8 +178,18 @@ func buildEngine(cfg silkmoth.Config, input, csvFile, jsonFile, saved string) (*
 			sources++
 		}
 	}
-	if sources != 1 {
+	if cfg.DataDir == "" && sources != 1 {
 		return nil, 0, fmt.Errorf("exactly one of -input, -csv, -json, or -saved is required")
+	}
+	if sources > 1 {
+		return nil, 0, fmt.Errorf("at most one of -input, -csv, -json, or -saved may be given")
+	}
+	if sources == 0 {
+		eng, err := silkmoth.NewEngine(nil, cfg)
+		if err != nil {
+			return nil, 0, err
+		}
+		return eng, eng.Len(), nil
 	}
 
 	if saved != "" {

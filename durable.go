@@ -1,0 +1,260 @@
+package silkmoth
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"silkmoth/internal/core"
+	"silkmoth/internal/dataset"
+	"silkmoth/internal/index"
+	"silkmoth/internal/shard"
+	"silkmoth/internal/wal"
+)
+
+// ErrNoDataDir reports a durability operation (Snapshot) on an engine
+// built without Config.DataDir.
+var ErrNoDataDir = errors.New("silkmoth: durability not enabled (Config.DataDir is empty)")
+
+// newDurableEngine opens (or initializes) the snapshot/WAL store on fsys
+// and returns a recovered or bootstrapped engine. When the store holds a
+// snapshot, the engine is reconstructed from it — no re-tokenization, and
+// for an unsharded engine no re-indexing either — and the paired log is
+// replayed over it; otherwise build supplies a fresh engine and the
+// initial snapshot is written before the first mutation can be logged.
+func newDurableEngine(build func() (*Engine, error), cfg Config, fsys wal.FS) (*Engine, error) {
+	st, err := wal.Open(fsys)
+	if err != nil {
+		return nil, err
+	}
+	var e *Engine
+	loaded, err := st.Recover(func(r io.Reader) error {
+		snap, err := dataset.LoadSnapshot(r)
+		if err != nil {
+			return err
+		}
+		e, err = engineFromSnapshot(snap, cfg)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if loaded {
+		e.store = st
+		e.recovered = true
+		n, torn, err := st.ReplayWAL(func(rec *wal.Record) error { return e.applyRecord(rec) })
+		if err != nil {
+			return nil, fmt.Errorf("silkmoth: recovering from %q: %w", cfg.DataDir, err)
+		}
+		e.replayed, e.torn = n, torn
+		if err := st.Begin(); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	e, err = build()
+	if err != nil {
+		return nil, err
+	}
+	e.store = st
+	if err := e.writeSnapshotLocked(); err != nil {
+		st.Close()
+		return nil, fmt.Errorf("silkmoth: writing initial snapshot: %w", err)
+	}
+	return e, nil
+}
+
+// engineFromSnapshot reconstructs an engine from a loaded snapshot image:
+// collection and dictionary as persisted (dead slots empty, ids intact for
+// WAL replay), tombstone bitmap restored, and — unsharded, when the image
+// carries postings — the inverted index imported instead of rebuilt.
+func engineFromSnapshot(snap *dataset.SnapshotData, cfg Config) (*Engine, error) {
+	opts, err := cfg.coreOptions()
+	if err != nil {
+		return nil, err
+	}
+	if opts.Delta <= 0 || opts.Delta > 1 {
+		return nil, errors.New("silkmoth: Config.Delta must be in (0, 1]")
+	}
+	coll := snap.Coll
+	if opts.Q == 0 {
+		opts.Q = coll.Q
+	}
+	if cfg.Shards > 1 {
+		sh, err := shard.NewFromSnapshot(coll, cfg.Shards, opts, snap.Dead)
+		if err != nil {
+			return nil, err
+		}
+		return &Engine{sh: sh, coll: coll}, nil
+	}
+	var eng *core.Engine
+	if snap.Postings != nil {
+		eng, err = core.NewEngineFromIndex(index.FromLists(coll, snap.Postings), opts)
+	} else {
+		eng, err = core.NewEngine(coll, opts)
+	}
+	if err != nil {
+		return nil, err
+	}
+	eng.MarkDeadSlots(snap.Dead)
+	return &Engine{eng: eng, coll: coll}, nil
+}
+
+// applyRecord replays one WAL record against the engine's in-memory state.
+// Replay runs before the engine is shared, so no locking — and crucially
+// no re-logging — happens here. Records were appended after validation, so
+// a target that is not alive at replay time means the log and snapshot
+// disagree: corruption, reported as an error rather than skipped.
+func (e *Engine) applyRecord(rec *wal.Record) error {
+	switch rec.Op {
+	case wal.OpAdd:
+		e.applyAdd(rec.Sets)
+		return nil
+	case wal.OpDelete:
+		return e.applyDelete(rec.ID)
+	case wal.OpUpdate:
+		if len(rec.Sets) != 1 {
+			return fmt.Errorf("update record carries %d sets", len(rec.Sets))
+		}
+		_, err := e.applyUpdate(rec.ID, rec.Sets[0])
+		return err
+	default:
+		return fmt.Errorf("unknown op %d", rec.Op)
+	}
+}
+
+// applyAdd grows the collection and index in memory. Add and Update append
+// at len(coll.Sets) unconditionally, which is what makes WAL replay
+// reproduce the original id assignment exactly.
+func (e *Engine) applyAdd(raws []dataset.RawSet) {
+	if e.sh != nil {
+		// The sharded engine appends to e.coll (its global collection)
+		// itself and routes each new set to its owning shard.
+		e.sh.Add(raws)
+		return
+	}
+	from := dataset.Append(e.coll, raws)
+	e.eng.AppendSets(from)
+}
+
+// applyDelete tombstones id in memory.
+func (e *Engine) applyDelete(id int) error {
+	var err error
+	if e.sh != nil {
+		err = e.sh.Delete(id)
+	} else {
+		err = e.eng.Delete(id)
+	}
+	if errors.Is(err, core.ErrNotFound) {
+		return ErrNotFound
+	}
+	return err
+}
+
+// applyUpdate replaces id in memory, returning the replacement's new id.
+func (e *Engine) applyUpdate(id int, raw dataset.RawSet) (int, error) {
+	if e.sh != nil {
+		newID, err := e.sh.Update(id, raw)
+		if errors.Is(err, core.ErrNotFound) {
+			return 0, ErrNotFound
+		}
+		return newID, err
+	}
+	if !e.eng.Alive(id) {
+		return 0, ErrNotFound
+	}
+	newID := dataset.Append(e.coll, []dataset.RawSet{raw})
+	e.eng.AppendSets(newID)
+	if err := e.eng.Delete(id); err != nil {
+		return 0, err // unreachable: aliveness was just checked
+	}
+	return newID, nil
+}
+
+// appendWAL logs one mutation record, fsync'd, before the mutation is
+// applied in memory (write-ahead ordering: an acknowledged mutation is
+// always durable, and a logged-but-unapplied one is re-applied by replay).
+// No-op on a heap-only engine. Callers hold the write lock.
+func (e *Engine) appendWAL(rec *wal.Record) error {
+	if e.store == nil {
+		return nil
+	}
+	return e.store.Append(rec)
+}
+
+// liveLocked is Live for callers already holding a lock.
+func (e *Engine) liveLocked(id int) bool {
+	if e.sh != nil {
+		return e.sh.Alive(id)
+	}
+	return e.eng.Alive(id)
+}
+
+// Snapshot writes a new durable snapshot of the engine's current state and
+// rotates the write-ahead log: the image lands in a temp file, is fsync'd
+// and atomically renamed into place, and a fresh empty log replaces the
+// old one, whose records the snapshot now subsumes. Mutations are blocked
+// for the duration (Snapshot takes the write lock); queries drain first.
+// Returns ErrNoDataDir on a heap-only engine.
+func (e *Engine) Snapshot() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.store == nil {
+		return ErrNoDataDir
+	}
+	return e.writeSnapshotLocked()
+}
+
+func (e *Engine) writeSnapshotLocked() error {
+	return e.store.WriteSnapshot(func(w io.Writer) error {
+		return dataset.SaveSnapshot(w, e.snapshotData())
+	})
+}
+
+// snapshotData assembles the engine's durable image. The id space is
+// preserved verbatim — dead slots persist as empty placeholders — because
+// any WAL record appended after this snapshot references these runtime
+// ids. Unsharded engines contribute their posting lists (imported, not
+// rebuilt, at load); sharded engines persist no postings — the per-shard
+// lists are meaningless globally — and rebuild per shard at load, still
+// without re-tokenizing.
+func (e *Engine) snapshotData() *dataset.SnapshotData {
+	sd := &dataset.SnapshotData{Coll: e.coll}
+	if e.sh != nil {
+		live := e.sh.LiveSnapshot()
+		var dead []bool
+		for g, l := range live {
+			if !l {
+				if dead == nil {
+					dead = make([]bool, len(live))
+				}
+				dead[g] = true
+			}
+		}
+		sd.Dead = dead
+		return sd
+	}
+	if e.eng.LiveCount() != len(e.coll.Sets) {
+		dead := make([]bool, len(e.coll.Sets))
+		for i := range dead {
+			dead[i] = !e.eng.Alive(i)
+		}
+		sd.Dead = dead
+	}
+	sd.Postings = e.eng.Index().Lists()
+	return sd
+}
+
+// Close releases the engine's durability resources (the open write-ahead
+// log handle). It does not write a snapshot: the log already holds every
+// acknowledged mutation, so a future open replays to the identical state.
+// A heap-only engine's Close is a no-op. The engine must not be mutated
+// after Close; further Add/Delete/Update calls fail.
+func (e *Engine) Close() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.store == nil {
+		return nil
+	}
+	return e.store.Close()
+}

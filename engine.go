@@ -11,6 +11,7 @@ import (
 	"silkmoth/internal/dataset"
 	"silkmoth/internal/shard"
 	"silkmoth/internal/tokens"
+	"silkmoth/internal/wal"
 )
 
 // Engine indexes a collection of sets and answers related-set searches and
@@ -32,12 +33,40 @@ type Engine struct {
 	// including query tokenization, which must not observe compaction's
 	// dictionary slot recycling mid-flight.
 	mu sync.RWMutex
+
+	// Durability (nil/zero on a heap-only engine). store is the
+	// snapshot/WAL pair under Config.DataDir; the rest records what
+	// recovery found, surfaced through Stats.
+	store     *wal.Store
+	recovered bool
+	replayed  int
+	torn      bool
 }
 
 // NewEngine tokenizes the collection according to cfg and builds the
 // inverted index over it (or, with cfg.Shards > 1, the per-shard indexes,
 // in parallel).
+//
+// With Config.DataDir set, NewEngine is also the recovery entry point: if
+// the directory holds durable state, that state wins — sets is ignored and
+// the engine is reconstructed from the latest snapshot plus WAL replay.
+// Otherwise sets bootstraps the engine and its initial snapshot.
 func NewEngine(sets []Set, cfg Config) (*Engine, error) {
+	if cfg.DataDir != "" {
+		fsys, err := wal.DirFS(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		return newDurableEngine(func() (*Engine, error) {
+			return newHeapEngine(sets, cfg)
+		}, cfg, fsys)
+	}
+	return newHeapEngine(sets, cfg)
+}
+
+// newHeapEngine is NewEngine without the durability layer: tokenize and
+// index in memory.
+func newHeapEngine(sets []Set, cfg Config) (*Engine, error) {
 	opts, err := cfg.coreOptions()
 	if err != nil {
 		return nil, err
@@ -373,6 +402,13 @@ func (e *Engine) Stats() Stats {
 	}
 	if e.sh != nil {
 		out.Stragglers = e.sh.Stragglers()
+	}
+	if e.store != nil {
+		out.Snapshots = e.store.Snapshots()
+		out.WALRecords = e.store.Appended()
+		out.WALReplayed = e.replayed
+		out.RecoveredSnapshot = e.recovered
+		out.WALTornTail = e.torn
 	}
 	return out
 }

@@ -9,6 +9,7 @@ import (
 
 	"silkmoth/internal/core"
 	"silkmoth/internal/dataset"
+	"silkmoth/internal/wal"
 )
 
 // SearchTopK returns the k most related sets to ref among those whose
@@ -39,17 +40,19 @@ func (e *Engine) SearchTopKContext(ctx context.Context, ref Set, k int, opts ...
 // collection in place. Add is safe to call concurrently with queries: it
 // takes the engine's write lock, so in-flight searches complete first and
 // later ones see the grown collection.
-func (e *Engine) Add(sets []Set) {
+//
+// On a durable engine (Config.DataDir) the mutation is logged to the WAL
+// and fsync'd before it is applied, so a nil return means the sets survive
+// a crash. A heap-only engine's Add never fails.
+func (e *Engine) Add(sets []Set) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if e.sh != nil {
-		// The sharded engine appends to e.coll (its global collection)
-		// itself and routes each new set to its owning shard.
-		e.sh.Add(toRaw(sets))
-		return
+	raws := toRaw(sets)
+	if err := e.appendWAL(&wal.Record{Op: wal.OpAdd, Sets: raws}); err != nil {
+		return err
 	}
-	from := dataset.Append(e.coll, toRaw(sets))
-	e.eng.AppendSets(from)
+	e.applyAdd(raws)
+	return nil
 }
 
 // SaveCollection writes the engine's tokenized collection to w in a
@@ -82,7 +85,24 @@ func (e *Engine) SaveCollection(w io.Writer) error {
 // was built with: a word-token similarity (Jaccard, Dice, Cosine) for
 // word-tokenized collections, an edit similarity with the same Q for q-gram
 // collections (Q = 0 adopts the persisted value).
+//
+// With Config.DataDir set, existing durable state in the directory wins
+// exactly as in NewEngine: r is only consumed when the directory is empty,
+// to bootstrap the engine and its initial snapshot.
 func NewEngineFromSaved(r io.Reader, cfg Config) (*Engine, error) {
+	if cfg.DataDir != "" {
+		fsys, err := wal.DirFS(cfg.DataDir)
+		if err != nil {
+			return nil, err
+		}
+		return newDurableEngine(func() (*Engine, error) {
+			return newHeapEngineFromSaved(r, cfg)
+		}, cfg, fsys)
+	}
+	return newHeapEngineFromSaved(r, cfg)
+}
+
+func newHeapEngineFromSaved(r io.Reader, cfg Config) (*Engine, error) {
 	opts, err := cfg.coreOptions()
 	if err != nil {
 		return nil, err

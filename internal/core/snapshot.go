@@ -1,0 +1,25 @@
+package core
+
+import "silkmoth/internal/index"
+
+// Index returns the engine's inverted index, for snapshot writers that
+// persist its posting lists. Callers must hold the mutation lock the
+// engine's owner uses to serialize mutations.
+func (e *Engine) Index() *index.Inverted { return e.ix }
+
+// MarkDeadSlots marks the slots with dead[i] true as deleted without
+// touching postings, refcounts, or the tombstone counter. It exists for
+// loading snapshots, whose dead slots are empty placeholders: they hold no
+// elements, carry no postings, and retained nothing at build time, so
+// there is nothing to release and nothing for a later compaction to
+// reclaim — the slot just has to stay invisible to queries and keep its
+// index reserved.
+func (e *Engine) MarkDeadSlots(dead []bool) {
+	for i, d := range dead {
+		if d && i < len(e.coll.Sets) && e.alive(i) {
+			e.growDead()
+			e.dead[i] = true
+			e.numDead++
+		}
+	}
+}

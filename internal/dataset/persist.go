@@ -33,17 +33,40 @@ type persistedElement struct {
 
 const persistVersion = 1
 
+// Collection files open with a magic string and a format-version byte
+// ahead of the gob stream. The leading byte is what lets a reader reject a
+// future format outright (UnsupportedVersionError) instead of feeding its
+// bytes to the wrong decoder and misparsing — gob's own Version field only
+// checks after a successful decode, which a layout change would never
+// reach.
+const collectionMagic = "SMOTHCOL"
+
 // SaveCollection writes a tokenized collection to w in a self-contained
-// binary form (gob). Loading it back avoids re-tokenizing large corpora.
-// Only tokens the collection's sets actually reference are persisted, so
-// query-interned strays and reclaimed dictionary slots never reach disk.
+// binary form (a version header followed by gob). Loading it back avoids
+// re-tokenizing large corpora. Only tokens the collection's sets actually
+// reference are persisted, so query-interned strays and reclaimed
+// dictionary slots never reach disk.
 func SaveCollection(w io.Writer, c *Collection) error {
 	return saveCollection(w, c, func(int) bool { return true })
 }
 
 // LoadCollection reads a collection written by SaveCollection. The returned
-// collection owns a fresh dictionary with the persisted token table.
+// collection owns a fresh dictionary with the persisted token table. A file
+// written by a newer format version fails with *UnsupportedVersionError.
 func LoadCollection(r io.Reader) (*Collection, error) {
+	var hdr [len(collectionMagic) + 1]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("dataset: loading collection header: %w", err)
+	}
+	if string(hdr[:len(collectionMagic)]) != collectionMagic {
+		return nil, fmt.Errorf("dataset: not a saved collection (bad magic %q)", hdr[:len(collectionMagic)])
+	}
+	if v := int(hdr[len(collectionMagic)]); v != persistVersion {
+		if v > persistVersion {
+			return nil, &UnsupportedVersionError{Format: "collection", Version: v, Supported: persistVersion}
+		}
+		return nil, fmt.Errorf("dataset: unknown collection format version %d", v)
+	}
 	var p persisted
 	if err := gob.NewDecoder(r).Decode(&p); err != nil {
 		return nil, fmt.Errorf("dataset: loading collection: %w", err)
@@ -145,6 +168,12 @@ func saveCollection(w io.Writer, c *Collection, alive func(i int) bool) error {
 			}
 		}
 		p.Sets = append(p.Sets, ps)
+	}
+	if _, err := io.WriteString(w, collectionMagic); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte{persistVersion}); err != nil {
+		return err
 	}
 	return gob.NewEncoder(w).Encode(&p)
 }

@@ -1,0 +1,67 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"silkmoth/internal/tokens"
+)
+
+// The collection format now opens with a magic + version byte. A file
+// claiming a future version must be rejected with the typed error before
+// any gob bytes are consumed; a file with the wrong magic must be rejected
+// as not-a-collection.
+func TestLoadCollectionVersionGate(t *testing.T) {
+	dict := tokens.NewDictionary()
+	c := BuildWord(dict, []RawSet{{Name: "A", Elements: []string{"x y"}}})
+	var buf bytes.Buffer
+	if err := SaveCollection(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	// Sanity: the header is exactly where the loader expects it.
+	if string(valid[:len(collectionMagic)]) != collectionMagic {
+		t.Fatalf("saved file does not open with the magic: %q", valid[:len(collectionMagic)])
+	}
+	if valid[len(collectionMagic)] != persistVersion {
+		t.Fatalf("saved version byte = %d", valid[len(collectionMagic)])
+	}
+
+	// Future version: typed rejection.
+	future := append([]byte(nil), valid...)
+	future[len(collectionMagic)] = persistVersion + 41
+	_, err := LoadCollection(bytes.NewReader(future))
+	var uve *UnsupportedVersionError
+	if !errors.As(err, &uve) {
+		t.Fatalf("future version: got %v, want UnsupportedVersionError", err)
+	}
+	if uve.Format != "collection" || uve.Version != persistVersion+41 || uve.Supported != persistVersion {
+		t.Fatalf("error fields %+v", uve)
+	}
+
+	// Version 0 (below supported): plain rejection, not the future-version
+	// error.
+	past := append([]byte(nil), valid...)
+	past[len(collectionMagic)] = 0
+	if _, err := LoadCollection(bytes.NewReader(past)); err == nil || errors.As(err, &uve) {
+		t.Fatalf("version 0: got %v, want a plain unknown-version error", err)
+	}
+
+	// Wrong magic: a pre-header gob stream (or any other file) is rejected
+	// up front instead of reaching the gob decoder.
+	garbled := append([]byte("NOTACOLL"), valid[len(collectionMagic):]...)
+	if _, err := LoadCollection(bytes.NewReader(garbled)); err == nil {
+		t.Fatal("wrong magic accepted")
+	}
+
+	// And the untouched file still loads.
+	got, err := LoadCollection(bytes.NewReader(valid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Sets) != 1 || got.Sets[0].Name != "A" {
+		t.Fatalf("round-trip lost the collection: %+v", got.Sets)
+	}
+}

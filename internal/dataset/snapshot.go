@@ -1,0 +1,455 @@
+package dataset
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"silkmoth/internal/binenc"
+	"silkmoth/internal/tokens"
+)
+
+// Posting locates one element occurrence of a token: element Elem of set
+// Set in a collection. It is the canonical posting representation —
+// index.Inverted aliases it — so a snapshot can carry inverted-index
+// posting lists without this package importing the index.
+type Posting struct {
+	Set  int32
+	Elem int32
+}
+
+// SnapshotData is the full durable image of an engine's logical state: the
+// tokenized collection (dead slots as empty placeholders, preserving the
+// runtime id space that WAL records reference), the tombstone bitmap, and
+// optionally the inverted-index posting lists so a load rebuilds nothing.
+type SnapshotData struct {
+	Coll *Collection
+	// Dead marks tombstoned slots; nil (or all-false) means every slot is
+	// live. Saved snapshots are compacted images: dead slots persist with
+	// no elements, name, or postings, only their index reservation.
+	Dead []bool
+	// Postings holds the inverted index by token id, filtered to live
+	// sets. Nil means the snapshot carries no index (a sharded engine's
+	// per-shard indexes are not meaningful globally) and the loader must
+	// rebuild it from the collection — still with zero re-tokenization.
+	Postings [][]Posting
+}
+
+// UnsupportedVersionError reports a persisted artifact written by a newer
+// format version than this build can read.
+type UnsupportedVersionError struct {
+	Format    string // "collection" or "snapshot"
+	Version   int
+	Supported int
+}
+
+func (e *UnsupportedVersionError) Error() string {
+	return fmt.Sprintf("dataset: %s format version %d is newer than supported version %d",
+		e.Format, e.Version, e.Supported)
+}
+
+// Snapshot wire format: an 8-byte magic, a format-version byte, then a
+// fixed order of sections — meta, dictionary, sets, postings (only when
+// meta says so), end. Each section is framed
+//
+//	[tag byte][uint32 LE payload length][payload][uint32 LE CRC32(payload)]
+//
+// so every byte of content is covered by a checksum and a reader can
+// verify each section before trusting its lengths structurally.
+const (
+	snapshotMagic   = "SMOTHSNP"
+	snapshotVersion = 1
+
+	secMeta     = 0x01
+	secDict     = 0x02
+	secSets     = 0x03
+	secPostings = 0x04
+	secEnd      = 0xFF
+
+	// maxSectionSize caps the declared length a reader accepts: a flipped
+	// bit in a length field must bound at a read attempt, not a
+	// multi-gigabyte allocation (reads themselves grow incrementally).
+	maxSectionSize = 1 << 30
+)
+
+// ErrSnapshotCorrupt is the sentinel wrapped by snapshot decode failures.
+var ErrSnapshotCorrupt = errors.New("dataset: corrupt snapshot")
+
+func corrupt(format string, args ...any) error {
+	return fmt.Errorf("%w: "+format, append([]any{ErrSnapshotCorrupt}, args...)...)
+}
+
+// SaveSnapshot writes snap to w in the versioned binary snapshot format.
+// The image is compacted on the way out: dead slots are written as empty
+// placeholders (keeping the id space intact for WAL replay), postings are
+// filtered to live sets, and the token table is pruned — and renumbered
+// monotonically, preserving sorted-token invariants — to what live sets
+// reference.
+func SaveSnapshot(w io.Writer, snap *SnapshotData) error {
+	c := snap.Coll
+	alive := func(i int) bool { return i >= len(snap.Dead) || !snap.Dead[i] }
+
+	// Prune and monotonically renumber the token table, exactly like the
+	// compacted collection save.
+	used := make([]bool, c.Dict.Size())
+	for i := range c.Sets {
+		if !alive(i) {
+			continue
+		}
+		for j := range c.Sets[i].Elements {
+			e := &c.Sets[i].Elements[j]
+			for _, id := range e.Tokens {
+				used[id] = true
+			}
+			for _, id := range e.Chunks {
+				used[id] = true
+			}
+		}
+	}
+	remap := make([]int32, len(used))
+	var words []string
+	for old, u := range used {
+		if u {
+			remap[old] = int32(len(words))
+			words = append(words, c.Dict.String(tokens.ID(old)))
+		}
+	}
+
+	if _, err := io.WriteString(w, snapshotMagic); err != nil {
+		return err
+	}
+	if _, err := w.Write([]byte{snapshotVersion}); err != nil {
+		return err
+	}
+
+	var meta binenc.Writer
+	meta.Uint(int(c.Mode))
+	meta.Uint(c.Q)
+	meta.Uint(len(c.Sets))
+	meta.Uint(len(words))
+	if snap.Postings != nil {
+		meta.Byte(1)
+	} else {
+		meta.Byte(0)
+	}
+	if err := writeSection(w, secMeta, meta.Bytes()); err != nil {
+		return err
+	}
+
+	var dict binenc.Writer
+	for _, word := range words {
+		dict.String(word)
+	}
+	if err := writeSection(w, secDict, dict.Bytes()); err != nil {
+		return err
+	}
+
+	var sets binenc.Writer
+	for i := range c.Sets {
+		if !alive(i) {
+			sets.Byte(0)
+			continue
+		}
+		sets.Byte(1)
+		s := &c.Sets[i]
+		sets.String(s.Name)
+		sets.Uint(len(s.Elements))
+		for j := range s.Elements {
+			e := &s.Elements[j]
+			sets.String(e.Raw)
+			sets.Uint(len(e.Tokens))
+			prev := int32(0)
+			for _, id := range e.Tokens {
+				nid := remap[id]
+				sets.Uint(int(nid - prev)) // sorted strictly ascending
+				prev = nid
+			}
+			sets.Uint(len(e.Chunks))
+			for _, id := range e.Chunks {
+				sets.Uint(int(remap[id]))
+			}
+			sets.Uint(e.Length)
+		}
+	}
+	if err := writeSection(w, secSets, sets.Bytes()); err != nil {
+		return err
+	}
+
+	if snap.Postings != nil {
+		var post binenc.Writer
+		for old, u := range used {
+			if !u {
+				continue
+			}
+			var list []Posting
+			if old < len(snap.Postings) {
+				list = snap.Postings[old]
+			}
+			n := 0
+			for _, p := range list {
+				if alive(int(p.Set)) {
+					n++
+				}
+			}
+			post.Uint(n)
+			prevSet := int32(0)
+			for _, p := range list {
+				if !alive(int(p.Set)) {
+					continue
+				}
+				post.Uint(int(p.Set - prevSet)) // sorted by Set, ascending
+				post.Uint(int(p.Elem))
+				prevSet = p.Set
+			}
+		}
+		if err := writeSection(w, secPostings, post.Bytes()); err != nil {
+			return err
+		}
+	}
+
+	return writeSection(w, secEnd, nil)
+}
+
+func writeSection(w io.Writer, tag byte, payload []byte) error {
+	var hdr [5]byte
+	hdr[0] = tag
+	binary.LittleEndian.PutUint32(hdr[1:5], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := w.Write(payload); err != nil {
+		return err
+	}
+	var sum [4]byte
+	binary.LittleEndian.PutUint32(sum[:], crc32.ChecksumIEEE(payload))
+	_, err := w.Write(sum[:])
+	return err
+}
+
+// readSection reads the next section frame, verifying its checksum. The
+// declared length is capped and the payload is read incrementally, so a
+// hostile length field costs a failed read, not an allocation.
+func readSection(r io.Reader) (tag byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, corrupt("truncated section header: %v", err)
+	}
+	n := binary.LittleEndian.Uint32(hdr[1:5])
+	if n > maxSectionSize {
+		return 0, nil, corrupt("section length %d exceeds cap", n)
+	}
+	payload, err = io.ReadAll(io.LimitReader(r, int64(n)))
+	if err != nil {
+		return 0, nil, corrupt("reading section payload: %v", err)
+	}
+	if uint32(len(payload)) != n {
+		return 0, nil, corrupt("truncated section payload (%d of %d bytes)", len(payload), n)
+	}
+	var sum [4]byte
+	if _, err := io.ReadFull(r, sum[:]); err != nil {
+		return 0, nil, corrupt("truncated section checksum: %v", err)
+	}
+	if binary.LittleEndian.Uint32(sum[:]) != crc32.ChecksumIEEE(payload) {
+		return 0, nil, corrupt("section 0x%02x checksum mismatch", hdr[0])
+	}
+	return hdr[0], payload, nil
+}
+
+func expectSection(r io.Reader, want byte) ([]byte, error) {
+	tag, payload, err := readSection(r)
+	if err != nil {
+		return nil, err
+	}
+	if tag != want {
+		return nil, corrupt("expected section 0x%02x, found 0x%02x", want, tag)
+	}
+	return payload, nil
+}
+
+// LoadSnapshot reads a snapshot written by SaveSnapshot. The returned
+// collection owns a fresh dictionary rebuilt from the persisted token
+// table; element keys are re-interned (a dictionary operation, not a
+// tokenization), and no element string is ever re-tokenized.
+func LoadSnapshot(r io.Reader) (*SnapshotData, error) {
+	var hdr [len(snapshotMagic) + 1]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, corrupt("truncated header: %v", err)
+	}
+	if string(hdr[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, corrupt("bad magic %q", hdr[:len(snapshotMagic)])
+	}
+	if v := int(hdr[len(snapshotMagic)]); v != snapshotVersion {
+		if v > snapshotVersion {
+			return nil, &UnsupportedVersionError{Format: "snapshot", Version: v, Supported: snapshotVersion}
+		}
+		return nil, corrupt("unknown snapshot version %d", v)
+	}
+
+	metaPayload, err := expectSection(r, secMeta)
+	if err != nil {
+		return nil, err
+	}
+	meta := binenc.NewReader(metaPayload)
+	mode := TokenMode(meta.Uint())
+	q := meta.Uint()
+	numSets := meta.Uint()
+	numWords := meta.Uint()
+	hasPostings := meta.Byte()
+	if err := meta.Err(); err != nil {
+		return nil, corrupt("meta: %v", err)
+	}
+	if mode != ModeWord && mode != ModeQGram {
+		return nil, corrupt("unknown token mode %d", mode)
+	}
+	if hasPostings > 1 {
+		return nil, corrupt("bad postings flag %d", hasPostings)
+	}
+
+	dictPayload, err := expectSection(r, secDict)
+	if err != nil {
+		return nil, err
+	}
+	dr := binenc.NewReader(dictPayload)
+	if numWords > dr.Remaining() { // each word costs ≥ 1 byte (its length)
+		return nil, corrupt("word count %d exceeds dictionary payload", numWords)
+	}
+	dict := tokens.NewDictionary()
+	for i := 0; i < numWords; i++ {
+		word := dr.String()
+		if err := dr.Err(); err != nil {
+			return nil, corrupt("dictionary: %v", err)
+		}
+		if id := dict.Intern(word); int(id) != i {
+			return nil, corrupt("token table duplicate %q at %d", word, i)
+		}
+	}
+	if dr.Remaining() != 0 {
+		return nil, corrupt("%d trailing dictionary bytes", dr.Remaining())
+	}
+
+	setsPayload, err := expectSection(r, secSets)
+	if err != nil {
+		return nil, err
+	}
+	sr := binenc.NewReader(setsPayload)
+	if numSets > sr.Remaining() { // each slot costs ≥ 1 byte (its flag)
+		return nil, corrupt("set count %d exceeds sets payload", numSets)
+	}
+	c := &Collection{Dict: dict, Mode: mode, Q: q, Sets: make([]Set, numSets)}
+	var dead []bool
+	for i := 0; i < numSets; i++ {
+		switch sr.Byte() {
+		case 0:
+			if dead == nil {
+				dead = make([]bool, numSets)
+			}
+			dead[i] = true
+			continue
+		case 1:
+		default:
+			if err := sr.Err(); err != nil {
+				return nil, corrupt("sets: %v", err)
+			}
+			return nil, corrupt("bad liveness flag for set %d", i)
+		}
+		s := Set{Name: sr.String()}
+		ne := sr.Count(2) // each element costs ≥ 2 bytes (raw len + token count)
+		if err := sr.Err(); err != nil {
+			return nil, corrupt("set %d: %v", i, err)
+		}
+		s.Elements = make([]Element, ne)
+		for j := 0; j < ne; j++ {
+			e := &s.Elements[j]
+			e.Raw = sr.String()
+			nt := sr.Count(1)
+			if err := sr.Err(); err != nil {
+				return nil, corrupt("set %d element %d: %v", i, j, err)
+			}
+			e.Tokens = make([]tokens.ID, nt)
+			id := int32(0)
+			for k := 0; k < nt; k++ {
+				id += int32(sr.Uint())
+				if sr.Err() == nil && (int(id) >= numWords || id < 0) {
+					return nil, corrupt("set %d element %d token id %d out of range", i, j, id)
+				}
+				e.Tokens[k] = tokens.ID(id)
+			}
+			nc := sr.Count(1)
+			if err := sr.Err(); err != nil {
+				return nil, corrupt("set %d element %d: %v", i, j, err)
+			}
+			e.Chunks = make([]tokens.ID, 0, nc)
+			for k := 0; k < nc; k++ {
+				cid := sr.Uint()
+				if sr.Err() == nil && cid >= numWords {
+					return nil, corrupt("set %d element %d chunk id %d out of range", i, j, cid)
+				}
+				e.Chunks = append(e.Chunks, tokens.ID(cid))
+			}
+			if len(e.Chunks) == 0 {
+				e.Chunks = nil
+			}
+			e.Length = sr.Uint()
+			if err := sr.Err(); err != nil {
+				return nil, corrupt("set %d element %d: %v", i, j, err)
+			}
+			// Keys are derived, never persisted: re-intern against the
+			// fresh dictionary (no tokenization happens here).
+			e.Key = internKey(dict, e, mode)
+		}
+		c.Sets[i] = s
+	}
+	if sr.Remaining() != 0 {
+		return nil, corrupt("%d trailing set bytes", sr.Remaining())
+	}
+
+	snap := &SnapshotData{Coll: c, Dead: dead}
+	if hasPostings == 1 {
+		postPayload, err := expectSection(r, secPostings)
+		if err != nil {
+			return nil, err
+		}
+		pr := binenc.NewReader(postPayload)
+		lists := make([][]Posting, numWords)
+		for t := 0; t < numWords; t++ {
+			n := pr.Count(2) // each posting costs ≥ 2 bytes
+			if err := pr.Err(); err != nil {
+				return nil, corrupt("postings for token %d: %v", t, err)
+			}
+			if n == 0 {
+				continue
+			}
+			list := make([]Posting, n)
+			set := int32(0)
+			for k := 0; k < n; k++ {
+				set += int32(pr.Uint())
+				elem := pr.Uint()
+				if err := pr.Err(); err != nil {
+					return nil, corrupt("postings for token %d: %v", t, err)
+				}
+				if int(set) >= numSets || set < 0 {
+					return nil, corrupt("posting set %d out of range for token %d", set, t)
+				}
+				if dead != nil && dead[set] {
+					return nil, corrupt("posting references dead set %d", set)
+				}
+				if elem >= len(c.Sets[set].Elements) {
+					return nil, corrupt("posting element %d out of range for set %d", elem, set)
+				}
+				list[k] = Posting{Set: set, Elem: int32(elem)}
+			}
+			lists[t] = list
+		}
+		if pr.Remaining() != 0 {
+			return nil, corrupt("%d trailing posting bytes", pr.Remaining())
+		}
+		snap.Postings = lists
+	}
+
+	if _, err := expectSection(r, secEnd); err != nil {
+		return nil, err
+	}
+	return snap, nil
+}

@@ -1,0 +1,198 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"silkmoth/internal/tokens"
+)
+
+// buildSnapshotFixture tokenizes a small word collection, tombstones one
+// slot, and assembles a SnapshotData with postings filtered the way the
+// engine's snapshot writer would (dead slots contribute nothing).
+func buildSnapshotFixture() *SnapshotData {
+	dict := tokens.NewDictionary()
+	c := BuildWord(dict, []RawSet{
+		{Name: "A", Elements: []string{"77 Mass Ave", "5th St"}},
+		{Name: "doomed", Elements: []string{"goes away entirely"}},
+		{Name: "B", Elements: []string{"77 5th St Chicago"}},
+	})
+	dead := []bool{false, true, false}
+	// Postings over live sets only, sorted by (Set, Elem) per token id.
+	lists := make([][]Posting, dict.Size())
+	for i := range c.Sets {
+		if dead[i] {
+			continue
+		}
+		for j := range c.Sets[i].Elements {
+			for _, t := range c.Sets[i].Elements[j].Tokens {
+				lists[t] = append(lists[t], Posting{Set: int32(i), Elem: int32(j)})
+			}
+		}
+	}
+	// Mimic the engine: dead slots keep their index reservation but hold
+	// nothing (the saver writes them as placeholders regardless, but the
+	// fixture should match the runtime shape post-compaction too).
+	return &SnapshotData{Coll: c, Dead: dead, Postings: lists}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	snap := buildSnapshotFixture()
+	var buf bytes.Buffer
+	if err := SaveSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, gc := snap.Coll, got.Coll
+	if gc.Mode != c.Mode || gc.Q != c.Q || len(gc.Sets) != len(c.Sets) {
+		t.Fatalf("shape: mode %v q %d sets %d", gc.Mode, gc.Q, len(gc.Sets))
+	}
+	if len(got.Dead) != len(snap.Dead) || !got.Dead[1] || got.Dead[0] || got.Dead[2] {
+		t.Fatalf("dead bitmap %v", got.Dead)
+	}
+	// The dead slot is an empty placeholder: id space intact, content gone.
+	if gc.Sets[1].Name != "" || len(gc.Sets[1].Elements) != 0 {
+		t.Fatalf("dead slot persisted content: %+v", gc.Sets[1])
+	}
+	// Live sets round-trip semantically: same raws, lengths, and — after
+	// the pruned remap — token ids that resolve to the same strings.
+	for _, i := range []int{0, 2} {
+		s, gs := &c.Sets[i], &gc.Sets[i]
+		if gs.Name != s.Name || len(gs.Elements) != len(s.Elements) {
+			t.Fatalf("set %d shape differs", i)
+		}
+		for j := range s.Elements {
+			e, ge := &s.Elements[j], &gs.Elements[j]
+			if ge.Raw != e.Raw || ge.Length != e.Length || len(ge.Tokens) != len(e.Tokens) {
+				t.Fatalf("set %d element %d differs: %+v vs %+v", i, j, ge, e)
+			}
+			for k := range e.Tokens {
+				if gc.Dict.String(ge.Tokens[k]) != c.Dict.String(e.Tokens[k]) {
+					t.Fatalf("set %d element %d token %d renamed", i, j, k)
+				}
+			}
+			// Keys are re-interned, never NoKey for word mode.
+			if ge.Key == NoKey {
+				t.Fatalf("set %d element %d lost its key", i, j)
+			}
+		}
+	}
+	// The token table was pruned to live usage: the dead set's exclusive
+	// words are gone.
+	if _, ok := gc.Dict.Lookup("goes"); ok {
+		t.Fatal("dead set's exclusive token survived pruning")
+	}
+	if _, ok := gc.Dict.Lookup("77"); !ok {
+		t.Fatal("live token lost")
+	}
+	// Postings round-trip: same per-token multiset of (set, elem) pairs,
+	// modulo the token renumbering — compare via token strings.
+	if got.Postings == nil {
+		t.Fatal("postings not persisted")
+	}
+	for old, list := range snap.Postings {
+		if len(list) == 0 {
+			continue
+		}
+		word := c.Dict.String(tokens.ID(old))
+		nid, ok := gc.Dict.Lookup(word)
+		if !ok {
+			t.Fatalf("token %q missing after load", word)
+		}
+		glist := got.Postings[nid]
+		if len(glist) != len(list) {
+			t.Fatalf("token %q list length %d, want %d", word, len(glist), len(list))
+		}
+		for k := range list {
+			if glist[k] != list[k] {
+				t.Fatalf("token %q posting %d = %+v, want %+v", word, k, glist[k], list[k])
+			}
+		}
+	}
+}
+
+func TestSnapshotRoundTripQGramNoPostings(t *testing.T) {
+	dict := tokens.NewDictionary()
+	c := BuildQGram(dict, []RawSet{
+		{Name: "A", Elements: []string{"Database", "Systems"}},
+	}, 3)
+	snap := &SnapshotData{Coll: c}
+	var buf bytes.Buffer
+	if err := SaveSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadSnapshot(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Postings != nil {
+		t.Fatal("postings materialized from a snapshot without them")
+	}
+	gc := got.Coll
+	if gc.Mode != ModeQGram || gc.Q != 3 {
+		t.Fatalf("mode/q = %v/%d", gc.Mode, gc.Q)
+	}
+	for j := range c.Sets[0].Elements {
+		e, ge := &c.Sets[0].Elements[j], &gc.Sets[0].Elements[j]
+		if ge.Raw != e.Raw || ge.Length != e.Length ||
+			len(ge.Tokens) != len(e.Tokens) || len(ge.Chunks) != len(e.Chunks) {
+			t.Fatalf("element %d shape differs", j)
+		}
+		for k := range e.Chunks {
+			if gc.Dict.String(ge.Chunks[k]) != c.Dict.String(e.Chunks[k]) {
+				t.Fatalf("element %d chunk %d renamed", j, k)
+			}
+		}
+	}
+}
+
+// A snapshot from a future format version must be rejected with the typed
+// error, not misparsed.
+func TestSnapshotFutureVersion(t *testing.T) {
+	snap := buildSnapshotFixture()
+	var buf bytes.Buffer
+	if err := SaveSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(snapshotMagic)] = snapshotVersion + 1
+	_, err := LoadSnapshot(bytes.NewReader(data))
+	var uve *UnsupportedVersionError
+	if !errors.As(err, &uve) {
+		t.Fatalf("future version: got %v, want UnsupportedVersionError", err)
+	}
+	if uve.Format != "snapshot" || uve.Version != snapshotVersion+1 || uve.Supported != snapshotVersion {
+		t.Fatalf("error fields %+v", uve)
+	}
+}
+
+// Every single-byte flip of a valid snapshot must fail cleanly (the CRC
+// per section guarantees detection for payload bytes; header corruption
+// fails structurally), never panic, and never load successfully unless the
+// flip is in a checksum byte itself... which still mismatches. A full
+// sweep is the fuzz target's job; this pins a few strategic offsets.
+func TestSnapshotCorruptionDetected(t *testing.T) {
+	snap := buildSnapshotFixture()
+	var buf bytes.Buffer
+	if err := SaveSnapshot(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+	for _, off := range []int{0, 5, len(snapshotMagic) + 1, len(valid) / 2, len(valid) - 1} {
+		data := append([]byte(nil), valid...)
+		data[off] ^= 0xFF
+		if _, err := LoadSnapshot(bytes.NewReader(data)); err == nil {
+			t.Errorf("flip at %d loaded successfully", off)
+		}
+	}
+	// Truncations at every length must also fail cleanly.
+	for cut := 0; cut < len(valid); cut += 7 {
+		if _, err := LoadSnapshot(bytes.NewReader(valid[:cut])); err == nil {
+			t.Errorf("truncation to %d bytes loaded successfully", cut)
+		}
+	}
+}

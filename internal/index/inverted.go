@@ -11,11 +11,9 @@ import (
 )
 
 // Posting locates one element occurrence of a token: element Elem of set Set
-// in the indexed collection.
-type Posting struct {
-	Set  int32
-	Elem int32
-}
+// in the indexed collection. It aliases dataset.Posting — the snapshot wire
+// form — so saved posting lists import and export without copying.
+type Posting = dataset.Posting
 
 // Inverted is an immutable inverted index over a tokenized collection.
 // Posting lists are sorted by (Set, Elem), which Build guarantees by
@@ -55,6 +53,24 @@ func Build(c *dataset.Collection) *Inverted {
 	}
 	return &Inverted{lists: lists, coll: c}
 }
+
+// FromLists wraps imported posting lists (a loaded snapshot's) as an index
+// over c without rebuilding anything. lists is indexed by token id and each
+// list must be sorted by (Set, Elem) — the order SaveSnapshot persists.
+// The index takes ownership of lists, extending it to the dictionary's
+// size.
+func FromLists(c *dataset.Collection, lists [][]Posting) *Inverted {
+	for len(lists) < c.Dict.Size() {
+		lists = append(lists, nil)
+	}
+	return &Inverted{lists: lists, coll: c}
+}
+
+// Lists returns the underlying posting lists indexed by token id, for
+// snapshot writers. The slices are the index's own storage: callers must
+// treat them as read-only and hold the engine's mutation lock while
+// reading.
+func (ix *Inverted) Lists() [][]Posting { return ix.lists }
 
 // Collection returns the collection this index was built over.
 func (ix *Inverted) Collection() *dataset.Collection { return ix.coll }

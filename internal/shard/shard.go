@@ -139,6 +139,46 @@ func New(coll *dataset.Collection, shards int, opts core.Options) (*Engine, erro
 	return e, nil
 }
 
+// NewFromSnapshot is New for a collection loaded from a snapshot, whose
+// dead slots persist as empty placeholders: the global tombstone bitmap is
+// restored and each shard marks its dead locals, so global ids — which WAL
+// records replayed on top of the snapshot reference — keep their meaning.
+// The per-shard indexes are rebuilt from the (already tokenized) shard
+// collections; empty dead slots contribute no postings and no refcounts,
+// so no release/compaction bookkeeping is owed for them.
+func NewFromSnapshot(coll *dataset.Collection, shards int, opts core.Options, dead []bool) (*Engine, error) {
+	e, err := New(coll, shards, opts)
+	if err != nil {
+		return nil, err
+	}
+	n := 0
+	for _, d := range dead {
+		if d {
+			n++
+		}
+	}
+	if n == 0 {
+		return e, nil
+	}
+	e.growDeadLocked()
+	copy(e.dead, dead)
+	e.numDead = n
+	for s := 0; s < shards; s++ {
+		local := make([]bool, len(e.l2g[s]))
+		any := false
+		for li, g := range e.l2g[s] {
+			if g < len(dead) && dead[g] {
+				local[li] = true
+				any = true
+			}
+		}
+		if any {
+			e.engines[s].MarkDeadSlots(local)
+		}
+	}
+	return e, nil
+}
+
 // Shards returns the shard count.
 func (e *Engine) Shards() int { return e.nshards }
 

@@ -1,0 +1,168 @@
+package failfs
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+func readFile(t *testing.T, f *FS, name string) string {
+	t.Helper()
+	rc, err := f.Open(name)
+	if err != nil {
+		t.Fatalf("open %s: %v", name, err)
+	}
+	defer rc.Close()
+	b, err := io.ReadAll(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func exists(f *FS, name string) bool {
+	rc, err := f.Open(name)
+	if err != nil {
+		return false
+	}
+	rc.Close()
+	return true
+}
+
+// Synced content survives any crash; unsynced content survives only as a
+// prefix; pending directory entries survive only as an in-order prefix.
+func TestDurabilityLayers(t *testing.T) {
+	fs := New()
+	f, err := fs.Create("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("synced")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := fs.SyncDir(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("-tail")); err != nil {
+		t.Fatal(err)
+	}
+	// An entry op pending since the directory sync.
+	if _, err := fs.Create("b"); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.Crash()
+	disk := fs.Disk()
+	got := readFile(t, disk, "a")
+	if len(got) < len("synced") || got[:len("synced")] != "synced" {
+		t.Fatalf("synced content lost: %q", got)
+	}
+	if len(got) > len("synced-tail") {
+		t.Fatalf("content grew past what was written: %q", got)
+	}
+	// b may or may not exist (pending create); either is a legal crash
+	// outcome, but if it exists it must be empty (nothing synced into it).
+	if exists(disk, "b") && readFile(t, disk, "b") != "" {
+		t.Fatalf("pending-create file has content: %q", readFile(t, disk, "b"))
+	}
+}
+
+// After the armed crash fires, every operation fails with ErrCrashed.
+func TestCrashIsSticky(t *testing.T) {
+	fs := New()
+	fs.FailAt(1)             // the Write below is op 1
+	f, err := fs.Create("a") // op 0
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("x")); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("armed write = %v, want ErrCrashed", err)
+	}
+	if !fs.Crashed() {
+		t.Fatal("crash did not latch")
+	}
+	if _, err := fs.Create("b"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash create = %v, want ErrCrashed", err)
+	}
+	if err := fs.SyncDir(); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash syncdir = %v, want ErrCrashed", err)
+	}
+	if _, err := fs.Open("a"); !errors.Is(err, ErrCrashed) {
+		t.Fatalf("post-crash open = %v, want ErrCrashed", err)
+	}
+}
+
+// A rename that was directory-synced survives; one still pending may
+// survive or not, but never leaves both names present.
+func TestRenameAtomicity(t *testing.T) {
+	for k := 0; k < 20; k++ {
+		fs := New()
+		f, _ := fs.Create("tmp")
+		f.Write([]byte("img"))
+		f.Sync()
+		fs.SyncDir()
+		fs.FailAt(fs.Ops() + 1) // crash on the SyncDir after the rename
+		if err := fs.Rename("tmp", "final"); err != nil {
+			t.Fatal(err)
+		}
+		fs.SyncDir() // fires the crash
+		disk := fs.Disk()
+		tmpThere, finalThere := exists(disk, "tmp"), exists(disk, "final")
+		if tmpThere == finalThere {
+			t.Fatalf("k=%d: rename must leave exactly one name, got tmp=%v final=%v", k, tmpThere, finalThere)
+		}
+		if finalThere && readFile(t, disk, "final") != "img" {
+			t.Fatalf("k=%d: renamed file content %q", k, readFile(t, disk, "final"))
+		}
+		if tmpThere && readFile(t, disk, "tmp") != "img" {
+			t.Fatalf("k=%d: unrenamed file content %q", k, readFile(t, disk, "tmp"))
+		}
+	}
+}
+
+// Disk() deep-copies: recovery-side writes must not leak back.
+func TestDiskIsolation(t *testing.T) {
+	fs := New()
+	f, _ := fs.Create("a")
+	f.Write([]byte("orig"))
+	f.Sync()
+	fs.SyncDir()
+	d1 := fs.Disk()
+	g, err := d1.OpenAppend("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Write([]byte("-more"))
+	g.Sync()
+	d2 := fs.Disk()
+	if got := readFile(t, d2, "a"); got != "orig" {
+		t.Fatalf("write on one Disk leaked into another: %q", got)
+	}
+}
+
+// The same failAt must produce the same post-crash image (determinism is
+// what makes harness failures reproducible).
+func TestDeterministicCrash(t *testing.T) {
+	run := func() string {
+		fs := New()
+		fs.FailAt(5)
+		f, _ := fs.Create("a")
+		f.Write([]byte("hello world"))
+		f.Sync()
+		fs.SyncDir()
+		f.Write([]byte(" more unsynced bytes")) // op 4
+		f.Sync()                                // op 5: crash, partial sync
+		disk := fs.Disk()
+		return readFile(t, disk, "a")
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("same failAt, different images: %q vs %q", a, b)
+	}
+	if len(a) < len("hello world") {
+		t.Fatalf("synced prefix lost: %q", a)
+	}
+}

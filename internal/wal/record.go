@@ -1,0 +1,173 @@
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"silkmoth/internal/binenc"
+	"silkmoth/internal/dataset"
+)
+
+// Op identifies the public mutation a WAL record replays.
+type Op uint8
+
+const (
+	// OpAdd appends Sets at the next collection indices.
+	OpAdd Op = 1
+	// OpDelete tombstones set ID.
+	OpDelete Op = 2
+	// OpUpdate appends Sets[0] at the next index and tombstones set ID.
+	OpUpdate Op = 3
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpAdd:
+		return "add"
+	case OpDelete:
+		return "delete"
+	case OpUpdate:
+		return "update"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Record is one logged mutation. Replaying records in log order over the
+// snapshot they follow reproduces the engine's id assignment exactly:
+// Add and Update always append at len(collection), so the ids a replay
+// allocates equal the ids the original process allocated.
+type Record struct {
+	Op Op
+	// ID is the target slot of OpDelete and OpUpdate.
+	ID int
+	// Sets are the raw sets of OpAdd (the whole batch) or OpUpdate (one).
+	Sets []dataset.RawSet
+}
+
+// Record framing: a fixed header of payload length and payload CRC32
+// (IEEE), both little-endian uint32, followed by the payload. A record is
+// valid only when the full payload is present and its checksum matches;
+// anything else is a torn tail and replay stops in front of it.
+const recordHeaderSize = 8
+
+// maxRecordPayload caps the declared payload length a decoder will accept.
+// It exists to bound corruption damage, not capacity: a flipped bit in the
+// length field must not turn into a multi-gigabyte read.
+const maxRecordPayload = 1 << 30
+
+// ErrTorn reports an incomplete or checksum-failing record at the end of a
+// log — the expected shape after a crash mid-append.
+var ErrTorn = errors.New("wal: torn record")
+
+// AppendRecord appends rec's encoded frame to buf and returns the result.
+func AppendRecord(buf []byte, rec *Record) []byte {
+	var w binenc.Writer
+	w.Byte(byte(rec.Op))
+	switch rec.Op {
+	case OpAdd:
+		w.Uint(len(rec.Sets))
+		for i := range rec.Sets {
+			appendRawSet(&w, &rec.Sets[i])
+		}
+	case OpDelete:
+		w.Uint(rec.ID)
+	case OpUpdate:
+		w.Uint(rec.ID)
+		appendRawSet(&w, &rec.Sets[0])
+	}
+	payload := w.Bytes()
+	var hdr [recordHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc32.ChecksumIEEE(payload))
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+func appendRawSet(w *binenc.Writer, rs *dataset.RawSet) {
+	w.String(rs.Name)
+	w.Uint(len(rs.Elements))
+	for _, e := range rs.Elements {
+		w.String(e)
+	}
+}
+
+// DecodeRecord decodes the first record frame in buf, returning the record
+// and the number of bytes consumed. A header declaring more bytes than buf
+// holds, an over-cap length, or a checksum mismatch all return ErrTorn —
+// the caller treats buf's remainder as the log's torn tail. A present,
+// checksummed payload that fails structural decoding returns a non-torn
+// error: that is corruption in the middle of synced data, not a tail.
+func DecodeRecord(buf []byte) (Record, int, error) {
+	if len(buf) < recordHeaderSize {
+		return Record{}, 0, ErrTorn
+	}
+	n := binary.LittleEndian.Uint32(buf[0:4])
+	sum := binary.LittleEndian.Uint32(buf[4:8])
+	if n > maxRecordPayload || int(n) > len(buf)-recordHeaderSize {
+		return Record{}, 0, ErrTorn
+	}
+	payload := buf[recordHeaderSize : recordHeaderSize+int(n)]
+	if crc32.ChecksumIEEE(payload) != sum {
+		return Record{}, 0, ErrTorn
+	}
+	rec, err := decodePayload(payload)
+	if err != nil {
+		return Record{}, 0, err
+	}
+	return rec, recordHeaderSize + int(n), nil
+}
+
+func decodePayload(payload []byte) (Record, error) {
+	r := binenc.NewReader(payload)
+	rec := Record{Op: Op(r.Byte())}
+	switch rec.Op {
+	case OpAdd:
+		n := r.Count(2) // each raw set costs ≥ 2 bytes (name len + count)
+		if r.Err() != nil {
+			break
+		}
+		rec.Sets = make([]dataset.RawSet, 0, n)
+		for i := 0; i < n; i++ {
+			rs, ok := decodeRawSet(r)
+			if !ok {
+				break
+			}
+			rec.Sets = append(rec.Sets, rs)
+		}
+	case OpDelete:
+		rec.ID = r.Uint()
+	case OpUpdate:
+		rec.ID = r.Uint()
+		if rs, ok := decodeRawSet(r); ok {
+			rec.Sets = []dataset.RawSet{rs}
+		}
+	default:
+		return Record{}, fmt.Errorf("wal: unknown record op %d", rec.Op)
+	}
+	if err := r.Err(); err != nil {
+		return Record{}, fmt.Errorf("wal: decoding %s record: %w", rec.Op, err)
+	}
+	if r.Remaining() != 0 {
+		return Record{}, fmt.Errorf("wal: %d trailing bytes after %s record", r.Remaining(), rec.Op)
+	}
+	return rec, nil
+}
+
+func decodeRawSet(r *binenc.Reader) (dataset.RawSet, bool) {
+	rs := dataset.RawSet{Name: r.String()}
+	n := r.Count(1)
+	if r.Err() != nil {
+		return rs, false
+	}
+	rs.Elements = make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		rs.Elements = append(rs.Elements, r.String())
+		if r.Err() != nil {
+			return rs, false
+		}
+	}
+	return rs, true
+}

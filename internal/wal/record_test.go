@@ -1,0 +1,94 @@
+package wal
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+
+	"silkmoth/internal/dataset"
+)
+
+func testRecords() []Record {
+	return []Record{
+		{Op: OpAdd, Sets: []dataset.RawSet{
+			{Name: "a", Elements: []string{"x y", "z"}},
+			{Name: "", Elements: []string{""}},
+		}},
+		{Op: OpAdd, Sets: nil},
+		{Op: OpDelete, ID: 0},
+		{Op: OpDelete, ID: 1 << 20},
+		{Op: OpUpdate, ID: 7, Sets: []dataset.RawSet{{Name: "n", Elements: []string{"e1", "e2"}}}},
+	}
+}
+
+func TestRecordRoundTrip(t *testing.T) {
+	var buf []byte
+	recs := testRecords()
+	for i := range recs {
+		buf = AppendRecord(buf, &recs[i])
+	}
+	off := 0
+	for i := range recs {
+		got, n, err := DecodeRecord(buf[off:])
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		want := recs[i]
+		// Encoding does not distinguish nil from empty slices.
+		if len(want.Sets) == 0 {
+			want.Sets = nil
+		}
+		if len(got.Sets) == 0 {
+			got.Sets = nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("record %d: got %+v, want %+v", i, got, want)
+		}
+		off += n
+	}
+	if off != len(buf) {
+		t.Fatalf("consumed %d of %d bytes", off, len(buf))
+	}
+}
+
+// Every strict prefix of a valid frame must decode as a torn tail, not an
+// error and not a record — that is the contract replay's stop condition
+// relies on after a crash mid-append.
+func TestRecordTornPrefixes(t *testing.T) {
+	rec := Record{Op: OpAdd, Sets: []dataset.RawSet{{Name: "abc", Elements: []string{"d", "e"}}}}
+	frame := AppendRecord(nil, &rec)
+	for cut := 0; cut < len(frame); cut++ {
+		if _, _, err := DecodeRecord(frame[:cut]); !errors.Is(err, ErrTorn) {
+			t.Fatalf("prefix of %d/%d bytes: got %v, want ErrTorn", cut, len(frame), err)
+		}
+	}
+}
+
+// A complete frame whose payload byte was flipped fails the checksum and is
+// torn; flipping a payload byte while fixing the checksum is structural
+// corruption and must be a hard (non-torn) error when it breaks decoding.
+func TestRecordCorruption(t *testing.T) {
+	rec := Record{Op: OpDelete, ID: 42}
+	frame := AppendRecord(nil, &rec)
+	flipped := append([]byte(nil), frame...)
+	flipped[len(flipped)-1] ^= 0xFF
+	if _, _, err := DecodeRecord(flipped); !errors.Is(err, ErrTorn) {
+		t.Fatalf("checksum mismatch: got %v, want ErrTorn", err)
+	}
+
+	// Unknown op with a valid checksum: mid-log corruption, hard error.
+	bad := AppendRecord(nil, &Record{Op: Op(99), ID: 1})
+	if _, _, err := DecodeRecord(bad); err == nil || errors.Is(err, ErrTorn) {
+		t.Fatalf("unknown op: got %v, want non-torn error", err)
+	}
+}
+
+// A frame declaring a huge payload length must be treated as torn without
+// attempting to allocate or read it.
+func TestRecordLengthCap(t *testing.T) {
+	frame := make([]byte, recordHeaderSize)
+	frame[0], frame[1], frame[2], frame[3] = 0xFF, 0xFF, 0xFF, 0x7F
+	if _, _, err := DecodeRecord(frame); !errors.Is(err, ErrTorn) {
+		t.Fatalf("over-cap length: got %v, want ErrTorn", err)
+	}
+}

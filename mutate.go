@@ -3,8 +3,8 @@ package silkmoth
 import (
 	"errors"
 
-	"silkmoth/internal/core"
 	"silkmoth/internal/dataset"
+	"silkmoth/internal/wal"
 )
 
 // ErrNotFound reports a Delete or Update aimed at a set id that is out of
@@ -21,19 +21,19 @@ var ErrNotFound = errors.New("silkmoth: no such set")
 // Compact call). Delete is safe to call concurrently with queries: it
 // takes the engine's write lock, so in-flight queries complete first and
 // later ones see the shrunken collection.
+// On a durable engine (Config.DataDir) the deletion is logged to the WAL
+// and fsync'd before the tombstone is applied. The liveness check runs
+// first, so failed deletes are never logged.
 func (e *Engine) Delete(id int) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	var err error
-	if e.sh != nil {
-		err = e.sh.Delete(id)
-	} else {
-		err = e.eng.Delete(id)
-	}
-	if errors.Is(err, core.ErrNotFound) {
+	if !e.liveLocked(id) {
 		return ErrNotFound
 	}
-	return err
+	if err := e.appendWAL(&wal.Record{Op: wal.OpDelete, ID: id}); err != nil {
+		return err
+	}
+	return e.applyDelete(id)
 }
 
 // Update replaces the set with the given id by a new version in one atomic
@@ -41,26 +41,20 @@ func (e *Engine) Delete(id int) error {
 // old id is tombstoned, all under the engine's write lock, so no query ever
 // observes both versions or neither. The old id becomes permanently
 // invalid; storage follows Delete's lazy-compaction lifecycle.
+// On a durable engine (Config.DataDir) the replacement is logged to the
+// WAL and fsync'd before it is applied, after the liveness check, so only
+// updates that will succeed are logged.
 func (e *Engine) Update(id int, set Set) (int, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	raw := dataset.RawSet{Name: set.Name, Elements: set.Elements}
-	if e.sh != nil {
-		newID, err := e.sh.Update(id, raw)
-		if errors.Is(err, core.ErrNotFound) {
-			return 0, ErrNotFound
-		}
-		return newID, err
-	}
-	if !e.eng.Alive(id) {
+	if !e.liveLocked(id) {
 		return 0, ErrNotFound
 	}
-	newID := dataset.Append(e.coll, []dataset.RawSet{raw})
-	e.eng.AppendSets(newID)
-	if err := e.eng.Delete(id); err != nil {
-		return 0, err // unreachable: aliveness was just checked
+	if err := e.appendWAL(&wal.Record{Op: wal.OpUpdate, ID: id, Sets: []dataset.RawSet{raw}}); err != nil {
+		return 0, err
 	}
-	return newID, nil
+	return e.applyUpdate(id, raw)
 }
 
 // Compact forces an immediate compaction regardless of the configured

@@ -293,6 +293,17 @@ type Config struct {
 	// with an explain capture are always timed regardless. Timing is
 	// allocation-free either way.
 	StageSample int
+	// DataDir enables durability: a directory holding a binary snapshot
+	// of the engine (collection, dictionary, postings) plus a write-ahead
+	// log of every Add/Delete/Update appended and fsync'd before the
+	// mutation is acknowledged. NewEngine with a DataDir that already
+	// holds state recovers from it — latest snapshot loaded with zero
+	// re-tokenization, log replayed over it (tolerating a torn tail from
+	// a crash mid-append) — and ignores its sets argument; an empty
+	// DataDir bootstraps from sets and writes the initial snapshot.
+	// Engine.Snapshot() rotates the pair; Engine.Close() releases the log
+	// handle. Empty disables durability (a heap-only engine).
+	DataDir string
 	// CompactionThreshold controls when Delete and Update trigger
 	// automatic compaction: once the fraction of tombstoned sets still
 	// occupying the inverted index reaches it, posting lists are rebuilt
@@ -431,4 +442,20 @@ type Stats struct {
 	// Compactions counts compaction passes run (per shard on a sharded
 	// engine).
 	Compactions int64
+	// Snapshots counts durable snapshots written since the engine opened
+	// (including the bootstrap snapshot). Zero on a heap-only engine.
+	Snapshots int64
+	// WALRecords counts mutation records this engine appended (and
+	// fsync'd) to its write-ahead log. Zero on a heap-only engine.
+	WALRecords int64
+	// WALReplayed is the number of log records replayed during startup
+	// recovery.
+	WALReplayed int
+	// RecoveredSnapshot reports that the engine's state was loaded from a
+	// durable snapshot at startup rather than built from scratch.
+	RecoveredSnapshot bool
+	// WALTornTail reports that startup replay stopped at an incomplete or
+	// checksum-failing final record — the expected shape after a crash
+	// mid-append; the torn tail was truncated away.
+	WALTornTail bool
 }
