@@ -42,10 +42,14 @@ func allocCorpus(n int) []Set {
 // constant for a fixed query. If a budget trips, a per-candidate or
 // per-pair allocation crept back into the pipeline; find it with
 // `go test -bench BenchmarkPipeline -benchmem ./internal/core`.
+// The single-query budgets dropped from 100/110 to low double digits when
+// query tokenization moved onto pooled scratch (dataset.QueryScratch): a
+// serial Search steady-states at 6 objects, so the budget is the measured
+// cost plus headroom for runtime noise, not a round hundred.
 const (
-	searchAllocBudget   = 100
-	topKAllocBudget     = 110
-	discoverAllocBudget = 800 // whole self-join (300 passes), not one query
+	searchAllocBudget   = 12
+	topKAllocBudget     = 16
+	discoverAllocBudget = 400 // whole self-join (300 passes), not one query
 )
 
 func measureAllocs(t *testing.T, name string, budget float64, f func()) {
@@ -83,8 +87,8 @@ func TestQueryAllocationBudgets(t *testing.T) {
 		// and result rewrite per shard), and discovery pays it per pass.
 		extra, discoverExtra := 0.0, 0.0
 		if shards > 1 {
-			extra = 60
-			discoverExtra = 1400
+			extra = 30
+			discoverExtra = 800
 		}
 		t.Run(fmt.Sprintf("shards=%d", shards), func(t *testing.T) {
 			measureAllocs(t, "Search", searchAllocBudget+extra, func() {

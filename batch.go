@@ -131,7 +131,8 @@ func (e *Engine) SearchBatchQueriesContext(ctx context.Context, queries []BatchQ
 // the returned core matches, whose indices are only meaningful against
 // the collection they were computed on.
 func (e *Engine) searchBatchCore(ctx context.Context, refs []Set, qs []*core.Query) ([][]core.Match, error) {
-	qc := e.tokenizeQuery(refs)
+	qc, release := e.tokenizeQuery(refs)
+	defer release()
 	if e.sh != nil {
 		rs := make([]*dataset.Set, len(qc.Sets))
 		for i := range qc.Sets {

@@ -3,7 +3,7 @@ package silkmoth
 import (
 	"context"
 	"errors"
-	"sort"
+	"slices"
 	"sync"
 	"time"
 
@@ -121,14 +121,27 @@ func toRaw(sets []Set) []dataset.RawSet {
 	return raws
 }
 
+// queryScratchPool recycles per-query tokenization buffers across all
+// engines in the process: scratches carry no per-engine state (the
+// dictionary is passed per call), and one pool keeps steady-state query
+// traffic allocation-free regardless of how many engines share it.
+var queryScratchPool = sync.Pool{New: func() any { return new(dataset.QueryScratch) }}
+
 // tokenizeQuery tokenizes query sets against the engine's dictionary. The
 // dictionary synchronizes its own interning; callers must hold at least the
 // engine's read lock (against concurrent Add — and against compaction's
 // key reclamation, which the lock orders before or after the whole query).
-// Element keys are looked up, never interned (dataset.BuildQuery), so query
-// traffic cannot grow the key table.
-func (e *Engine) tokenizeQuery(sets []Set) *dataset.Collection {
-	return dataset.BuildQuery(e.coll.Dict, toRaw(sets), e.coll.Mode, e.coll.Q)
+// Element keys are looked up, never interned (dataset.QueryScratch follows
+// BuildQuery's contract), so query traffic cannot grow the key table.
+//
+// The returned collection is built on pooled scratch buffers; the caller
+// must call release once nothing references it anymore — after the core
+// matches are converted to public results, which alias nothing of the
+// query.
+func (e *Engine) tokenizeQuery(sets []Set) (qc *dataset.Collection, release func()) {
+	qs := queryScratchPool.Get().(*dataset.QueryScratch)
+	qc = qs.Build(e.coll.Dict, toRaw(sets), e.coll.Mode, e.coll.Q)
+	return qc, func() { queryScratchPool.Put(qs) }
 }
 
 // Search returns every set in the engine's collection related to ref,
@@ -181,7 +194,8 @@ func (e *Engine) searchResult(ctx context.Context, ref Set, opts []QueryOption, 
 
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	qc := e.tokenizeQuery([]Set{ref})
+	qc, release := e.tokenizeQuery([]Set{ref})
+	defer release()
 	r := &qc.Sets[0]
 	var ms []core.Match
 	switch {
@@ -240,11 +254,14 @@ func (e *Engine) toMatches(ms []core.Match) []Match {
 // sortMatches orders public matches canonically: descending relatedness,
 // ties by ascending index.
 func sortMatches(ms []Match) {
-	sort.Slice(ms, func(i, j int) bool {
-		if ms[i].Relatedness != ms[j].Relatedness {
-			return ms[i].Relatedness > ms[j].Relatedness
+	slices.SortFunc(ms, func(a, b Match) int {
+		if a.Relatedness != b.Relatedness {
+			if a.Relatedness > b.Relatedness {
+				return -1
+			}
+			return 1
 		}
-		return ms[i].Index < ms[j].Index
+		return a.Index - b.Index
 	})
 }
 
@@ -315,7 +332,8 @@ func (e *Engine) DiscoverAgainst(refs []Set, opts ...QueryOption) ([]Pair, error
 func (e *Engine) DiscoverAgainstContext(ctx context.Context, refs []Set, opts ...QueryOption) ([]Pair, error) {
 	e.mu.RLock()
 	defer e.mu.RUnlock()
-	qc := e.tokenizeQuery(refs)
+	qc, release := e.tokenizeQuery(refs)
+	defer release()
 	return e.discoverLocked(ctx, qc, opts)
 }
 
@@ -334,11 +352,11 @@ func (e *Engine) toPairs(ps []core.Pair, refs *dataset.Collection) []Pair {
 			MatchingScore: p.Score,
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].R != out[j].R {
-			return out[i].R < out[j].R
+	slices.SortFunc(out, func(a, b Pair) int {
+		if a.R != b.R {
+			return a.R - b.R
 		}
-		return out[i].S < out[j].S
+		return a.S - b.S
 	})
 	return out
 }

@@ -4,7 +4,7 @@ import (
 	"context"
 	"errors"
 	"io"
-	"sort"
+	"slices"
 	"time"
 
 	"silkmoth/internal/core"
@@ -124,7 +124,7 @@ func newHeapEngineFromSaved(r io.Reader, cfg Config) (*Engine, error) {
 // for callers that want stable positional output instead of the default
 // relatedness ordering.
 func SortMatchesByIndex(ms []Match) {
-	sort.Slice(ms, func(i, j int) bool { return ms[i].Index < ms[j].Index })
+	slices.SortFunc(ms, func(a, b Match) int { return a.Index - b.Index })
 }
 
 // Compare computes the relatedness of two sets directly — the maximum
@@ -179,7 +179,8 @@ func Compare(r, s Set, cfg Config, opts ...QueryOption) (float64, error) {
 // matchScore computes |r ∩̃ S0| between a query set and the engine's only
 // collection set, returning the score and both sizes.
 func (e *Engine) matchScore(r Set) (score float64, nR, nS int) {
-	qc := e.tokenizeQuery([]Set{r})
+	qc, release := e.tokenizeQuery([]Set{r})
+	defer release()
 	rs := &qc.Sets[0]
 	ss := &e.coll.Sets[0]
 	return e.eng.MatchScore(rs, ss), len(rs.Elements), len(ss.Elements)

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"sort"
+	"slices"
 
 	"silkmoth/internal/dataset"
 )
@@ -16,11 +16,14 @@ func (e *Engine) SearchTopK(r *dataset.Set, k int) []Match {
 		return nil
 	}
 	ms := e.Search(r)
-	sort.Slice(ms, func(i, j int) bool {
-		if ms[i].Relatedness != ms[j].Relatedness {
-			return ms[i].Relatedness > ms[j].Relatedness
+	slices.SortFunc(ms, func(a, b Match) int {
+		if a.Relatedness != b.Relatedness {
+			if a.Relatedness > b.Relatedness {
+				return -1
+			}
+			return 1
 		}
-		return ms[i].Set < ms[j].Set
+		return a.Set - b.Set
 	})
 	if len(ms) > k {
 		ms = ms[:k]

@@ -74,6 +74,28 @@ func internKey(dict *tokens.Dictionary, e *Element, mode TokenMode) tokens.ID {
 	return dict.Keys().Intern(k)
 }
 
+// internKeyBuf is internKey staged through a caller-owned scratch buffer:
+// the word-mode key bytes are built in buf (returned for reuse) and
+// interned via InternBytes, so a loader re-deriving keys for a whole
+// collection pays one string materialization per element instead of a
+// buffer plus a string.
+func internKeyBuf(dict *tokens.Dictionary, e *Element, mode TokenMode, buf []byte) (tokens.ID, []byte) {
+	if mode == ModeQGram {
+		if e.Raw == "" {
+			return NoKey, buf
+		}
+		return dict.Keys().Intern(e.Raw), buf
+	}
+	if len(e.Tokens) == 0 {
+		return NoKey, buf
+	}
+	buf = buf[:0]
+	for _, id := range e.Tokens {
+		buf = append(buf, byte(id), byte(id>>8), byte(id>>16), byte(id>>24))
+	}
+	return dict.Keys().InternBytes(buf), buf
+}
+
 // lookupKey resolves e's content key without interning: a query element
 // whose key is not already in the dictionary cannot be identical to any
 // indexed element, so NoKey (never reduced, similarity computed exactly) is

@@ -24,10 +24,14 @@ type persistedSet struct {
 	Elements []persistedElement
 }
 
+// persistedElement's id slices are typed []tokens.ID (an int32) rather
+// than []int32: gob matches types structurally, so the wire format is
+// unchanged, and the decoder hands back slices the Element can adopt
+// as-is instead of copying every element's ids on load.
 type persistedElement struct {
 	Raw    string
-	Tokens []int32
-	Chunks []int32
+	Tokens []tokens.ID
+	Chunks []tokens.ID
 	Length int
 }
 
@@ -86,8 +90,8 @@ func LoadCollection(r io.Reader) (*Collection, error) {
 		for j, pe := range ps.Elements {
 			s.Elements[j] = Element{
 				Raw:    pe.Raw,
-				Tokens: intsToIDs(pe.Tokens),
-				Chunks: intsToIDs(pe.Chunks),
+				Tokens: pe.Tokens,
+				Chunks: pe.Chunks,
 				Length: pe.Length,
 			}
 			for _, id := range s.Elements[j].Tokens {
@@ -178,24 +182,13 @@ func saveCollection(w io.Writer, c *Collection, alive func(i int) bool) error {
 	return gob.NewEncoder(w).Encode(&p)
 }
 
-func remapInts(ids []tokens.ID, remap []int32) []int32 {
+func remapInts(ids []tokens.ID, remap []int32) []tokens.ID {
 	if ids == nil {
 		return nil
 	}
-	out := make([]int32, len(ids))
+	out := make([]tokens.ID, len(ids))
 	for i, id := range ids {
-		out[i] = remap[id]
-	}
-	return out
-}
-
-func intsToIDs(ints []int32) []tokens.ID {
-	if ints == nil {
-		return nil
-	}
-	out := make([]tokens.ID, len(ints))
-	for i, v := range ints {
-		out[i] = tokens.ID(v)
+		out[i] = tokens.ID(remap[id])
 	}
 	return out
 }

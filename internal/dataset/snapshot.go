@@ -339,6 +339,7 @@ func LoadSnapshot(r io.Reader) (*SnapshotData, error) {
 	}
 	c := &Collection{Dict: dict, Mode: mode, Q: q, Sets: make([]Set, numSets)}
 	var dead []bool
+	var keyBuf []byte
 	for i := 0; i < numSets; i++ {
 		switch sr.Byte() {
 		case 0:
@@ -397,7 +398,7 @@ func LoadSnapshot(r io.Reader) (*SnapshotData, error) {
 			}
 			// Keys are derived, never persisted: re-intern against the
 			// fresh dictionary (no tokenization happens here).
-			e.Key = internKey(dict, e, mode)
+			e.Key, keyBuf = internKeyBuf(dict, e, mode, keyBuf)
 		}
 		c.Sets[i] = s
 	}

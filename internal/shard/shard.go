@@ -17,6 +17,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -433,21 +434,24 @@ func (e *Engine) compactLocked() {
 // ascending (global) set index. This is the order the public API promises
 // and the order per-shard streams feed the top-k merge in.
 func sortMatches(ms []core.Match) {
-	sort.Slice(ms, func(i, j int) bool {
-		if ms[i].Relatedness != ms[j].Relatedness {
-			return ms[i].Relatedness > ms[j].Relatedness
+	slices.SortFunc(ms, func(a, b core.Match) int {
+		if a.Relatedness != b.Relatedness {
+			if a.Relatedness > b.Relatedness {
+				return -1
+			}
+			return 1
 		}
-		return ms[i].Set < ms[j].Set
+		return a.Set - b.Set
 	})
 }
 
 // sortPairs orders pairs by (R, S).
 func sortPairs(ps []core.Pair) {
-	sort.Slice(ps, func(i, j int) bool {
-		if ps[i].R != ps[j].R {
-			return ps[i].R < ps[j].R
+	slices.SortFunc(ps, func(a, b core.Pair) int {
+		if a.R != b.R {
+			return a.R - b.R
 		}
-		return ps[i].S < ps[j].S
+		return a.S - b.S
 	})
 }
 

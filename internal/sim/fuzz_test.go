@@ -4,7 +4,115 @@ import (
 	"math"
 	"testing"
 	"unicode/utf8"
+
+	"silkmoth/internal/tokens"
 )
+
+// FuzzLevenshteinBoundedMatchesUnbounded pins the exact contract of the
+// bounded kernel for every d ≥ 0 on arbitrary Unicode (and invalid UTF-8)
+// inputs:
+//
+//	LevenshteinBounded(a, b, d) == min(Levenshtein(a, b), d+1)
+//
+// — not merely "exceeded implies > d". The same contract is enforced on the
+// retained scalar reference, so a divergence in either kernel's band-edge
+// maintenance or early abandonment fails loudly. Negative d is pinned to
+// the documented always-exceeded convention (returns d+1 ≤ 0).
+func FuzzLevenshteinBoundedMatchesUnbounded(f *testing.F) {
+	f.Add("kitten", "sitting", 3)
+	f.Add("", "abc", 0)
+	f.Add("héllo", "hello", 1)
+	f.Add("aaaa", "aaab", 10)
+	f.Add("日本語データベース", "日本語テープ", 2)
+	f.Add("\x00\x1f", "\x1f\x00", 2)
+	f.Add("abcabc", "abcabc", -1)
+	f.Fuzz(func(t *testing.T, a, b string, d int) {
+		if len(a) > 96 {
+			a = a[:96]
+		}
+		if len(b) > 96 {
+			b = b[:96]
+		}
+		// The contract's interesting range is d ∈ [-2, max(len)+2]; larger
+		// bounds never bind and smaller ones are clamped in.
+		limit := len(a) + 2
+		if len(b)+2 > limit {
+			limit = len(b) + 2
+		}
+		if d > limit || d < -2 {
+			d = ((d%limit)+limit)%limit - 2
+		}
+		if d < 0 {
+			for _, got := range []int{LevenshteinBounded(a, b, d), LevenshteinBoundedRef(a, b, d)} {
+				if got != d+1 {
+					t.Fatalf("LevenshteinBounded(%q,%q,%d) = %d, want always-exceeded %d", a, b, d, got, d+1)
+				}
+			}
+			return
+		}
+		exact := LevenshteinRef(a, b)
+		want := exact
+		if d+1 < want {
+			want = d + 1
+		}
+		if got := LevenshteinBounded(a, b, d); got != want {
+			t.Fatalf("LevenshteinBounded(%q,%q,%d) = %d, want min(exact=%d, d+1)=%d", a, b, d, got, exact, want)
+		}
+		if got := LevenshteinBoundedRef(a, b, d); got != want {
+			t.Fatalf("LevenshteinBoundedRef(%q,%q,%d) = %d, want min(exact=%d, d+1)=%d", a, b, d, got, exact, want)
+		}
+	})
+}
+
+// FuzzLevenshteinMatchesRef pins the bit-parallel unbounded kernel (both
+// the single-word and the blocked multi-word path — inputs exceed 64 runes)
+// to the scalar reference dynamic program.
+func FuzzLevenshteinMatchesRef(f *testing.F) {
+	f.Add("kitten", "sitting")
+	f.Add("", "")
+	f.Add("日本語", "日本")
+	f.Add("aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa",
+		"aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaab")
+	f.Fuzz(func(t *testing.T, a, b string) {
+		if len(a) > 160 {
+			a = a[:160]
+		}
+		if len(b) > 160 {
+			b = b[:160]
+		}
+		if got, want := Levenshtein(a, b), LevenshteinRef(a, b); got != want {
+			t.Fatalf("Levenshtein(%q,%q) = %d, ref = %d", a, b, got, want)
+		}
+	})
+}
+
+// FuzzIntersectSizeSorted pins the adaptive intersection (galloping and
+// block-merge kernels, both cutover sides) to the linear-merge reference on
+// arbitrary sorted deduplicated inputs.
+func FuzzIntersectSizeSorted(f *testing.F) {
+	f.Add([]byte{1, 2, 3}, []byte{2, 3, 4})
+	f.Add([]byte{}, []byte{9})
+	f.Add([]byte{7}, []byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16})
+	f.Fuzz(func(t *testing.T, ra, rb []byte) {
+		a := make([]tokens.ID, len(ra))
+		for i, v := range ra {
+			a[i] = tokens.ID(v)
+		}
+		b := make([]tokens.ID, len(rb))
+		for i, v := range rb {
+			b[i] = tokens.ID(v)
+		}
+		a = tokens.SortUnique(a)
+		b = tokens.SortUnique(b)
+		want := IntersectSizeSortedRef(a, b)
+		if got := IntersectSizeSorted(a, b); got != want {
+			t.Fatalf("IntersectSizeSorted(%v,%v) = %d, ref = %d", a, b, got, want)
+		}
+		if got := IntersectSizeSorted(b, a); got != want {
+			t.Fatalf("IntersectSizeSorted(%v,%v) = %d, ref = %d (swapped)", b, a, got, want)
+		}
+	})
+}
 
 // FuzzLevenshteinBounded cross-checks the banded edit distance against the
 // plain dynamic program on arbitrary inputs, including invalid UTF-8 and

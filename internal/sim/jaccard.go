@@ -1,13 +1,32 @@
 // Package sim implements the element-level similarity functions SilkMoth
-// supports (paper §2.1): token-based Jaccard similarity and the two
-// character-based edit similarities Eds and NEds, plus the similarity
-// threshold wrapper φ_α.
+// supports (paper §2.1): token-based Jaccard, Dice, and cosine similarity
+// and the two character-based edit similarities Eds and NEds, plus the
+// similarity threshold wrapper φ_α.
+//
+// # Empty-input convention
+//
+// Every metric in this package agrees on one convention for empty inputs:
+// a comparison in which either side is empty — an empty token slice, an
+// empty string — has similarity 0, including empty vs empty. An empty
+// element matches nothing, not everything; two empty elements are not
+// evidence of relatedness. TestEmptyInputConvention pins the full metric
+// table to this rule.
+//
+// # Kernels
+//
+// The hot verification kernels are bit-parallel and branch-reduced:
+// Levenshtein and LevenshteinBounded run Myers' algorithm (one word-op
+// column advance per text rune for ≤64-rune strings, blocked beyond), and
+// IntersectSizeSorted picks galloping or block-skipped merge by size ratio.
+// The scalar implementations they replaced are retained as *Ref functions
+// and pinned bit-identical by differential fuzz targets and property tests.
 package sim
 
 import "silkmoth/internal/tokens"
 
 // JaccardSorted returns |a∩b| / |a∪b| for two sorted, duplicate-free token
-// id slices. Two empty slices have similarity 0 (there is nothing to match).
+// id slices. An empty side — including both sides empty — has similarity 0
+// (the package-wide empty-input convention).
 func JaccardSorted(a, b []tokens.ID) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
@@ -15,26 +34,6 @@ func JaccardSorted(a, b []tokens.ID) float64 {
 	inter := IntersectSizeSorted(a, b)
 	union := len(a) + len(b) - inter
 	return float64(inter) / float64(union)
-}
-
-// IntersectSizeSorted returns |a∩b| for two sorted, duplicate-free token id
-// slices using a linear merge.
-func IntersectSizeSorted(a, b []tokens.ID) int {
-	n := 0
-	i, j := 0, 0
-	for i < len(a) && j < len(b) {
-		switch {
-		case a[i] < b[j]:
-			i++
-		case a[i] > b[j]:
-			j++
-		default:
-			n++
-			i++
-			j++
-		}
-	}
-	return n
 }
 
 // Alpha applies the similarity threshold α to a raw similarity score,

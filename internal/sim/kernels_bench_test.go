@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+
+	"silkmoth/internal/tokens"
+)
+
+// Kernel-vs-reference benchmarks: each pair runs the bit-parallel (or
+// adaptive) kernel and the retained scalar reference on identical inputs,
+// so the speedup the kernels claim is measurable in one -bench run.
+
+var sinkInt int
+
+func BenchmarkLevenshteinRef(b *testing.B) {
+	ss := benchStrings(64, 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkInt = LevenshteinRef(ss[i%len(ss)], ss[(i+7)%len(ss)])
+	}
+}
+
+func BenchmarkLevenshteinBoundedRef(b *testing.B) {
+	ss := benchStrings(64, 24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkInt = LevenshteinBoundedRef(ss[i%len(ss)], ss[(i+7)%len(ss)], 5)
+	}
+}
+
+// The ≥64-rune pairs exercise the blocked multi-word kernel — patterns no
+// longer fit one machine word, so every column advance chains carries
+// across blocks.
+func BenchmarkLevenshteinLong(b *testing.B) {
+	ss := benchStrings(16, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkInt = Levenshtein(ss[i%len(ss)], ss[(i+5)%len(ss)])
+	}
+}
+
+func BenchmarkLevenshteinLongRef(b *testing.B) {
+	ss := benchStrings(16, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkInt = LevenshteinRef(ss[i%len(ss)], ss[(i+5)%len(ss)])
+	}
+}
+
+// benchSkewedSets builds the intersection shape the galloping kernel
+// exists for: a short query-element side against long indexed sides, both
+// drawn from one shared vocabulary so the short side's ids interleave
+// across the long side's whole range (disjoint ranges would let any merge
+// exit early and measure nothing).
+func benchSkewedSets(short, long int) ([][]tokens.ID, [][]tokens.ID) {
+	rng := rand.New(rand.NewSource(3))
+	vocab := long * 4
+	mk := func(n, size int) [][]tokens.ID {
+		out := make([][]tokens.ID, n)
+		for i := range out {
+			ids := make([]tokens.ID, size)
+			for j := range ids {
+				ids[j] = tokens.ID(rng.Intn(vocab))
+			}
+			out[i] = tokens.SortUnique(ids)
+		}
+		return out
+	}
+	return mk(32, short), mk(32, long)
+}
+
+func BenchmarkIntersectSkewed(b *testing.B) {
+	shorts, longs := benchSkewedSets(8, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkInt = IntersectSizeSorted(shorts[i%len(shorts)], longs[i%len(longs)])
+	}
+}
+
+func BenchmarkIntersectSkewedRef(b *testing.B) {
+	shorts, longs := benchSkewedSets(8, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkInt = IntersectSizeSortedRef(shorts[i%len(shorts)], longs[i%len(longs)])
+	}
+}
+
+func BenchmarkIntersectSimilar(b *testing.B) {
+	as, bs := benchSkewedSets(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkInt = IntersectSizeSorted(as[i%len(as)], bs[i%len(bs)])
+	}
+}
+
+func BenchmarkIntersectSimilarRef(b *testing.B) {
+	as, bs := benchSkewedSets(64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkInt = IntersectSizeSortedRef(as[i%len(as)], bs[i%len(bs)])
+	}
+}
+
+// Disjoint id regions are where the adaptive merge's gallop mode engages:
+// each side's ids cluster away from the other's, so the merge is dominated
+// by runs the trigger converts into exponential skips.
+func benchDisjointSets() ([]tokens.ID, []tokens.ID) {
+	mk := func(lo, n int) []tokens.ID {
+		out := make([]tokens.ID, n)
+		for i := range out {
+			out[i] = tokens.ID(lo + i)
+		}
+		return out
+	}
+	a := append(mk(0, 50), mk(200, 50)...)
+	return a, mk(40, 100)
+}
+
+func BenchmarkIntersectClustered(b *testing.B) {
+	as, bs := benchDisjointSets()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkInt = IntersectSizeSorted(as, bs)
+	}
+}
+
+func BenchmarkIntersectClusteredRef(b *testing.B) {
+	as, bs := benchDisjointSets()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkInt = IntersectSizeSortedRef(as, bs)
+	}
+}

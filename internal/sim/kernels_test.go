@@ -1,0 +1,306 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"unicode/utf8"
+
+	"silkmoth/internal/tokens"
+)
+
+// refEds recomputes Eds purely from the scalar reference kernel.
+func refEds(x, y string) float64 {
+	lx, ly := utf8.RuneCountInString(x), utf8.RuneCountInString(y)
+	if lx == 0 && ly == 0 {
+		return 0
+	}
+	ld := LevenshteinRef(x, y)
+	return 1 - 2*float64(ld)/float64(lx+ly+ld)
+}
+
+// refNEds recomputes NEds purely from the scalar reference kernel.
+func refNEds(x, y string) float64 {
+	lx, ly := utf8.RuneCountInString(x), utf8.RuneCountInString(y)
+	m := lx
+	if ly > m {
+		m = ly
+	}
+	if m == 0 {
+		return 0
+	}
+	ld := LevenshteinRef(x, y)
+	return 1 - float64(ld)/float64(m)
+}
+
+// adversarialStrings is the kernel stress corpus: runs of equal runes
+// (saturating the Eq masks), all-distinct runes (defeating them), strings
+// straddling the 64-rune single-word/blocked boundary, Pad-rune collisions,
+// multi-byte Unicode, and invalid UTF-8.
+func adversarialStrings() []string {
+	distinct := func(n int) string {
+		var b strings.Builder
+		for i := 0; i < n; i++ {
+			b.WriteRune(rune('0' + i)) // all distinct codepoints
+		}
+		return b.String()
+	}
+	ss := []string{
+		"",
+		"a",
+		strings.Repeat("a", 5),
+		strings.Repeat("a", 63),
+		strings.Repeat("a", 64),
+		strings.Repeat("a", 65),
+		strings.Repeat("ab", 64),      // 128 runes, period 2
+		strings.Repeat("a", 63) + "b", // mismatch at the word edge
+		strings.Repeat("a", 64) + "b", // mismatch just past it
+		distinct(63),
+		distinct(64),
+		distinct(65),
+		distinct(129),
+		string(tokens.Pad),
+		strings.Repeat(string(tokens.Pad), 3),
+		"ab" + string(tokens.Pad) + "ba", // Pad collides mid-string
+		strings.Repeat("x"+string(tokens.Pad), 40), // 80 runes, Pad every other
+		"héllo wörld",
+		strings.Repeat("日本語データベース", 10), // 90 multi-byte runes
+		"\xff\xfe invalid utf8 \xff",    // decodes to RuneError runs
+		strings.Repeat("\xff", 70),      // 70 RuneError runes (equal-rune run)
+	}
+	// A few seeded random strings over a small alphabet, spanning the
+	// boundary lengths.
+	rng := rand.New(rand.NewSource(99))
+	for _, n := range []int{10, 24, 60, 64, 68, 130} {
+		ss = append(ss, randString(rng, n))
+	}
+	return ss
+}
+
+// TestLevenshteinKernelsMatchReferenceGrid pins the bit-parallel kernels to
+// the retained scalar references over the adversarial corpus and the full α
+// grid: exact distance, bounded distance at every bound the α thresholds
+// imply, and the Eds/NEds φ_α values built from them. "Bit-identical" is
+// literal — distances are ints and the similarity formulas run on equal
+// operands, so == holds with no epsilon.
+func TestLevenshteinKernelsMatchReferenceGrid(t *testing.T) {
+	ss := adversarialStrings()
+	alphas := []float64{0, 0.3, 0.5, 0.7, 0.8, 0.9, 1}
+	for _, a := range ss {
+		for _, b := range ss {
+			exact := LevenshteinRef(a, b)
+			if got := Levenshtein(a, b); got != exact {
+				t.Fatalf("Levenshtein(%q,%q) = %d, ref %d", a, b, got, exact)
+			}
+			for _, d := range []int{-2, -1, 0, 1, 2, 5, exact - 1, exact, exact + 1, 64, 65, 1 << 40} {
+				want := exact
+				if d < 0 || d+1 < want {
+					want = d + 1
+				}
+				if d < 0 {
+					want = d + 1
+				}
+				if got := LevenshteinBounded(a, b, d); got != want {
+					t.Fatalf("LevenshteinBounded(%q,%q,%d) = %d, want %d", a, b, d, got, want)
+				}
+				if got := LevenshteinBoundedRef(a, b, d); got != want {
+					t.Fatalf("LevenshteinBoundedRef(%q,%q,%d) = %d, want %d", a, b, d, got, want)
+				}
+			}
+			for _, alpha := range alphas {
+				if got, want := Eds(a, b), refEds(a, b); got != want {
+					t.Fatalf("Eds(%q,%q) = %v, ref %v", a, b, got, want)
+				}
+				if got, want := NEds(a, b), refNEds(a, b); got != want {
+					t.Fatalf("NEds(%q,%q) = %v, ref %v", a, b, got, want)
+				}
+				if got, want := EdsAlpha(a, b, alpha), Alpha(refEds(a, b), alpha); got != want {
+					t.Fatalf("EdsAlpha(%q,%q,%v) = %v, ref %v", a, b, alpha, got, want)
+				}
+				if got, want := NEdsAlpha(a, b, alpha), Alpha(refNEds(a, b), alpha); got != want {
+					t.Fatalf("NEdsAlpha(%q,%q,%v) = %v, ref %v", a, b, alpha, got, want)
+				}
+			}
+		}
+	}
+}
+
+// adversarialTokenSets stresses the intersection kernels: empty, singleton,
+// dense ranges, disjoint stripes, sizes straddling every skip-block and
+// gallop-cutover boundary, and heavy skew.
+func adversarialTokenSets() [][]tokens.ID {
+	mk := func(ids ...tokens.ID) []tokens.ID { return ids }
+	rangeSet := func(lo, n, stride int) []tokens.ID {
+		out := make([]tokens.ID, n)
+		for i := range out {
+			out[i] = tokens.ID(lo + i*stride)
+		}
+		return out
+	}
+	sets := [][]tokens.ID{
+		nil,
+		mk(),
+		mk(0),
+		mk(5),
+		rangeSet(0, 7, 1),
+		rangeSet(0, 8, 1),
+		rangeSet(0, 9, 1),
+		rangeSet(0, 16, 1),
+		rangeSet(1, 16, 2), // odds
+		rangeSet(0, 16, 2), // evens — fully disjoint from odds
+		rangeSet(0, 64, 1),
+		rangeSet(32, 64, 1),
+		rangeSet(0, 300, 3),
+		rangeSet(1000, 5, 1), // far above everything
+		rangeSet(0, 1024, 1), // gallop target
+		rangeSet(500, 200, 7),
+	}
+	rng := rand.New(rand.NewSource(17))
+	for _, n := range []int{3, 10, 50, 400} {
+		ids := make([]tokens.ID, n)
+		for i := range ids {
+			ids[i] = tokens.ID(rng.Intn(600))
+		}
+		sets = append(sets, tokens.SortUnique(ids))
+	}
+	return sets
+}
+
+// TestIntersectionKernelsMatchReferenceGrid pins the adaptive intersection
+// and every token-set metric built on it (Jaccard, Dice, cosine — the
+// Metric × Similarity verification surface of the word-token engines) to
+// the linear-merge reference across the adversarial set corpus and the α
+// grid.
+func TestIntersectionKernelsMatchReferenceGrid(t *testing.T) {
+	sets := adversarialTokenSets()
+	alphas := []float64{0, 0.3, 0.5, 0.8, 1}
+	for _, a := range sets {
+		for _, b := range sets {
+			want := IntersectSizeSortedRef(a, b)
+			if got := IntersectSizeSorted(a, b); got != want {
+				t.Fatalf("IntersectSizeSorted(|a|=%d,|b|=%d) = %d, ref %d (a=%v b=%v)",
+					len(a), len(b), got, want, a, b)
+			}
+			// The metrics must be bit-identical too: same intersection size
+			// feeding the same float expressions.
+			var refJac, refDice, refCos float64
+			if len(a) != 0 && len(b) != 0 {
+				refJac = float64(want) / float64(len(a)+len(b)-want)
+				refDice = 2 * float64(want) / float64(len(a)+len(b))
+				refCos = float64(want) / math.Sqrt(float64(len(a))*float64(len(b)))
+			}
+			if got := JaccardSorted(a, b); got != refJac {
+				t.Fatalf("JaccardSorted = %v, ref %v", got, refJac)
+			}
+			if got := DiceSorted(a, b); got != refDice {
+				t.Fatalf("DiceSorted = %v, ref %v", got, refDice)
+			}
+			if got := CosineSorted(a, b); got != refCos {
+				t.Fatalf("CosineSorted = %v, ref %v", got, refCos)
+			}
+			for _, alpha := range alphas {
+				if got, want := Alpha(JaccardSorted(a, b), alpha), Alpha(refJac, alpha); got != want {
+					t.Fatalf("φ_α Jaccard = %v, ref %v", got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestLevenshteinBoundedHugeBound is the regression test for the band
+// arithmetic overflow: with maxDist near MaxInt, i+maxDist wrapped
+// negative, every band row emptied, and an in-bound distance was reported
+// as exceeded (maxDist+1, itself wrapping to MinInt). Both kernels must
+// answer exactly when the bound cannot bind.
+func TestLevenshteinBoundedHugeBound(t *testing.T) {
+	cases := []struct{ a, b string }{
+		{"a", "b"},
+		{"kitten", "sitting"},
+		{"", "abc"},
+		{strings.Repeat("a", 100), strings.Repeat("b", 90)},
+	}
+	for _, c := range cases {
+		exact := LevenshteinRef(c.a, c.b)
+		for _, d := range []int{math.MaxInt, math.MaxInt - 1, math.MaxInt / 2, 1 << 40} {
+			if got := LevenshteinBounded(c.a, c.b, d); got != exact {
+				t.Errorf("LevenshteinBounded(%q,%q,%d) = %d, want exact %d", c.a, c.b, d, got, exact)
+			}
+			if got := LevenshteinBoundedRef(c.a, c.b, d); got != exact {
+				t.Errorf("LevenshteinBoundedRef(%q,%q,%d) = %d, want exact %d", c.a, c.b, d, got, exact)
+			}
+		}
+	}
+}
+
+// TestLevenshteinBoundedNegativeContract pins the documented negative-bound
+// convention: any negative maxDist reports exceeded by returning maxDist+1
+// (≤ 0) — even for equal strings, so callers must test `> maxDist`, never
+// `== 0`.
+func TestLevenshteinBoundedNegativeContract(t *testing.T) {
+	for _, d := range []int{-1, -2, -10} {
+		for _, c := range []struct{ a, b string }{
+			{"same", "same"}, // equal strings still report exceeded
+			{"", ""},
+			{"a", "z"},
+		} {
+			if got := LevenshteinBounded(c.a, c.b, d); got != d+1 {
+				t.Errorf("LevenshteinBounded(%q,%q,%d) = %d, want %d", c.a, c.b, d, got, d+1)
+			}
+			if got := LevenshteinBoundedRef(c.a, c.b, d); got != d+1 {
+				t.Errorf("LevenshteinBoundedRef(%q,%q,%d) = %d, want %d", c.a, c.b, d, got, d+1)
+			}
+		}
+	}
+	// The misread the convention invites: 0 from a negative bound does not
+	// mean "equal".
+	if LevenshteinBounded("x", "y", -1) != 0 {
+		t.Fatal("contract changed: LevenshteinBounded(x,y,-1) should be 0 (= maxDist+1)")
+	}
+}
+
+// TestEmptyInputConvention pins the package-wide convention across every
+// metric: any comparison with an empty side — including empty vs empty —
+// has similarity 0, under every α.
+func TestEmptyInputConvention(t *testing.T) {
+	full := []tokens.ID{1, 2, 3}
+	empty := []tokens.ID{}
+	tokenMetrics := map[string]func(a, b []tokens.ID) float64{
+		"JaccardSorted": JaccardSorted,
+		"DiceSorted":    DiceSorted,
+		"CosineSorted":  CosineSorted,
+	}
+	for name, m := range tokenMetrics {
+		if got := m(empty, empty); got != 0 {
+			t.Errorf("%s(empty, empty) = %v, want 0", name, got)
+		}
+		if got := m(nil, nil); got != 0 {
+			t.Errorf("%s(nil, nil) = %v, want 0", name, got)
+		}
+		if got := m(empty, full); got != 0 {
+			t.Errorf("%s(empty, non-empty) = %v, want 0", name, got)
+		}
+		if got := m(full, empty); got != 0 {
+			t.Errorf("%s(non-empty, empty) = %v, want 0", name, got)
+		}
+	}
+	stringMetrics := map[string]func(x, y string) float64{
+		"Eds":            Eds,
+		"NEds":           NEds,
+		"EdsAlpha(0.5)":  func(x, y string) float64 { return EdsAlpha(x, y, 0.5) },
+		"NEdsAlpha(0.5)": func(x, y string) float64 { return NEdsAlpha(x, y, 0.5) },
+		"EdsAlpha(0)":    func(x, y string) float64 { return EdsAlpha(x, y, 0) },
+		"NEdsAlpha(0)":   func(x, y string) float64 { return NEdsAlpha(x, y, 0) },
+	}
+	for name, m := range stringMetrics {
+		if got := m("", ""); got != 0 {
+			t.Errorf("%s(\"\", \"\") = %v, want 0", name, got)
+		}
+		if got := m("", "abc"); got != 0 {
+			t.Errorf("%s(\"\", non-empty) = %v, want 0", name, got)
+		}
+		if got := m("abc", ""); got != 0 {
+			t.Errorf("%s(non-empty, \"\") = %v, want 0", name, got)
+		}
+	}
+}

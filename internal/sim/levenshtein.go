@@ -2,13 +2,83 @@ package sim
 
 // Levenshtein returns the edit distance between a and b: the minimum number
 // of single-rune insertions, deletions, and substitutions transforming one
-// into the other. It runs in O(|a|·|b|) time and O(min(|a|,|b|)) space.
+// into the other. It dispatches to Myers' bit-parallel kernel (myers.go):
+// one word-op column advance per text rune when the shorter string fits a
+// 64-bit word, the blocked multi-word kernel beyond that. Strings of at
+// most 64 runes are processed without heap allocation.
 func Levenshtein(a, b string) int {
-	ra, rb := []rune(a), []rune(b)
+	var ab, bb [64]rune
+	ra := appendRunes(ab[:0], a)
+	rb := appendRunes(bb[:0], b)
 	return levenshteinRunes(ra, rb)
 }
 
 func levenshteinRunes(ra, rb []rune) int {
+	if len(ra) < len(rb) {
+		ra, rb = rb, ra
+	}
+	// rb is the shorter string — the bit-parallel pattern.
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	if len(rb) <= 64 {
+		return myers64(rb, ra)
+	}
+	return myersBlocked(rb, ra, len(ra)+len(rb))
+}
+
+// LevenshteinBounded returns min(Levenshtein(a, b), maxDist+1): the exact
+// edit distance whenever it is at most maxDist, and exactly maxDist+1
+// otherwise. It runs the bit-parallel kernel with early abandonment — the
+// column loop stops as soon as even the most favorable remaining suffix
+// cannot bring the distance back under the bound — which is the thresholded
+// fast path behind EdsAlpha and NEdsAlpha.
+//
+// A negative maxDist always reports exceeded by returning maxDist+1, which
+// is ≤ 0; callers must test `> maxDist`, never `== 0`, to detect the
+// exceeded case (LevenshteinBounded(x, x, -1) == 0 does not mean equal).
+func LevenshteinBounded(a, b string, maxDist int) int {
+	if maxDist < 0 {
+		return maxDist + 1
+	}
+	var ab, bb [64]rune
+	ra := appendRunes(ab[:0], a)
+	rb := appendRunes(bb[:0], b)
+	if len(ra) < len(rb) {
+		ra, rb = rb, ra
+	}
+	if len(ra)-len(rb) > maxDist {
+		return maxDist + 1
+	}
+	if maxDist >= len(ra) {
+		// The bound can never bind (distance ≤ longer length), and
+		// maxDist+1 could overflow for huge bounds — answer exactly.
+		return levenshteinRunes(ra, rb)
+	}
+	if len(rb) == 0 {
+		return len(ra) // ≤ maxDist by the length check above
+	}
+	if len(rb) <= 64 {
+		return myers64Bounded(rb, ra, maxDist)
+	}
+	return myersBlocked(rb, ra, maxDist)
+}
+
+// appendRunes appends the runes of s to buf and returns the result. Callers
+// pass a stack-backed buffer so short strings decode without allocating.
+func appendRunes(buf []rune, s string) []rune {
+	for _, c := range s {
+		buf = append(buf, c)
+	}
+	return buf
+}
+
+// LevenshteinRef is the scalar O(|a|·|b|) dynamic program Levenshtein
+// replaced, retained as the reference oracle for the differential fuzz
+// targets and kernel property tests. Production code should call
+// Levenshtein.
+func LevenshteinRef(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
 	if len(ra) < len(rb) {
 		ra, rb = rb, ra
 	}
@@ -36,12 +106,12 @@ func levenshteinRunes(ra, rb []rune) int {
 	return row[len(rb)]
 }
 
-// LevenshteinBounded returns the edit distance between a and b if it is at
-// most maxDist, and otherwise returns maxDist+1. It uses a banded dynamic
-// program of width O(maxDist), running in O(maxDist·min(|a|,|b|)) time,
-// which is the standard early-termination trick for thresholded edit
-// similarity. A negative maxDist always reports exceeded.
-func LevenshteinBounded(a, b string, maxDist int) int {
+// LevenshteinBoundedRef is the scalar banded dynamic program
+// LevenshteinBounded replaced: a diagonal band of width O(maxDist) with
+// early termination once every in-band value exceeds the bound. Retained as
+// the reference oracle; it keeps the same min(exact, maxDist+1) contract,
+// including the negative-maxDist convention.
+func LevenshteinBoundedRef(a, b string, maxDist int) int {
 	if maxDist < 0 {
 		return maxDist + 1
 	}
@@ -51,6 +121,13 @@ func LevenshteinBounded(a, b string, maxDist int) int {
 	}
 	if len(ra)-len(rb) > maxDist {
 		return maxDist + 1
+	}
+	if maxDist >= len(ra) {
+		// The bound can never bind. Answering exactly also keeps the band
+		// arithmetic below overflow-free: with a huge maxDist, i+maxDist
+		// would wrap negative, silently emptying every band row and
+		// reporting an in-bound distance as exceeded.
+		return LevenshteinRef(a, b)
 	}
 	if len(rb) == 0 {
 		if len(ra) > maxDist {

@@ -1,0 +1,274 @@
+package sim
+
+// Myers' bit-parallel edit distance (Myers 1999, in the carry-save
+// formulation of Hyyrö 2003). The dynamic-programming column is encoded as
+// two bit vectors — Pv (positions where the column value increases by one)
+// and Mv (where it decreases) — and one text character advances the whole
+// column with a constant number of word operations, so a ≤64-rune pattern
+// costs one word op per text rune instead of a 64-entry DP row.
+//
+// The scalar row DP these kernels replaced is retained as LevenshteinRef /
+// LevenshteinBoundedRef; the differential fuzz targets and the kernel
+// property grid pin the two bit-identical on every input.
+
+// peqEntry maps one distinct pattern rune to its match bitmask: bit i is
+// set when pattern[i] equals the rune.
+type peqEntry struct {
+	r rune
+	m uint64
+}
+
+// peqTable is the Eq lookup for a ≤64-rune pattern. Patterns are short
+// element strings, so a linear scan over distinct runes beats hashing and —
+// unlike a map — lives entirely on the caller's stack.
+type peqTable struct {
+	n int
+	e [64]peqEntry
+}
+
+func (t *peqTable) build(p []rune) {
+	t.n = 0
+	for i, c := range p {
+		j := 0
+		for j < t.n && t.e[j].r != c {
+			j++
+		}
+		if j == t.n {
+			t.e[j] = peqEntry{r: c}
+			t.n++
+		}
+		t.e[j].m |= 1 << uint(i)
+	}
+}
+
+func (t *peqTable) mask(c rune) uint64 {
+	for j := 0; j < t.n; j++ {
+		if t.e[j].r == c {
+			return t.e[j].m
+		}
+	}
+	return 0
+}
+
+// myers64 returns the edit distance between pattern p (1 ≤ len ≤ 64 runes)
+// and text t. It allocates nothing.
+func myers64(p, t []rune) int {
+	return myers64Bounded(p, t, len(p)+len(t))
+}
+
+// myers64Bounded is myers64 with early abandonment: once even the most
+// favorable suffix (one deletion per remaining text rune) cannot bring the
+// distance back under maxDist, it returns maxDist+1. The exact distance is
+// returned whenever it is ≤ maxDist, so the result is always
+// min(exact, maxDist+1).
+//
+// All-ASCII patterns — the overwhelmingly common case for word and q-gram
+// elements — use a direct-mapped Eq table (one load per text rune); any
+// non-ASCII pattern rune falls back to the linear-scan peqTable.
+func myers64Bounded(p, t []rune, maxDist int) int {
+	var ascii [128]uint64
+	for i, c := range p {
+		if c >= 128 {
+			return myers64BoundedGeneric(p, t, maxDist)
+		}
+		ascii[c] |= 1 << uint(i)
+	}
+	m := len(p)
+	pv := ^uint64(0) >> uint(64-m)
+	var mv uint64
+	score := m
+	hb := uint64(1) << uint(m-1)
+	for j, c := range t {
+		var eq uint64
+		if c < 128 {
+			eq = ascii[c]
+		}
+		xv := eq | mv
+		xh := (((eq & pv) + pv) ^ pv) | eq
+		ph := mv | ^(xh | pv)
+		mh := pv & xh
+		if ph&hb != 0 {
+			score++
+		} else if mh&hb != 0 {
+			score--
+		}
+		ph = ph<<1 | 1
+		mh <<= 1
+		pv = mh | ^(xv | ph)
+		mv = ph & xv
+		// D(m, n) ≥ score - (remaining text runes): each further column
+		// changes the bottom cell by at most one.
+		if score-(len(t)-j-1) > maxDist {
+			return maxDist + 1
+		}
+	}
+	if score > maxDist {
+		return maxDist + 1
+	}
+	return score
+}
+
+// myers64BoundedGeneric is the non-ASCII form of myers64Bounded: Eq comes
+// from a linear scan over the pattern's distinct runes.
+func myers64BoundedGeneric(p, t []rune, maxDist int) int {
+	m := len(p)
+	var tab peqTable
+	tab.build(p)
+	pv := ^uint64(0) >> uint(64-m)
+	var mv uint64
+	score := m
+	hb := uint64(1) << uint(m-1)
+	for j, c := range t {
+		eq := tab.mask(c)
+		xv := eq | mv
+		xh := (((eq & pv) + pv) ^ pv) | eq
+		ph := mv | ^(xh | pv)
+		mh := pv & xh
+		if ph&hb != 0 {
+			score++
+		} else if mh&hb != 0 {
+			score--
+		}
+		ph = ph<<1 | 1
+		mh <<= 1
+		pv = mh | ^(xv | ph)
+		mv = ph & xv
+		if score-(len(t)-j-1) > maxDist {
+			return maxDist + 1
+		}
+	}
+	if score > maxDist {
+		return maxDist + 1
+	}
+	return score
+}
+
+// blockPeq is the per-block Eq table of the multi-word kernel: for each
+// distinct pattern rune, w consecutive words of masks.
+type blockPeq struct {
+	runes []rune
+	masks []uint64 // len(runes) × w, block-major per rune
+	w     int
+}
+
+func buildBlockPeq(p []rune, w int) blockPeq {
+	bp := blockPeq{w: w}
+	// Distinct runes first, so the mask arena is sized once.
+	bp.runes = make([]rune, 0, len(p))
+	for _, c := range p {
+		if idxRune(bp.runes, c) < 0 {
+			bp.runes = append(bp.runes, c)
+		}
+	}
+	bp.masks = make([]uint64, len(bp.runes)*w)
+	for i, c := range p {
+		k := idxRune(bp.runes, c)
+		bp.masks[k*w+i/64] |= 1 << uint(i%64)
+	}
+	return bp
+}
+
+func idxRune(rs []rune, c rune) int {
+	for i, r := range rs {
+		if r == c {
+			return i
+		}
+	}
+	return -1
+}
+
+func (bp *blockPeq) row(c rune) []uint64 {
+	if k := idxRune(bp.runes, c); k >= 0 {
+		return bp.masks[k*bp.w : (k+1)*bp.w]
+	}
+	return nil
+}
+
+// advanceBlock advances one 64-row block of the DP column by one text rune.
+// hin ∈ {-1, 0, +1} is the horizontal delta entering the block's top row;
+// the returned hout is the delta leaving its bottom row (read at bit 63).
+func advanceBlock(pv, mv, eq uint64, hin int) (pvOut, mvOut uint64, hout int) {
+	var hinNeg uint64
+	if hin < 0 {
+		hinNeg = 1
+	}
+	xv := eq | mv
+	eq |= hinNeg
+	xh := (((eq & pv) + pv) ^ pv) | eq
+	ph := mv | ^(xh | pv)
+	mh := pv & xh
+	hout = int(ph>>63) - int(mh>>63)
+	ph = ph << 1
+	mh = mh<<1 | hinNeg
+	if hin > 0 {
+		ph |= 1
+	}
+	pvOut = mh | ^(xv | ph)
+	mvOut = ph & xv
+	return pvOut, mvOut, hout
+}
+
+// myersBlocked is the multi-word kernel for patterns longer than 64 runes:
+// the column is split into ⌈m/64⌉ blocks whose horizontal deltas chain
+// through advanceBlock. The score is tracked at the pattern's true last row
+// (bit (m-1)%64 of the last block), so the unused high bits of that block
+// never influence the result. Bounded like myers64Bounded.
+func myersBlocked(p, t []rune, maxDist int) int {
+	m := len(p)
+	w := (m + 63) / 64
+	bp := buildBlockPeq(p, w)
+	pv := make([]uint64, w)
+	mv := make([]uint64, w)
+	for b := range pv {
+		pv[b] = ^uint64(0)
+	}
+	last := w - 1
+	lastBit := uint64(1) << uint((m-1)%64)
+	score := m
+	for j, c := range t {
+		eqs := bp.row(c)
+		hin := 1
+		for b := 0; b < last; b++ {
+			var eq uint64
+			if eqs != nil {
+				eq = eqs[b]
+			}
+			pv[b], mv[b], hin = advanceBlock(pv[b], mv[b], eq, hin)
+		}
+		// Last block: hout is read at the pattern's final row instead of
+		// bit 63 (no further block consumes a bit-63 carry).
+		var eq uint64
+		if eqs != nil {
+			eq = eqs[last]
+		}
+		pvL, mvL := pv[last], mv[last]
+		var hinNeg uint64
+		if hin < 0 {
+			hinNeg = 1
+		}
+		xv := eq | mvL
+		eq |= hinNeg
+		xh := (((eq & pvL) + pvL) ^ pvL) | eq
+		ph := mvL | ^(xh | pvL)
+		mh := pvL & xh
+		if ph&lastBit != 0 {
+			score++
+		} else if mh&lastBit != 0 {
+			score--
+		}
+		ph = ph << 1
+		mh = mh<<1 | hinNeg
+		if hin > 0 {
+			ph |= 1
+		}
+		pv[last] = mh | ^(xv | ph)
+		mv[last] = ph & xv
+		if score-(len(t)-j-1) > maxDist {
+			return maxDist + 1
+		}
+	}
+	if score > maxDist {
+		return maxDist + 1
+	}
+	return score
+}

@@ -109,6 +109,31 @@ func (d *Dictionary) Intern(s string) ID {
 	return id
 }
 
+// InternBytes is Intern for a token held in a byte buffer. On the fast path
+// — the token is already known, the overwhelmingly common case at query
+// time — the map lookup uses the compiler's zero-copy string([]byte) form
+// and nothing allocates; only a first-time token materializes a string (it
+// must outlive b, which callers reuse as scratch).
+func (d *Dictionary) InternBytes(b []byte) ID {
+	d.mu.RLock()
+	if id, ok := d.ids[string(b)]; ok {
+		atomic.AddInt64(&d.count[id], 1)
+		d.mu.RUnlock()
+		return id
+	}
+	d.mu.RUnlock()
+	return d.Intern(string(b))
+}
+
+// LookupBytes is Lookup for a token held in a byte buffer; it never
+// allocates.
+func (d *Dictionary) LookupBytes(b []byte) (ID, bool) {
+	d.mu.RLock()
+	id, ok := d.ids[string(b)]
+	d.mu.RUnlock()
+	return id, ok
+}
+
 // Retain bumps the collection refcount of every id in ids. Engines retain
 // each indexed occurrence of a set's tokens (and chunks) so Release on
 // delete is exactly symmetric.

@@ -1,0 +1,150 @@
+package tokens
+
+import (
+	"testing"
+)
+
+// scratchCorpus exercises every tokenization edge the scratch path must
+// reproduce: empty strings, pure whitespace, exotic Unicode space classes
+// (strings.Fields semantics), multi-byte runes, invalid UTF-8 (which both
+// paths must replace identically), and Pad-rune collisions in the input.
+var scratchCorpus = []string{
+	"",
+	" ",
+	"\t\n\v\f\r ",
+	"one",
+	"two words",
+	"  leading and   trailing  ",
+	"non break spaces", // U+00A0 and U+2009 are unicode spaces
+	"héllo wörld",
+	"日本語 データベース",
+	"\xff\xfeinvalid\xff utf8",
+	"pad\x1fcollision mid\x1f\x1ftoken",
+	"a b c d e f g h i j k l m n o p",
+}
+
+// TestScratchAppendMatchesSliceTokenizers pins the scratch tokenizers to
+// the slice-returning originals: identical id streams through a shared
+// dictionary, for words and for every q in range, on every corpus string.
+func TestScratchAppendMatchesSliceTokenizers(t *testing.T) {
+	for _, q := range []int{1, 2, 3, 5} {
+		dict := NewDictionary()
+		var sc Scratch
+		for _, s := range scratchCorpus {
+			want := InternAll(dict, Words(s))
+			got := sc.AppendWordIDs(nil, dict, s)
+			if !equalIDs(got, want) {
+				t.Errorf("AppendWordIDs(%q) = %v, want %v", s, got, want)
+			}
+			want = InternAll(dict, QGrams(s, q))
+			got = sc.AppendQGramIDs(nil, dict, s, q)
+			if !equalIDs(got, want) {
+				t.Errorf("AppendQGramIDs(%q, %d) = %v, want %v", s, q, got, want)
+			}
+			want = InternAll(dict, QChunks(s, q))
+			got = sc.AppendQChunkIDs(nil, dict, s, q)
+			if !equalIDs(got, want) {
+				t.Errorf("AppendQChunkIDs(%q, %d) = %v, want %v", s, q, got, want)
+			}
+		}
+	}
+}
+
+// TestScratchAppendExtends pins that the Append*IDs methods extend dst
+// rather than replace it, so callers can pack many elements into one arena.
+func TestScratchAppendExtends(t *testing.T) {
+	dict := NewDictionary()
+	var sc Scratch
+	ids := sc.AppendWordIDs(nil, dict, "a b")
+	n := len(ids)
+	ids = sc.AppendQGramIDs(ids, dict, "cd", 2)
+	if len(ids) <= n {
+		t.Fatalf("AppendQGramIDs did not extend: %v", ids)
+	}
+	prefix := sc.AppendWordIDs(nil, dict, "a b")
+	if !equalIDs(ids[:n], prefix) {
+		t.Fatalf("arena prefix clobbered: %v vs %v", ids[:n], prefix)
+	}
+}
+
+func equalIDs(a, b []ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestSortUniqueZeroAllocs pins the slices.Sort rewrite: sorting and
+// deduplicating in place must not allocate (the reflection-based sort.Slice
+// it replaced heap-allocated its closure on every call — on the per-query
+// tokenization path).
+func TestSortUniqueZeroAllocs(t *testing.T) {
+	ids := make([]ID, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		ids = ids[:64]
+		for i := range ids {
+			ids[i] = ID((i * 37) % 19)
+		}
+		ids = SortUnique(ids)
+	})
+	if allocs != 0 {
+		t.Errorf("SortUnique allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+// TestScratchSteadyStateAllocs pins the point of the scratch: once its
+// buffers are warm and every token is interned, tokenizing allocates
+// nothing at all.
+func TestScratchSteadyStateAllocs(t *testing.T) {
+	dict := NewDictionary()
+	var sc Scratch
+	ids := make([]ID, 0, 64)
+	warm := func() {
+		ids = sc.AppendWordIDs(ids[:0], dict, "the quick brown fox jumps")
+		ids = sc.AppendQGramIDs(ids[:0], dict, "edit distance", 2)
+		ids = sc.AppendQChunkIDs(ids[:0], dict, "edit distance", 2)
+	}
+	warm()
+	if allocs := testing.AllocsPerRun(100, warm); allocs != 0 {
+		t.Errorf("warm scratch tokenization allocates %.1f objects per call, want 0", allocs)
+	}
+}
+
+func BenchmarkSortUnique(b *testing.B) {
+	ids := make([]ID, 48)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ids = ids[:48]
+		for j := range ids {
+			ids[j] = ID((j * 31) % 29)
+		}
+		ids = SortUnique(ids)
+	}
+}
+
+var sinkIDs []ID
+
+func BenchmarkTokenizeQueryElement(b *testing.B) {
+	dict := NewDictionary()
+	const elem = "the quick brown fox jumps over the lazy dog"
+	b.Run("slices", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			sinkIDs = SortUnique(InternAll(dict, Words(elem)))
+		}
+	})
+	b.Run("scratch", func(b *testing.B) {
+		var sc Scratch
+		ids := make([]ID, 0, 16)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ids = SortUnique(sc.AppendWordIDs(ids[:0], dict, elem))
+		}
+		sinkIDs = ids
+	})
+}

@@ -1,7 +1,7 @@
 package tokens
 
 import (
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -84,17 +84,14 @@ func InternAll(d *Dictionary, ss []string) []ID {
 }
 
 // SortUnique sorts ids in place and returns the slice with duplicates
-// removed. The returned slice aliases the input.
+// removed. The returned slice aliases the input. It allocates nothing:
+// slices.Sort specializes on the ordered element type, unlike the
+// reflection-based sort.Slice it replaced, whose closure and interface
+// header escaped to the heap on every call.
 func SortUnique(ids []ID) []ID {
 	if len(ids) <= 1 {
 		return ids
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	out := ids[:1]
-	for _, id := range ids[1:] {
-		if id != out[len(out)-1] {
-			out = append(out, id)
-		}
-	}
-	return out
+	slices.Sort(ids)
+	return slices.Compact(ids)
 }
