@@ -78,6 +78,10 @@ func main() {
 			"additionally log 1 in N queries' funnels regardless of latency, as a baseline (0 disables)")
 		stageSample = flag.Int("stage-sample", 0,
 			"time pipeline stages on 1 in N search passes for the /metrics stage histograms (0 = engine default 16, 1 = every pass, negative disables)")
+		compress = flag.Bool("compressed-postings", false,
+			"store posting lists as adaptive compressed containers decoded lazily (identical results, fraction of the heap; snapshot recovery becomes zero-copy via mmap)")
+		postingCache = flag.Int64("posting-cache-bytes", 0,
+			"decode-cache budget for hot compressed posting lists in bytes (0 = 64 MiB default; needs -compressed-postings)")
 		pprofOn = flag.Bool("pprof", false,
 			"mount /debug/pprof/* (CPU/heap profiles, goroutine dumps); off by default")
 		version = flag.Bool("version", false, "print build metadata and exit")
@@ -104,6 +108,8 @@ func main() {
 	cfg.CompactionThreshold = *compactAt
 	cfg.StageSample = *stageSample
 	cfg.DataDir = *dataDir
+	cfg.CompressedPostings = *compress
+	cfg.PostingCacheBytes = *postingCache
 
 	eng, n, err := buildEngine(cfg, *input, *csvFile, *jsonFile, *saved)
 	if err != nil {

@@ -28,8 +28,8 @@ func newDurableEngine(build func() (*Engine, error), cfg Config, fsys wal.FS) (*
 		return nil, err
 	}
 	var e *Engine
-	loaded, err := st.Recover(func(r io.Reader) error {
-		snap, err := dataset.LoadSnapshot(r)
+	loaded, m, err := st.RecoverData(func(data []byte) error {
+		snap, err := dataset.LoadSnapshotBytes(data)
 		if err != nil {
 			return err
 		}
@@ -38,6 +38,17 @@ func newDurableEngine(build func() (*Engine, error), cfg Config, fsys wal.FS) (*
 	})
 	if err != nil {
 		return nil, err
+	}
+	if m != nil {
+		// The store memory-mapped the snapshot. When the engine's index
+		// borrowed the mapped container bytes (compressed lazy load), the
+		// mapping must outlive the engine — retain it for Close to unmap.
+		// Every other load path copied what it needed.
+		if e != nil && e.sh == nil && e.eng.Index().SharesContainers() {
+			e.snapMap = m
+		} else {
+			m.Close()
+		}
 	}
 	if loaded {
 		e.store = st
@@ -88,9 +99,26 @@ func engineFromSnapshot(snap *dataset.SnapshotData, cfg Config) (*Engine, error)
 		return &Engine{sh: sh, coll: coll}, nil
 	}
 	var eng *core.Engine
-	if snap.Postings != nil {
-		eng, err = core.NewEngineFromIndex(index.FromLists(coll, snap.Postings), opts)
-	} else {
+	switch {
+	case opts.CompressPostings && snap.Containers != nil:
+		// Zero-copy lazy load: wrap the snapshot's encoded containers —
+		// possibly aliasing a memory-mapped file — and decode a posting
+		// list only when a probe first touches it.
+		ix := index.FromContainers(coll, snap.Containers, true, opts.PostingCacheBytes)
+		eng, err = core.NewEngineFromIndex(ix, opts)
+	case snap.HasPostings():
+		var lists [][]index.Posting
+		lists, err = snap.DecodePostings()
+		if err != nil {
+			return nil, fmt.Errorf("silkmoth: decoding snapshot postings: %w", err)
+		}
+		if opts.CompressPostings {
+			// Legacy image under a compressed config: re-encode.
+			eng, err = core.NewEngineFromIndex(index.FromListsCompressed(coll, lists, opts.PostingCacheBytes), opts)
+		} else {
+			eng, err = core.NewEngineFromIndex(index.FromLists(coll, lists), opts)
+		}
+	default:
 		eng, err = core.NewEngine(coll, opts)
 	}
 	if err != nil {
@@ -241,7 +269,11 @@ func (e *Engine) snapshotData() *dataset.SnapshotData {
 		}
 		sd.Dead = dead
 	}
-	sd.Postings = e.eng.Index().Lists()
+	// The index itself is the postings source: the writer pulls lists on
+	// demand (heap form) or copies encoded containers verbatim when exact
+	// (compressed form), so snapshotting a lazily loaded index never forces
+	// a full materialization.
+	sd.Source = e.eng.Index()
 	return sd
 }
 
@@ -253,6 +285,16 @@ func (e *Engine) snapshotData() *dataset.SnapshotData {
 func (e *Engine) Close() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	if e.snapMap != nil {
+		// The index borrowed the mapped snapshot's container bytes; copy
+		// them onto the heap before the mapping goes away so reads after
+		// Close stay safe.
+		if e.eng != nil {
+			e.eng.Index().UnshareContainers()
+		}
+		e.snapMap.Close()
+		e.snapMap = nil
+	}
 	if e.store == nil {
 		return nil
 	}

@@ -9,6 +9,8 @@ import (
 
 	"silkmoth/internal/core"
 	"silkmoth/internal/dataset"
+	"silkmoth/internal/index"
+	"silkmoth/internal/mmap"
 	"silkmoth/internal/shard"
 	"silkmoth/internal/tokens"
 	"silkmoth/internal/wal"
@@ -41,6 +43,10 @@ type Engine struct {
 	recovered bool
 	replayed  int
 	torn      bool
+	// snapMap is the memory-mapped snapshot the index's compressed
+	// containers alias after a zero-copy load; Close unshares the index
+	// and unmaps it.
+	snapMap *mmap.Mapping
 }
 
 // NewEngine tokenizes the collection according to cfg and builds the
@@ -418,9 +424,22 @@ func (e *Engine) Stats() Stats {
 		Refine:    time.Duration(st.RefineNanos),
 		Verify:    time.Duration(st.VerifyNanos),
 	}
+	var ps index.StorageStats
 	if e.sh != nil {
 		out.Stragglers = e.sh.Stragglers()
+		ps = e.sh.Storage()
+	} else {
+		ps = e.eng.Storage()
 	}
+	out.CompressedPostings = ps.Compressed
+	out.Postings = ps.Postings
+	out.PostingHeapBytes = ps.HeapBytes
+	out.PostingEncodedBytes = ps.EncodedBytes
+	out.PostingResidentBytes = ps.ResidentBytes
+	out.PostingCacheHits = ps.CacheHits
+	out.PostingCacheMisses = ps.CacheMisses
+	out.PostingDecodeErrors = ps.DecodeErrors
+	out.SnapshotMapped = e.snapMap != nil && e.snapMap.Mapped()
 	if e.store != nil {
 		out.Snapshots = e.store.Snapshots()
 		out.WALRecords = e.store.Appended()

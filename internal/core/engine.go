@@ -109,7 +109,11 @@ func newEngine(coll *dataset.Collection, ix *index.Inverted, opts Options) (*Eng
 		return nil, errors.New("core: collection q does not match options q")
 	}
 	if ix == nil {
-		ix = index.Build(coll)
+		if o.CompressPostings {
+			ix = index.BuildCompressed(coll, o.PostingCacheBytes)
+		} else {
+			ix = index.Build(coll)
+		}
 	}
 	e := &Engine{opts: o, coll: coll, ix: ix}
 	e.phi = phiFunc(o)

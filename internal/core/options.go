@@ -149,6 +149,16 @@ type Options struct {
 	// dictionary entries no live set references. Values <= 0 disable
 	// automatic compaction (Compact can still be called explicitly).
 	CompactionThreshold float64
+	// CompressPostings stores the inverted index's posting lists as
+	// adaptive compressed containers (array / packed / bitmap) instead of
+	// materialized slices, decoding lists lazily through a bounded LRU.
+	// Results are identical; the trade is decode work on cold probes for a
+	// fraction of the index heap.
+	CompressPostings bool
+	// PostingCacheBytes bounds the compressed index's LRU of materialized
+	// hot lists; <= 0 selects index.DefaultPostingCacheBytes. Ignored
+	// unless CompressPostings is set (or the index was loaded compressed).
+	PostingCacheBytes int64
 }
 
 // DefaultOptions returns the full-strength SilkMoth configuration the

@@ -7,6 +7,11 @@ import "silkmoth/internal/index"
 // engine's owner uses to serialize mutations.
 func (e *Engine) Index() *index.Inverted { return e.ix }
 
+// Storage returns the index's posting-storage statistics (compression
+// ratio, resident decoded bytes, cache traffic). O(vocabulary); intended
+// for stats endpoints, not hot paths.
+func (e *Engine) Storage() index.StorageStats { return e.ix.Storage() }
+
 // MarkDeadSlots marks the slots with dead[i] true as deleted without
 // touching postings, refcounts, or the tombstone counter. It exists for
 // loading snapshots, whose dead slots are empty placeholders: they hold no

@@ -1,111 +1,44 @@
 package dataset
 
 import (
-	"encoding/gob"
 	"fmt"
 	"io"
 
+	"silkmoth/internal/binenc"
 	"silkmoth/internal/tokens"
 )
 
-// persisted is the gob wire form of a tokenized collection. Token ids are
-// dictionary-dense, so storing the dictionary's string table by position
-// reconstructs the ids exactly.
-type persisted struct {
-	Version int
-	Mode    TokenMode
-	Q       int
-	Words   []string
-	Sets    []persistedSet
-}
-
-type persistedSet struct {
-	Name     string
-	Elements []persistedElement
-}
-
-// persistedElement's id slices are typed []tokens.ID (an int32) rather
-// than []int32: gob matches types structurally, so the wire format is
-// unchanged, and the decoder hands back slices the Element can adopt
-// as-is instead of copying every element's ids on load.
-type persistedElement struct {
-	Raw    string
-	Tokens []tokens.ID
-	Chunks []tokens.ID
-	Length int
-}
-
-const persistVersion = 1
-
 // Collection files open with a magic string and a format-version byte
-// ahead of the gob stream. The leading byte is what lets a reader reject a
+// ahead of the payload. The leading byte is what lets a reader reject a
 // future format outright (UnsupportedVersionError) instead of feeding its
-// bytes to the wrong decoder and misparsing — gob's own Version field only
-// checks after a successful decode, which a layout change would never
-// reach.
-const collectionMagic = "SMOTHCOL"
+// bytes to the wrong decoder and misparsing.
+//
+// Version 1 was a gob stream; version 2 is the same logical image on the
+// shared binenc varint codec (the one the snapshot and WAL formats use):
+//
+//	[uvarint mode][uvarint q][uvarint numWords][uvarint numSets]
+//	[numWords × string]
+//	[numSets × (string name, uvarint numElems,
+//	            numElems × (string raw,
+//	                        uvarint numTokens, numTokens × uvarint tokenDelta,
+//	                        uvarint numChunks, numChunks × uvarint chunkId,
+//	                        uvarint length))]
+//
+// Token ids are delta-encoded (element token slices are sorted strictly
+// ascending), strings are length-prefixed, and the decoder validates every
+// count against the bytes actually present before allocating.
+const (
+	collectionMagic   = "SMOTHCOL"
+	persistVersion    = 2
+	persistVersionGob = 1 // retired: gob payload, rejected with a clear error
+)
 
 // SaveCollection writes a tokenized collection to w in a self-contained
-// binary form (a version header followed by gob). Loading it back avoids
-// re-tokenizing large corpora. Only tokens the collection's sets actually
-// reference are persisted, so query-interned strays and reclaimed
-// dictionary slots never reach disk.
+// binary form. Loading it back avoids re-tokenizing large corpora. Only
+// tokens the collection's sets actually reference are persisted, so
+// query-interned strays and reclaimed dictionary slots never reach disk.
 func SaveCollection(w io.Writer, c *Collection) error {
 	return saveCollection(w, c, func(int) bool { return true })
-}
-
-// LoadCollection reads a collection written by SaveCollection. The returned
-// collection owns a fresh dictionary with the persisted token table. A file
-// written by a newer format version fails with *UnsupportedVersionError.
-func LoadCollection(r io.Reader) (*Collection, error) {
-	var hdr [len(collectionMagic) + 1]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, fmt.Errorf("dataset: loading collection header: %w", err)
-	}
-	if string(hdr[:len(collectionMagic)]) != collectionMagic {
-		return nil, fmt.Errorf("dataset: not a saved collection (bad magic %q)", hdr[:len(collectionMagic)])
-	}
-	if v := int(hdr[len(collectionMagic)]); v != persistVersion {
-		if v > persistVersion {
-			return nil, &UnsupportedVersionError{Format: "collection", Version: v, Supported: persistVersion}
-		}
-		return nil, fmt.Errorf("dataset: unknown collection format version %d", v)
-	}
-	var p persisted
-	if err := gob.NewDecoder(r).Decode(&p); err != nil {
-		return nil, fmt.Errorf("dataset: loading collection: %w", err)
-	}
-	if p.Version != persistVersion {
-		return nil, fmt.Errorf("dataset: unsupported collection version %d", p.Version)
-	}
-	dict := tokens.NewDictionary()
-	for i, w := range p.Words {
-		if id := dict.Intern(w); int(id) != i {
-			return nil, fmt.Errorf("dataset: corrupt token table at %d (duplicate %q)", i, w)
-		}
-	}
-	c := &Collection{Dict: dict, Mode: p.Mode, Q: p.Q, Sets: make([]Set, len(p.Sets))}
-	for i, ps := range p.Sets {
-		s := Set{Name: ps.Name, Elements: make([]Element, len(ps.Elements))}
-		for j, pe := range ps.Elements {
-			s.Elements[j] = Element{
-				Raw:    pe.Raw,
-				Tokens: pe.Tokens,
-				Chunks: pe.Chunks,
-				Length: pe.Length,
-			}
-			for _, id := range s.Elements[j].Tokens {
-				if int(id) >= dict.Size() {
-					return nil, fmt.Errorf("dataset: token id %d out of range", id)
-				}
-			}
-			// Keys are derived, not persisted: token ids were remapped at
-			// save time, so recompute against the fresh dictionary.
-			s.Elements[j].Key = internKey(dict, &s.Elements[j], p.Mode)
-		}
-		c.Sets[i] = s
-	}
-	return c, nil
 }
 
 // SaveCollectionLive writes only the sets for which alive(i) reports true,
@@ -149,46 +82,151 @@ func saveCollection(w io.Writer, c *Collection, alive func(i int) bool) error {
 			words = append(words, c.Dict.String(tokens.ID(old)))
 		}
 	}
-	p := persisted{
-		Version: persistVersion,
-		Mode:    c.Mode,
-		Q:       c.Q,
-		Words:   words,
-		Sets:    make([]persistedSet, 0, nLive),
+
+	var enc binenc.Writer
+	enc.Uint(int(c.Mode))
+	enc.Uint(c.Q)
+	enc.Uint(len(words))
+	enc.Uint(nLive)
+	for _, word := range words {
+		enc.String(word)
 	}
 	for i := range c.Sets {
 		if !alive(i) {
 			continue
 		}
 		s := &c.Sets[i]
-		ps := persistedSet{Name: s.Name, Elements: make([]persistedElement, len(s.Elements))}
+		enc.String(s.Name)
+		enc.Uint(len(s.Elements))
 		for j := range s.Elements {
 			e := &s.Elements[j]
-			ps.Elements[j] = persistedElement{
-				Raw:    e.Raw,
-				Tokens: remapInts(e.Tokens, remap),
-				Chunks: remapInts(e.Chunks, remap),
-				Length: e.Length,
+			enc.String(e.Raw)
+			enc.Uint(len(e.Tokens))
+			prev := int32(0)
+			for _, id := range e.Tokens {
+				nid := remap[id]
+				enc.Uint(int(nid - prev))
+				prev = nid
 			}
+			enc.Uint(len(e.Chunks))
+			for _, id := range e.Chunks {
+				enc.Uint(int(remap[id]))
+			}
+			enc.Uint(e.Length)
 		}
-		p.Sets = append(p.Sets, ps)
 	}
+
 	if _, err := io.WriteString(w, collectionMagic); err != nil {
 		return err
 	}
 	if _, err := w.Write([]byte{persistVersion}); err != nil {
 		return err
 	}
-	return gob.NewEncoder(w).Encode(&p)
+	_, err := w.Write(enc.Bytes())
+	return err
 }
 
-func remapInts(ids []tokens.ID, remap []int32) []tokens.ID {
-	if ids == nil {
-		return nil
+// LoadCollection reads a collection written by SaveCollection. The returned
+// collection owns a fresh dictionary with the persisted token table. A file
+// written by a newer format version fails with *UnsupportedVersionError; a
+// retired version-1 (gob) file fails with a clear migration error.
+func LoadCollection(r io.Reader) (*Collection, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("dataset: loading collection: %w", err)
 	}
-	out := make([]tokens.ID, len(ids))
-	for i, id := range ids {
-		out[i] = tokens.ID(remap[id])
+	if len(data) < len(collectionMagic)+1 {
+		return nil, fmt.Errorf("dataset: truncated collection header")
 	}
-	return out
+	if string(data[:len(collectionMagic)]) != collectionMagic {
+		return nil, fmt.Errorf("dataset: not a saved collection (bad magic %q)", data[:len(collectionMagic)])
+	}
+	switch v := int(data[len(collectionMagic)]); {
+	case v == persistVersion:
+	case v > persistVersion:
+		return nil, &UnsupportedVersionError{Format: "collection", Version: v, Supported: persistVersion}
+	case v == persistVersionGob:
+		return nil, fmt.Errorf("dataset: collection format version 1 (gob) is no longer supported; re-save the collection with this build")
+	default:
+		return nil, fmt.Errorf("dataset: unknown collection format version %d", v)
+	}
+
+	dec := binenc.NewReader(data[len(collectionMagic)+1:])
+	mode := TokenMode(dec.Uint())
+	q := dec.Uint()
+	numWords := dec.Count(1) // each word costs ≥ 1 byte (its length)
+	numSets := dec.Uint()
+	if err := dec.Err(); err != nil {
+		return nil, fmt.Errorf("dataset: collection header: %w", err)
+	}
+	if mode != ModeWord && mode != ModeQGram {
+		return nil, fmt.Errorf("dataset: unknown token mode %d", mode)
+	}
+
+	dict := tokens.NewDictionary()
+	for i := 0; i < numWords; i++ {
+		word := dec.String()
+		if err := dec.Err(); err != nil {
+			return nil, fmt.Errorf("dataset: token table: %w", err)
+		}
+		if id := dict.Intern(word); int(id) != i {
+			return nil, fmt.Errorf("dataset: corrupt token table at %d (duplicate %q)", i, word)
+		}
+	}
+	if numSets > dec.Remaining() { // each set costs ≥ 1 byte
+		return nil, fmt.Errorf("dataset: set count %d exceeds remaining payload", numSets)
+	}
+
+	c := &Collection{Dict: dict, Mode: mode, Q: q, Sets: make([]Set, numSets)}
+	for i := 0; i < numSets; i++ {
+		s := Set{Name: dec.String()}
+		ne := dec.Count(2)
+		if err := dec.Err(); err != nil {
+			return nil, fmt.Errorf("dataset: set %d: %w", i, err)
+		}
+		s.Elements = make([]Element, ne)
+		for j := 0; j < ne; j++ {
+			e := &s.Elements[j]
+			e.Raw = dec.String()
+			nt := dec.Count(1)
+			if err := dec.Err(); err != nil {
+				return nil, fmt.Errorf("dataset: set %d element %d: %w", i, j, err)
+			}
+			e.Tokens = make([]tokens.ID, nt)
+			id := int32(0)
+			for k := 0; k < nt; k++ {
+				id += int32(dec.Uint())
+				if dec.Err() == nil && (int(id) >= numWords || id < 0) {
+					return nil, fmt.Errorf("dataset: set %d element %d token id %d out of range", i, j, id)
+				}
+				e.Tokens[k] = tokens.ID(id)
+			}
+			nc := dec.Count(1)
+			if err := dec.Err(); err != nil {
+				return nil, fmt.Errorf("dataset: set %d element %d: %w", i, j, err)
+			}
+			if nc > 0 {
+				e.Chunks = make([]tokens.ID, nc)
+				for k := 0; k < nc; k++ {
+					cid := dec.Uint()
+					if dec.Err() == nil && cid >= numWords {
+						return nil, fmt.Errorf("dataset: set %d element %d chunk id %d out of range", i, j, cid)
+					}
+					e.Chunks[k] = tokens.ID(cid)
+				}
+			}
+			e.Length = dec.Uint()
+			if err := dec.Err(); err != nil {
+				return nil, fmt.Errorf("dataset: set %d element %d: %w", i, j, err)
+			}
+			// Keys are derived, not persisted: token ids were remapped at
+			// save time, so recompute against the fresh dictionary.
+			e.Key = internKey(dict, e, mode)
+		}
+		c.Sets[i] = s
+	}
+	if dec.Remaining() != 0 {
+		return nil, fmt.Errorf("dataset: %d trailing collection bytes", dec.Remaining())
+	}
+	return c, nil
 }

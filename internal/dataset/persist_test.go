@@ -56,8 +56,8 @@ func TestSaveLoadQGramCollection(t *testing.T) {
 	compareSets(t, got.Sets, orig.Sets)
 }
 
-// compareSets compares collections semantically: gob decodes empty slices
-// as nil, which reflect.DeepEqual would flag spuriously.
+// compareSets compares collections semantically: the decoder leaves empty
+// slices nil, which reflect.DeepEqual would flag spuriously.
 func compareSets(t *testing.T, got, want []Set) {
 	t.Helper()
 	if len(got) != len(want) {

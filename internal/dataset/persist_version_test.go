@@ -8,10 +8,10 @@ import (
 	"silkmoth/internal/tokens"
 )
 
-// The collection format now opens with a magic + version byte. A file
-// claiming a future version must be rejected with the typed error before
-// any gob bytes are consumed; a file with the wrong magic must be rejected
-// as not-a-collection.
+// The collection format opens with a magic + version byte. A file claiming
+// a future version must be rejected with the typed error before any payload
+// bytes are consumed; a file with the wrong magic must be rejected as
+// not-a-collection.
 func TestLoadCollectionVersionGate(t *testing.T) {
 	dict := tokens.NewDictionary()
 	c := BuildWord(dict, []RawSet{{Name: "A", Elements: []string{"x y"}}})
@@ -47,6 +47,14 @@ func TestLoadCollectionVersionGate(t *testing.T) {
 	past[len(collectionMagic)] = 0
 	if _, err := LoadCollection(bytes.NewReader(past)); err == nil || errors.As(err, &uve) {
 		t.Fatalf("version 0: got %v, want a plain unknown-version error", err)
+	}
+
+	// Version 1 (retired gob format): plain rejection with a migration hint,
+	// again not the future-version error.
+	gob := append([]byte(nil), valid...)
+	gob[len(collectionMagic)] = persistVersionGob
+	if _, err := LoadCollection(bytes.NewReader(gob)); err == nil || errors.As(err, &uve) {
+		t.Fatalf("version 1: got %v, want a plain legacy-format error", err)
 	}
 
 	// Wrong magic: a pre-header gob stream (or any other file) is rejected

@@ -20,6 +20,22 @@ type Posting struct {
 	Elem int32
 }
 
+// PostingProvider is the save-side source of posting lists. The index
+// implements it so SaveSnapshot can copy still-exact encoded containers
+// verbatim — no decode, no re-encode — and fall back to materialized
+// postings only where the encoded form is stale or absent.
+type PostingProvider interface {
+	// NumTokens returns the number of token slots.
+	NumTokens() int
+	// EncodedContainer returns token t's posting list as an encoded
+	// container blob when that blob is still exact (no overlay of
+	// unflushed appends, no materialized-only list), or false.
+	EncodedContainer(t int) ([]byte, bool)
+	// AppendPostings appends token t's postings to dst in (Set, Elem)
+	// order.
+	AppendPostings(t int, dst []Posting) []Posting
+}
+
 // SnapshotData is the full durable image of an engine's logical state: the
 // tokenized collection (dead slots as empty placeholders, preserving the
 // runtime id space that WAL records reference), the tombstone bitmap, and
@@ -30,11 +46,45 @@ type SnapshotData struct {
 	// live. Saved snapshots are compacted images: dead slots persist with
 	// no elements, name, or postings, only their index reservation.
 	Dead []bool
-	// Postings holds the inverted index by token id, filtered to live
-	// sets. Nil means the snapshot carries no index (a sharded engine's
-	// per-shard indexes are not meaningful globally) and the loader must
-	// rebuild it from the collection — still with zero re-tokenization.
+	// Postings holds materialized posting lists by token id. On save it
+	// is one possible source (see Source); LoadSnapshot no longer fills
+	// it — decode Containers lazily, or call DecodePostings.
 	Postings [][]Posting
+	// Containers is the postings section viewed in place: token-indexed
+	// encoded container blobs, possibly aliasing a memory-mapped file.
+	// Set by LoadSnapshot(Bytes) when the snapshot carries postings.
+	Containers *ContainerStore
+	// Source, when non-nil, supplies postings on save (it wins over
+	// Postings and Containers). Typically the live inverted index.
+	Source PostingProvider
+}
+
+// HasPostings reports whether the snapshot carries an index image.
+func (sd *SnapshotData) HasPostings() bool {
+	return sd.Source != nil || sd.Postings != nil || sd.Containers != nil
+}
+
+// DecodePostings materializes every posting list from Containers (or
+// returns Postings as-is when already materialized). Each container is
+// fully validated; a decode error means the snapshot is corrupt.
+func (sd *SnapshotData) DecodePostings() ([][]Posting, error) {
+	if sd.Postings != nil || sd.Containers == nil {
+		return sd.Postings, nil
+	}
+	eb := ElemBase(sd.Coll)
+	lists := make([][]Posting, sd.Containers.NumTokens())
+	for t := range lists {
+		blob := sd.Containers.Blob(t)
+		if len(blob) == 0 {
+			continue
+		}
+		l, err := NewPostingList(blob, eb).Materialize(nil)
+		if err != nil {
+			return nil, corrupt("postings for token %d: %v", t, err)
+		}
+		lists[t] = l
+	}
+	return lists, nil
 }
 
 // UnsupportedVersionError reports a persisted artifact written by a newer
@@ -58,9 +108,22 @@ func (e *UnsupportedVersionError) Error() string {
 //
 // so every byte of content is covered by a checksum and a reader can
 // verify each section before trusting its lengths structurally.
+//
+// Version 1 stored postings as one delta-varint stream per token, decoded
+// eagerly. Version 2 stores the postings section as adaptive container
+// blobs behind a fixed-width offset table:
+//
+//	[uvarint numTokens]
+//	[(numTokens+1) × uint32 LE blob offsets]
+//	[concatenated container blobs — see plist.go]
+//
+// which a loader can hand to the index as in-place byte views (the file
+// may stay memory-mapped): resolving one token's blob is O(1), and a blob
+// is decoded only on first probe. Version 1 snapshots remain readable.
 const (
-	snapshotMagic   = "SMOTHSNP"
-	snapshotVersion = 1
+	snapshotMagic     = "SMOTHSNP"
+	snapshotVersion   = 2
+	snapshotVersionV1 = 1
 
 	secMeta     = 0x01
 	secDict     = 0x02
@@ -70,7 +133,8 @@ const (
 
 	// maxSectionSize caps the declared length a reader accepts: a flipped
 	// bit in a length field must bound at a read attempt, not a
-	// multi-gigabyte allocation (reads themselves grow incrementally).
+	// multi-gigabyte allocation (payloads are validated against the bytes
+	// actually present).
 	maxSectionSize = 1 << 30
 )
 
@@ -81,12 +145,45 @@ func corrupt(format string, args ...any) error {
 	return fmt.Errorf("%w: "+format, append([]any{ErrSnapshotCorrupt}, args...)...)
 }
 
+// listsProvider adapts materialized [][]Posting to PostingProvider.
+type listsProvider struct{ lists [][]Posting }
+
+func (p listsProvider) NumTokens() int                      { return len(p.lists) }
+func (p listsProvider) EncodedContainer(int) ([]byte, bool) { return nil, false }
+func (p listsProvider) AppendPostings(t int, dst []Posting) []Posting {
+	if t < len(p.lists) {
+		return append(dst, p.lists[t]...)
+	}
+	return dst
+}
+
+// containerProvider adapts a loaded ContainerStore to PostingProvider
+// (used when re-saving a loaded snapshot without an index).
+type containerProvider struct {
+	cs *ContainerStore
+	eb []int32
+}
+
+func (p containerProvider) NumTokens() int { return p.cs.NumTokens() }
+func (p containerProvider) EncodedContainer(t int) ([]byte, bool) {
+	return p.cs.Blob(t), true
+}
+func (p containerProvider) AppendPostings(t int, dst []Posting) []Posting {
+	out, err := NewPostingList(p.cs.Blob(t), p.eb).Materialize(dst)
+	if err != nil {
+		return dst
+	}
+	return out
+}
+
 // SaveSnapshot writes snap to w in the versioned binary snapshot format.
 // The image is compacted on the way out: dead slots are written as empty
 // placeholders (keeping the id space intact for WAL replay), postings are
 // filtered to live sets, and the token table is pruned — and renumbered
 // monotonically, preserving sorted-token invariants — to what live sets
-// reference.
+// reference. Container blobs are reused verbatim from the provider
+// whenever they are still exact, so re-saving an unmutated compressed
+// index copies bytes instead of re-encoding.
 func SaveSnapshot(w io.Writer, snap *SnapshotData) error {
 	c := snap.Coll
 	alive := func(i int) bool { return i >= len(snap.Dead) || !snap.Dead[i] }
@@ -124,12 +221,13 @@ func SaveSnapshot(w io.Writer, snap *SnapshotData) error {
 		return err
 	}
 
+	hasPostings := snap.HasPostings()
 	var meta binenc.Writer
 	meta.Uint(int(c.Mode))
 	meta.Uint(c.Q)
 	meta.Uint(len(c.Sets))
 	meta.Uint(len(words))
-	if snap.Postings != nil {
+	if hasPostings {
 		meta.Byte(1)
 	} else {
 		meta.Byte(0)
@@ -177,39 +275,84 @@ func SaveSnapshot(w io.Writer, snap *SnapshotData) error {
 		return err
 	}
 
-	if snap.Postings != nil {
-		var post binenc.Writer
-		for old, u := range used {
-			if !u {
-				continue
-			}
-			var list []Posting
-			if old < len(snap.Postings) {
-				list = snap.Postings[old]
-			}
-			n := 0
-			for _, p := range list {
-				if alive(int(p.Set)) {
-					n++
-				}
-			}
-			post.Uint(n)
-			prevSet := int32(0)
-			for _, p := range list {
-				if !alive(int(p.Set)) {
-					continue
-				}
-				post.Uint(int(p.Set - prevSet)) // sorted by Set, ascending
-				post.Uint(int(p.Elem))
-				prevSet = p.Set
-			}
+	if hasPostings {
+		payload, err := encodePostingsSection(snap, used, len(words), alive)
+		if err != nil {
+			return err
 		}
-		if err := writeSection(w, secPostings, post.Bytes()); err != nil {
+		if err := writeSection(w, secPostings, payload); err != nil {
 			return err
 		}
 	}
 
 	return writeSection(w, secEnd, nil)
+}
+
+// encodePostingsSection builds the v2 postings payload: container blobs in
+// remapped token order behind an offset table. Blobs carry no token ids,
+// so a still-exact container can be copied verbatim even though the token
+// table is renumbered.
+func encodePostingsSection(snap *SnapshotData, used []bool, numTok int, alive func(int) bool) ([]byte, error) {
+	c := snap.Coll
+	src := snap.Source
+	if src == nil {
+		if snap.Postings != nil {
+			src = listsProvider{snap.Postings}
+		} else {
+			src = containerProvider{cs: snap.Containers, eb: ElemBase(c)}
+		}
+	}
+
+	// Verbatim blob reuse is sound only when the save-side element-id
+	// space equals the live one a provider's containers were encoded
+	// against: every dead slot must already hold zero elements
+	// (tombstoned-but-uncompacted sets still carry elements the save
+	// filters out, shifting the id space).
+	verbatimOK := true
+	for i := range c.Sets {
+		if !alive(i) && len(c.Sets[i].Elements) > 0 {
+			verbatimOK = false
+			break
+		}
+	}
+	saveEB := make([]int32, len(c.Sets)+1)
+	for i := range c.Sets {
+		n := 0
+		if alive(i) {
+			n = len(c.Sets[i].Elements)
+		}
+		saveEB[i+1] = saveEB[i] + int32(n)
+	}
+
+	b := NewContainerStoreBuilder(numTok)
+	var scratch []Posting
+	for old, u := range used {
+		if !u {
+			continue
+		}
+		if verbatimOK {
+			if blob, ok := src.EncodedContainer(old); ok {
+				b.AddBlob(blob)
+				continue
+			}
+		}
+		scratch = src.AppendPostings(old, scratch[:0])
+		k := 0
+		for _, p := range scratch {
+			if alive(int(p.Set)) {
+				scratch[k] = p
+				k++
+			}
+		}
+		b.Add(scratch[:k], saveEB)
+	}
+	cs := b.Finish()
+
+	payload := make([]byte, 0, uvarintLen(uint64(numTok))+len(cs.offs)+len(cs.data))
+	payload = binary.AppendUvarint(payload, uint64(numTok))
+	payload = append(payload, cs.offs...)
+	payload = append(payload, cs.data...)
+	return payload, nil
 }
 
 func writeSection(w io.Writer, tag byte, payload []byte) error {
@@ -228,37 +371,36 @@ func writeSection(w io.Writer, tag byte, payload []byte) error {
 	return err
 }
 
-// readSection reads the next section frame, verifying its checksum. The
-// declared length is capped and the payload is read incrementally, so a
-// hostile length field costs a failed read, not an allocation.
-func readSection(r io.Reader) (tag byte, payload []byte, err error) {
-	var hdr [5]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, corrupt("truncated section header: %v", err)
+// byteSections walks the section frames of an in-memory snapshot image,
+// verifying each checksum. Payloads are subslices of the image — nothing
+// is copied — so a loader over a memory-mapped file stays zero-copy.
+type byteSections struct {
+	rest []byte
+}
+
+func (r *byteSections) next() (tag byte, payload []byte, err error) {
+	if len(r.rest) < 5 {
+		return 0, nil, corrupt("truncated section header")
 	}
-	n := binary.LittleEndian.Uint32(hdr[1:5])
+	tag = r.rest[0]
+	n := binary.LittleEndian.Uint32(r.rest[1:5])
 	if n > maxSectionSize {
 		return 0, nil, corrupt("section length %d exceeds cap", n)
 	}
-	payload, err = io.ReadAll(io.LimitReader(r, int64(n)))
-	if err != nil {
-		return 0, nil, corrupt("reading section payload: %v", err)
+	if uint64(len(r.rest)) < 5+uint64(n)+4 {
+		return 0, nil, corrupt("truncated section payload (%d of %d bytes)", len(r.rest)-5, n)
 	}
-	if uint32(len(payload)) != n {
-		return 0, nil, corrupt("truncated section payload (%d of %d bytes)", len(payload), n)
+	payload = r.rest[5 : 5+n]
+	sum := binary.LittleEndian.Uint32(r.rest[5+n:])
+	if sum != crc32.ChecksumIEEE(payload) {
+		return 0, nil, corrupt("section 0x%02x checksum mismatch", tag)
 	}
-	var sum [4]byte
-	if _, err := io.ReadFull(r, sum[:]); err != nil {
-		return 0, nil, corrupt("truncated section checksum: %v", err)
-	}
-	if binary.LittleEndian.Uint32(sum[:]) != crc32.ChecksumIEEE(payload) {
-		return 0, nil, corrupt("section 0x%02x checksum mismatch", hdr[0])
-	}
-	return hdr[0], payload, nil
+	r.rest = r.rest[9+n:]
+	return tag, payload, nil
 }
 
-func expectSection(r io.Reader, want byte) ([]byte, error) {
-	tag, payload, err := readSection(r)
+func (r *byteSections) expect(want byte) ([]byte, error) {
+	tag, payload, err := r.next()
 	if err != nil {
 		return nil, err
 	}
@@ -268,26 +410,43 @@ func expectSection(r io.Reader, want byte) ([]byte, error) {
 	return payload, nil
 }
 
-// LoadSnapshot reads a snapshot written by SaveSnapshot. The returned
+// LoadSnapshot reads a snapshot written by SaveSnapshot from a stream. It
+// buffers the stream and delegates to LoadSnapshotBytes; callers holding
+// the image in memory (or mapped) should call LoadSnapshotBytes directly
+// to stay zero-copy.
+func LoadSnapshot(r io.Reader) (*SnapshotData, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, corrupt("reading snapshot: %v", err)
+	}
+	return LoadSnapshotBytes(data)
+}
+
+// LoadSnapshotBytes parses a snapshot image in place. The returned
 // collection owns a fresh dictionary rebuilt from the persisted token
 // table; element keys are re-interned (a dictionary operation, not a
-// tokenization), and no element string is ever re-tokenized.
-func LoadSnapshot(r io.Reader) (*SnapshotData, error) {
-	var hdr [len(snapshotMagic) + 1]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return nil, corrupt("truncated header: %v", err)
+// tokenization), and no element string is ever re-tokenized. The returned
+// Containers view aliases data — the caller keeps the backing memory
+// (heap buffer or mapping) alive for the life of the snapshot's users.
+// Container blob contents are CRC-verified here and validated
+// structurally on first decode.
+func LoadSnapshotBytes(data []byte) (*SnapshotData, error) {
+	if len(data) < len(snapshotMagic)+1 {
+		return nil, corrupt("truncated header")
 	}
-	if string(hdr[:len(snapshotMagic)]) != snapshotMagic {
-		return nil, corrupt("bad magic %q", hdr[:len(snapshotMagic)])
+	if string(data[:len(snapshotMagic)]) != snapshotMagic {
+		return nil, corrupt("bad magic %q", data[:len(snapshotMagic)])
 	}
-	if v := int(hdr[len(snapshotMagic)]); v != snapshotVersion {
-		if v > snapshotVersion {
-			return nil, &UnsupportedVersionError{Format: "snapshot", Version: v, Supported: snapshotVersion}
+	version := int(data[len(snapshotMagic)])
+	if version != snapshotVersion && version != snapshotVersionV1 {
+		if version > snapshotVersion {
+			return nil, &UnsupportedVersionError{Format: "snapshot", Version: version, Supported: snapshotVersion}
 		}
-		return nil, corrupt("unknown snapshot version %d", v)
+		return nil, corrupt("unknown snapshot version %d", version)
 	}
+	r := &byteSections{rest: data[len(snapshotMagic)+1:]}
 
-	metaPayload, err := expectSection(r, secMeta)
+	metaPayload, err := r.expect(secMeta)
 	if err != nil {
 		return nil, err
 	}
@@ -307,7 +466,7 @@ func LoadSnapshot(r io.Reader) (*SnapshotData, error) {
 		return nil, corrupt("bad postings flag %d", hasPostings)
 	}
 
-	dictPayload, err := expectSection(r, secDict)
+	dictPayload, err := r.expect(secDict)
 	if err != nil {
 		return nil, err
 	}
@@ -329,7 +488,7 @@ func LoadSnapshot(r io.Reader) (*SnapshotData, error) {
 		return nil, corrupt("%d trailing dictionary bytes", dr.Remaining())
 	}
 
-	setsPayload, err := expectSection(r, secSets)
+	setsPayload, err := r.expect(secSets)
 	if err != nil {
 		return nil, err
 	}
@@ -408,49 +567,90 @@ func LoadSnapshot(r io.Reader) (*SnapshotData, error) {
 
 	snap := &SnapshotData{Coll: c, Dead: dead}
 	if hasPostings == 1 {
-		postPayload, err := expectSection(r, secPostings)
+		postPayload, err := r.expect(secPostings)
 		if err != nil {
 			return nil, err
 		}
-		pr := binenc.NewReader(postPayload)
-		lists := make([][]Posting, numWords)
-		for t := 0; t < numWords; t++ {
-			n := pr.Count(2) // each posting costs ≥ 2 bytes
+		if version == snapshotVersionV1 {
+			lists, err := decodePostingsV1(postPayload, numWords, numSets, dead, c)
+			if err != nil {
+				return nil, err
+			}
+			snap.Postings = lists
+		} else {
+			cs, err := decodePostingsV2(postPayload, numWords)
+			if err != nil {
+				return nil, err
+			}
+			snap.Containers = cs
+		}
+	}
+
+	if _, err := r.expect(secEnd); err != nil {
+		return nil, err
+	}
+	if len(r.rest) != 0 {
+		return nil, corrupt("%d trailing snapshot bytes", len(r.rest))
+	}
+	return snap, nil
+}
+
+// decodePostingsV2 wraps the container postings payload in place: a
+// uvarint token count, the offset table, and the blob area, all validated
+// structurally in O(numTokens) with zero decoding of blob contents.
+func decodePostingsV2(payload []byte, numWords int) (*ContainerStore, error) {
+	numTok, sz := binary.Uvarint(payload)
+	if sz <= 0 || numTok != uint64(numWords) {
+		return nil, corrupt("postings token count %d, want %d", numTok, numWords)
+	}
+	rest := payload[sz:]
+	need := (numWords + 1) * 4
+	if len(rest) < need {
+		return nil, corrupt("postings offset table truncated")
+	}
+	cs, err := NewContainerStore(numWords, rest[:need], rest[need:])
+	if err != nil {
+		return nil, corrupt("postings: %v", err)
+	}
+	return cs, nil
+}
+
+// decodePostingsV1 decodes the version-1 postings payload: one
+// delta-varint stream per token, eagerly materialized and validated.
+func decodePostingsV1(payload []byte, numWords, numSets int, dead []bool, c *Collection) ([][]Posting, error) {
+	pr := binenc.NewReader(payload)
+	lists := make([][]Posting, numWords)
+	for t := 0; t < numWords; t++ {
+		n := pr.Count(2) // each posting costs ≥ 2 bytes
+		if err := pr.Err(); err != nil {
+			return nil, corrupt("postings for token %d: %v", t, err)
+		}
+		if n == 0 {
+			continue
+		}
+		list := make([]Posting, n)
+		set := int32(0)
+		for k := 0; k < n; k++ {
+			set += int32(pr.Uint())
+			elem := pr.Uint()
 			if err := pr.Err(); err != nil {
 				return nil, corrupt("postings for token %d: %v", t, err)
 			}
-			if n == 0 {
-				continue
+			if int(set) >= numSets || set < 0 {
+				return nil, corrupt("posting set %d out of range for token %d", set, t)
 			}
-			list := make([]Posting, n)
-			set := int32(0)
-			for k := 0; k < n; k++ {
-				set += int32(pr.Uint())
-				elem := pr.Uint()
-				if err := pr.Err(); err != nil {
-					return nil, corrupt("postings for token %d: %v", t, err)
-				}
-				if int(set) >= numSets || set < 0 {
-					return nil, corrupt("posting set %d out of range for token %d", set, t)
-				}
-				if dead != nil && dead[set] {
-					return nil, corrupt("posting references dead set %d", set)
-				}
-				if elem >= len(c.Sets[set].Elements) {
-					return nil, corrupt("posting element %d out of range for set %d", elem, set)
-				}
-				list[k] = Posting{Set: set, Elem: int32(elem)}
+			if dead != nil && dead[set] {
+				return nil, corrupt("posting references dead set %d", set)
 			}
-			lists[t] = list
+			if elem >= len(c.Sets[set].Elements) {
+				return nil, corrupt("posting element %d out of range for set %d", elem, set)
+			}
+			list[k] = Posting{Set: set, Elem: int32(elem)}
 		}
-		if pr.Remaining() != 0 {
-			return nil, corrupt("%d trailing posting bytes", pr.Remaining())
-		}
-		snap.Postings = lists
+		lists[t] = list
 	}
-
-	if _, err := expectSection(r, secEnd); err != nil {
-		return nil, err
+	if pr.Remaining() != 0 {
+		return nil, corrupt("%d trailing posting bytes", pr.Remaining())
 	}
-	return snap, nil
+	return lists, nil
 }

@@ -59,7 +59,13 @@ func FuzzLoadSnapshot(f *testing.F) {
 				}
 			}
 		}
-		for tok, list := range got.Postings {
+		postings, err := got.DecodePostings()
+		if err != nil {
+			// A structurally sound frame can still hold a corrupt container
+			// blob; lazy decode surfaces that here, which is fine.
+			return
+		}
+		for tok, list := range postings {
 			for _, p := range list {
 				if int(p.Set) >= len(c.Sets) || p.Set < 0 {
 					t.Fatalf("token %d posting set %d out of range", tok, p.Set)

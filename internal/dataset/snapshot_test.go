@@ -90,9 +90,14 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		t.Fatal("live token lost")
 	}
 	// Postings round-trip: same per-token multiset of (set, elem) pairs,
-	// modulo the token renumbering — compare via token strings.
-	if got.Postings == nil {
+	// modulo the token renumbering — compare via token strings. v2 keeps
+	// them as lazy containers; DecodePostings materializes and validates.
+	if got.Containers == nil {
 		t.Fatal("postings not persisted")
+	}
+	gotPostings, err := got.DecodePostings()
+	if err != nil {
+		t.Fatal(err)
 	}
 	for old, list := range snap.Postings {
 		if len(list) == 0 {
@@ -103,7 +108,7 @@ func TestSnapshotRoundTrip(t *testing.T) {
 		if !ok {
 			t.Fatalf("token %q missing after load", word)
 		}
-		glist := got.Postings[nid]
+		glist := gotPostings[nid]
 		if len(glist) != len(list) {
 			t.Fatalf("token %q list length %d, want %d", word, len(glist), len(list))
 		}
@@ -129,7 +134,7 @@ func TestSnapshotRoundTripQGramNoPostings(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Postings != nil {
+	if got.HasPostings() {
 		t.Fatal("postings materialized from a snapshot without them")
 	}
 	gc := got.Coll

@@ -1,0 +1,158 @@
+package dataset
+
+import (
+	"bytes"
+	"testing"
+
+	"silkmoth/internal/binenc"
+	"silkmoth/internal/tokens"
+)
+
+// writeSnapshotV1 emits a version-1 snapshot image (delta-varint posting
+// streams, eagerly decoded on load) for a collection with no dead slots
+// and every token in use, so the save-side token remap is the identity.
+// SaveSnapshot only writes the current version; old DataDirs still hold
+// v1 files, and this pins that they stay readable.
+func writeSnapshotV1(t *testing.T, c *Collection, lists [][]Posting) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	buf.WriteString(snapshotMagic)
+	buf.WriteByte(snapshotVersionV1)
+
+	var meta binenc.Writer
+	meta.Uint(int(c.Mode))
+	meta.Uint(c.Q)
+	meta.Uint(len(c.Sets))
+	meta.Uint(c.Dict.Size())
+	meta.Byte(1)
+	if err := writeSection(&buf, secMeta, meta.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	var dict binenc.Writer
+	for i := 0; i < c.Dict.Size(); i++ {
+		dict.String(c.Dict.String(tokens.ID(i)))
+	}
+	if err := writeSection(&buf, secDict, dict.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	var sets binenc.Writer
+	for i := range c.Sets {
+		sets.Byte(1)
+		s := &c.Sets[i]
+		sets.String(s.Name)
+		sets.Uint(len(s.Elements))
+		for j := range s.Elements {
+			e := &s.Elements[j]
+			sets.String(e.Raw)
+			sets.Uint(len(e.Tokens))
+			prev := int32(0)
+			for _, id := range e.Tokens {
+				sets.Uint(int(int32(id) - prev))
+				prev = int32(id)
+			}
+			sets.Uint(len(e.Chunks))
+			for _, id := range e.Chunks {
+				sets.Uint(int(id))
+			}
+			sets.Uint(e.Length)
+		}
+	}
+	if err := writeSection(&buf, secSets, sets.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+
+	var post binenc.Writer
+	for tok := 0; tok < c.Dict.Size(); tok++ {
+		var list []Posting
+		if tok < len(lists) {
+			list = lists[tok]
+		}
+		post.Uint(len(list))
+		prevSet := int32(0)
+		for _, p := range list {
+			post.Uint(int(p.Set - prevSet))
+			post.Uint(int(p.Elem))
+			prevSet = p.Set
+		}
+	}
+	if err := writeSection(&buf, secPostings, post.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeSection(&buf, secEnd, nil); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestSnapshotV1StillLoads(t *testing.T) {
+	dict := tokens.NewDictionary()
+	c := BuildWord(dict, []RawSet{
+		{Name: "A", Elements: []string{"77 Mass Ave", "5th St"}},
+		{Name: "B", Elements: []string{"77 5th St Chicago"}},
+	})
+	lists := make([][]Posting, dict.Size())
+	for i := range c.Sets {
+		for j := range c.Sets[i].Elements {
+			for _, tok := range c.Sets[i].Elements[j].Tokens {
+				lists[tok] = append(lists[tok], Posting{Set: int32(i), Elem: int32(j)})
+			}
+		}
+	}
+	data := writeSnapshotV1(t, c, lists)
+
+	got, err := LoadSnapshotBytes(data)
+	if err != nil {
+		t.Fatalf("loading v1 snapshot: %v", err)
+	}
+	if got.Containers != nil {
+		t.Fatal("v1 load produced a container store")
+	}
+	if got.Postings == nil {
+		t.Fatal("v1 postings not materialized")
+	}
+	gc := got.Coll
+	if len(gc.Sets) != 2 || gc.Dict.Size() != dict.Size() {
+		t.Fatalf("v1 collection shape: %d sets, %d words", len(gc.Sets), gc.Dict.Size())
+	}
+	for tok, want := range lists {
+		gotList := got.Postings[tok]
+		if len(gotList) != len(want) {
+			t.Fatalf("token %d: %d postings, want %d", tok, len(gotList), len(want))
+		}
+		for k := range want {
+			if gotList[k] != want[k] {
+				t.Fatalf("token %d posting %d differs", tok, k)
+			}
+		}
+	}
+
+	// A v1 image saved again comes back as v2 with identical postings.
+	var out bytes.Buffer
+	if err := SaveSnapshot(&out, got); err != nil {
+		t.Fatal(err)
+	}
+	again, err := LoadSnapshot(&out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Containers == nil {
+		t.Fatal("re-save did not produce v2 containers")
+	}
+	rl, err := again.DecodePostings()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for tok, want := range lists {
+		word := c.Dict.String(tokens.ID(tok))
+		nid, ok := again.Coll.Dict.Lookup(word)
+		if !ok {
+			t.Fatalf("token %q lost", word)
+		}
+		gotList := rl[nid]
+		if len(gotList) != len(want) {
+			t.Fatalf("token %q: %d postings, want %d", word, len(gotList), len(want))
+		}
+	}
+}

@@ -143,7 +143,15 @@ func (cl *Collector) Collect(r *dataset.Set, sig *signature.Signature, phi SimFu
 		}
 		rElem := &r.Elements[i]
 		for _, t := range esig.Tokens {
-			for _, p := range cl.ix.List(t) {
+			// Cursor instead of List: a compressed index streams huge cold
+			// lists straight off the container bytes instead of
+			// materializing them for one pass.
+			cur := cl.ix.Cursor(t)
+			for {
+				p, ok := cur.Next()
+				if !ok {
+					break
+				}
 				var c *Candidate
 				if cl.seen[p.Set] == cl.epoch {
 					if cl.rejected[p.Set] {

@@ -19,6 +19,10 @@ type NNSearcher struct {
 	// is visited when visited[elem] == epoch.
 	visited []uint32
 	epoch   uint32
+	// scratch is the reusable decode buffer SetRangeInto fills when the
+	// probed range must come off a compressed container, keeping per-probe
+	// work allocation-free in steady state.
+	scratch []index.Posting
 }
 
 // NewNNSearcher returns a searcher over the given index and similarity.
@@ -44,7 +48,9 @@ func (s *NNSearcher) Search(r *dataset.Element, set int32) float64 {
 	}
 	best := 0.0
 	for _, t := range r.Tokens {
-		for _, p := range s.ix.SetRange(t, set) {
+		var rng []index.Posting
+		rng, s.scratch = s.ix.SetRangeInto(t, set, s.scratch)
+		for _, p := range rng {
 			if s.visited[p.Elem] == s.epoch {
 				continue
 			}

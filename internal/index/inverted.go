@@ -5,6 +5,7 @@ package index
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"silkmoth/internal/dataset"
 	"silkmoth/internal/tokens"
@@ -15,13 +16,34 @@ import (
 // form — so saved posting lists import and export without copying.
 type Posting = dataset.Posting
 
-// Inverted is an immutable inverted index over a tokenized collection.
-// Posting lists are sorted by (Set, Elem), which Build guarantees by
-// construction, so per-set ranges can be located by binary search
-// (paper footnote 7).
+// Inverted is an inverted index over a tokenized collection. Posting lists
+// are sorted by (Set, Elem), which Build guarantees by construction, so
+// per-set ranges can be located by binary search (paper footnote 7).
+//
+// The index stores its lists in one of two forms. The heap form (Build,
+// FromLists) keeps every list as a materialized []Posting in lists. The
+// compressed form (BuildCompressed, FromContainers) keeps lists as adaptive
+// container blobs in cs — possibly aliasing a memory-mapped snapshot — and
+// materializes a list only when a probe needs it, holding hot decodes in a
+// byte-budgeted LRU. Either form answers the same read API with identical
+// results; readers may run concurrently (the cache is internally locked),
+// while AppendSets/Rebuild require the caller's exclusive lock as before.
 type Inverted struct {
 	lists [][]Posting
 	coll  *dataset.Collection
+
+	// Compressed-form state; cs == nil means pure heap form.
+	cs       *dataset.ContainerStore
+	csShared bool    // cs may alias borrowed (mmap) memory
+	compress bool    // Rebuild re-encodes instead of going to heap lists
+	eb       []int32 // element-base table the containers were encoded with
+	// extras overlays postings of sets appended after cs was built,
+	// indexed by token id. Appended sets carry larger ids than anything
+	// in cs, so container postings followed by extras stay sorted.
+	extras [][]Posting
+	cache  *listCache
+
+	cacheHits, cacheMisses, decodeErrs atomic.Int64
 }
 
 // Build indexes every element token of every set in c. Element token slices
@@ -66,39 +88,62 @@ func FromLists(c *dataset.Collection, lists [][]Posting) *Inverted {
 	return &Inverted{lists: lists, coll: c}
 }
 
-// Lists returns the underlying posting lists indexed by token id, for
-// snapshot writers. The slices are the index's own storage: callers must
-// treat them as read-only and hold the engine's mutation lock while
-// reading.
-func (ix *Inverted) Lists() [][]Posting { return ix.lists }
-
 // Collection returns the collection this index was built over.
 func (ix *Inverted) Collection() *dataset.Collection { return ix.coll }
 
 // List returns the posting list for token t, or nil when t never occurs in
-// the indexed collection (including ids interned after Build).
+// the indexed collection (including ids interned after Build). In the
+// compressed form this materializes the container on first probe and holds
+// it in the LRU; prefer Cursor for one-shot scans of large lists.
 func (ix *Inverted) List(t tokens.ID) []Posting {
-	if int(t) >= len(ix.lists) {
+	if int(t) < len(ix.lists) {
+		if l := ix.lists[t]; l != nil {
+			return l
+		}
+	}
+	if ix.cs == nil {
 		return nil
 	}
-	return ix.lists[t]
+	return ix.materialize(int(t))
 }
 
 // ListLen returns |I[t]|, the signature selection cost of token t
-// (paper §4.3).
+// (paper §4.3). In the compressed form this reads the container header —
+// no decode.
 func (ix *Inverted) ListLen(t tokens.ID) int {
-	if int(t) >= len(ix.lists) {
+	if int(t) < len(ix.lists) {
+		if l := ix.lists[t]; l != nil {
+			return len(l)
+		}
+	}
+	if ix.cs == nil {
 		return 0
 	}
-	return len(ix.lists[t])
+	n, ok := dataset.ContainerLen(ix.cs.Blob(int(t)))
+	if !ok {
+		ix.decodeErrs.Add(1)
+		n = 0
+	}
+	if int(t) < len(ix.extras) {
+		n += len(ix.extras[t])
+	}
+	return n
 }
 
 // SetRange returns the postings of token t that belong to the given set,
 // located by binary search within the sorted list.
 func (ix *Inverted) SetRange(t tokens.ID, set int32) []Posting {
-	l := ix.List(t)
+	r, _ := ix.SetRangeInto(t, set, nil)
+	return r
+}
+
+// setRangeOf binary-searches a sorted list for one set's postings.
+func setRangeOf(l []Posting, set int32) []Posting {
 	lo := sort.Search(len(l), func(i int) bool { return l[i].Set >= set })
-	hi := sort.Search(len(l), func(i int) bool { return l[i].Set > set })
+	hi := lo
+	for hi < len(l) && l[hi].Set == set {
+		hi++
+	}
 	return l[lo:hi]
 }
 
@@ -109,6 +154,19 @@ func (ix *Inverted) SetRange(t tokens.ID, set int32) []Posting {
 // Not safe concurrently with readers.
 func (ix *Inverted) AppendSets(from int) {
 	c := ix.coll
+	if ix.cs != nil {
+		for len(ix.extras) < c.Dict.Size() {
+			ix.extras = append(ix.extras, nil)
+		}
+		for i := from; i < len(c.Sets); i++ {
+			for j := range c.Sets[i].Elements {
+				for _, t := range c.Sets[i].Elements[j].Tokens {
+					ix.addCompressed(t, Posting{Set: int32(i), Elem: int32(j)})
+				}
+			}
+		}
+		return
+	}
 	for len(ix.lists) < c.Dict.Size() {
 		ix.lists = append(ix.lists, nil)
 	}
@@ -121,24 +179,67 @@ func (ix *Inverted) AppendSets(from int) {
 	}
 }
 
+// addCompressed routes one appended posting in the compressed form: tokens
+// with a materialized heap list extend it directly; everything else goes to
+// the extras overlay, invalidating any cached decode of that token so the
+// next probe re-materializes container + overlay together.
+func (ix *Inverted) addCompressed(t tokens.ID, p Posting) {
+	if int(t) < len(ix.lists) && ix.lists[t] != nil {
+		ix.lists[t] = append(ix.lists[t], p)
+		return
+	}
+	ix.extras[t] = append(ix.extras[t], p)
+	ix.cache.remove(int(t))
+}
+
 // Rebuild recomputes every posting list from the collection's current
 // contents in place, keeping the Inverted pointer stable for engines that
 // hold it. Sets whose Elements were cleared (tombstoned and compacted)
 // contribute nothing, so their stale postings disappear and the memory is
-// reclaimed. Not safe concurrently with readers.
+// reclaimed. A compressed index re-encodes fresh containers (absorbing the
+// extras overlay and detaching from any mapped snapshot); a heap index
+// rebuilds heap lists. Not safe concurrently with readers.
 func (ix *Inverted) Rebuild() {
-	ix.lists = Build(ix.coll).lists
+	lists := Build(ix.coll).lists
+	if ix.compress {
+		ix.adoptCompressed(lists)
+		return
+	}
+	ix.lists = lists
 }
 
 // NumTokens returns the number of token ids the index covers.
-func (ix *Inverted) NumTokens() int { return len(ix.lists) }
+func (ix *Inverted) NumTokens() int {
+	n := len(ix.lists)
+	if ix.cs != nil && ix.cs.NumTokens() > n {
+		n = ix.cs.NumTokens()
+	}
+	if len(ix.extras) > n {
+		n = len(ix.extras)
+	}
+	return n
+}
 
 // TotalPostings returns the total number of postings across all lists,
-// which is the index's dominant memory cost.
+// which is the index's dominant logical size. Compressed containers are
+// counted from their headers without decoding.
 func (ix *Inverted) TotalPostings() int {
 	n := 0
 	for _, l := range ix.lists {
 		n += len(l)
+	}
+	for _, l := range ix.extras {
+		n += len(l)
+	}
+	if ix.cs != nil {
+		for t := 0; t < ix.cs.NumTokens(); t++ {
+			if t < len(ix.lists) && ix.lists[t] != nil {
+				continue // materialized: already counted
+			}
+			if c, ok := dataset.ContainerLen(ix.cs.Blob(t)); ok {
+				n += c
+			}
+		}
 	}
 	return n
 }

@@ -1,0 +1,49 @@
+// Package mmap exposes a read-only file mapping behind one small type so
+// callers can hold snapshot bytes without copying them onto the heap. On
+// platforms (or files) where mapping is unavailable the package degrades
+// to reading the file whole — the caller sees the same Mapping either way
+// and can ask Mapped() whether the bytes are borrowed from the page cache
+// or owned outright. A borrowed mapping's Data must not be written to and
+// must not be read after Close.
+package mmap
+
+// Mapping holds a file's bytes, either as a live read-only memory mapping
+// (Mapped() true — Close unmaps and the bytes vanish) or as an ordinary
+// heap slice (Mapped() false — Close just drops the reference).
+type Mapping struct {
+	data   []byte
+	mapped bool
+}
+
+// FromBytes wraps an ordinary heap slice in a Mapping so code paths that
+// hand ownership of snapshot bytes around need only one type.
+func FromBytes(data []byte) *Mapping {
+	return &Mapping{data: data}
+}
+
+// Data returns the mapped or read bytes. Nil after Close.
+func (m *Mapping) Data() []byte {
+	if m == nil {
+		return nil
+	}
+	return m.data
+}
+
+// Mapped reports whether Data aliases a live memory mapping (true) or a
+// private heap copy (false). Only mapped data becomes invalid on Close.
+func (m *Mapping) Mapped() bool { return m != nil && m.mapped }
+
+// Close releases the mapping. Idempotent; safe on nil. After Close, Data
+// returns nil, and any slice previously derived from a mapped Data must no
+// longer be touched.
+func (m *Mapping) Close() error {
+	if m == nil || m.data == nil {
+		return nil
+	}
+	data, wasMapped := m.data, m.mapped
+	m.data, m.mapped = nil, false
+	if wasMapped {
+		return munmap(data)
+	}
+	return nil
+}

@@ -1,0 +1,20 @@
+//go:build !unix
+
+package mmap
+
+import "os"
+
+// Open reads path whole: this platform has no mapping support, so the
+// Mapping owns a heap copy and Mapped() reports false.
+func Open(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return readWhole(f)
+}
+
+// munmap is never reached here — only Open on a mapping platform sets
+// mapped — but the shared Close needs the symbol.
+func munmap([]byte) error { return nil }

@@ -1,0 +1,77 @@
+package mmap
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func TestOpenRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "blob")
+	want := bytes.Repeat([]byte("silkmoth"), 1000)
+	if err := os.WriteFile(path, want, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(m.Data(), want) {
+		t.Fatalf("mapped %d bytes, want %d identical", len(m.Data()), len(want))
+	}
+	if runtime.GOOS == "linux" && !m.Mapped() {
+		t.Error("expected a real mapping on linux")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if m.Data() != nil {
+		t.Error("Data non-nil after Close")
+	}
+	if err := m.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+func TestOpenEmptyFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "empty")
+	if err := os.WriteFile(path, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Data()) != 0 || m.Mapped() {
+		t.Fatalf("empty file: %d bytes, mapped=%v", len(m.Data()), m.Mapped())
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOpenMissing(t *testing.T) {
+	if _, err := Open(filepath.Join(t.TempDir(), "nope")); err == nil {
+		t.Fatal("missing file opened")
+	}
+}
+
+func TestFromBytes(t *testing.T) {
+	data := []byte("abc")
+	m := FromBytes(data)
+	if m.Mapped() {
+		t.Error("heap mapping reports mapped")
+	}
+	if !bytes.Equal(m.Data(), data) {
+		t.Error("data differs")
+	}
+	if err := m.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var nilm *Mapping
+	if nilm.Data() != nil || nilm.Mapped() || nilm.Close() != nil {
+		t.Error("nil Mapping not inert")
+	}
+}

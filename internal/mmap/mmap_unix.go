@@ -1,0 +1,37 @@
+//go:build unix
+
+package mmap
+
+import (
+	"os"
+	"syscall"
+)
+
+// Open maps path read-only. An empty file yields an unmapped empty Mapping
+// (zero-length mmap is invalid), and any mapping failure falls back to
+// reading the file whole — Open only returns an error when the file itself
+// cannot be read.
+func Open(path string) (*Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return FromBytes(nil), nil
+	}
+	if int64(int(size)) == size {
+		data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+		if err == nil {
+			return &Mapping{data: data, mapped: true}, nil
+		}
+	}
+	return readWhole(f)
+}
+
+func munmap(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,16 @@
+package mmap
+
+import (
+	"io"
+	"os"
+)
+
+// readWhole is the shared fallback: slurp the open file into a heap-backed
+// Mapping.
+func readWhole(f *os.File) (*Mapping, error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	return FromBytes(data), nil
+}

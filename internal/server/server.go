@@ -1131,6 +1131,26 @@ type statsResponse struct {
 		Hits    int64 `json:"hits"`
 		Misses  int64 `json:"misses"`
 	} `json:"cache"`
+	// Storage reports how the inverted index's posting lists are held:
+	// materialized on the heap (compressed false) or as adaptive compressed
+	// containers decoded lazily through a bounded cache (compressed true).
+	Storage struct {
+		Compressed bool `json:"compressed"`
+		// Postings is the logical posting count; HeapBytes / EncodedBytes /
+		// ResidentBytes are materialized, compressed-container, and
+		// decode-cache storage respectively. Postings*8/EncodedBytes is the
+		// compression ratio when compressed.
+		Postings      int   `json:"postings"`
+		HeapBytes     int64 `json:"heap_bytes"`
+		EncodedBytes  int64 `json:"encoded_bytes"`
+		ResidentBytes int64 `json:"resident_bytes"`
+		CacheHits     int64 `json:"cache_hits"`
+		CacheMisses   int64 `json:"cache_misses"`
+		DecodeErrors  int64 `json:"decode_errors"`
+		// SnapshotMapped reports a zero-copy load: container bytes alias
+		// the memory-mapped snapshot and page in from disk on demand.
+		SnapshotMapped bool `json:"snapshot_mapped"`
+	} `json:"storage"`
 	// Durability reports the snapshot/WAL layer; all-zero (and enabled
 	// false) on an engine without a data directory.
 	Durability struct {
@@ -1181,6 +1201,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Cache.Entries = s.cache.len()
 	resp.Cache.Hits = s.met.hits()
 	resp.Cache.Misses = s.met.misses()
+	resp.Storage.Compressed = st.CompressedPostings
+	resp.Storage.Postings = st.Postings
+	resp.Storage.HeapBytes = st.PostingHeapBytes
+	resp.Storage.EncodedBytes = st.PostingEncodedBytes
+	resp.Storage.ResidentBytes = st.PostingResidentBytes
+	resp.Storage.CacheHits = st.PostingCacheHits
+	resp.Storage.CacheMisses = st.PostingCacheMisses
+	resp.Storage.DecodeErrors = st.PostingDecodeErrors
+	resp.Storage.SnapshotMapped = st.SnapshotMapped
 	resp.Durability.Enabled = s.cfg.DataDir != ""
 	resp.Durability.Snapshots = st.Snapshots
 	resp.Durability.WALRecords = st.WALRecords
@@ -1292,6 +1321,25 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintf(out, "# HELP silkmothd_shard_stragglers_total Scatters whose slowest shard exceeded twice the median shard time.\n")
 		fmt.Fprintf(out, "# TYPE silkmothd_shard_stragglers_total counter\n")
 		fmt.Fprintf(out, "silkmothd_shard_stragglers_total %d\n", st.Stragglers)
+
+		fmt.Fprintf(out, "# HELP silkmothd_posting_storage_compressed Whether the inverted index stores posting lists as compressed containers.\n")
+		fmt.Fprintf(out, "# TYPE silkmothd_posting_storage_compressed gauge\n")
+		fmt.Fprintf(out, "silkmothd_posting_storage_compressed %d\n", b2i(st.CompressedPostings))
+		fmt.Fprintf(out, "# HELP silkmothd_posting_storage_bytes Posting storage by form: heap-materialized lists, encoded container bytes, decode-cache resident bytes.\n")
+		fmt.Fprintf(out, "# TYPE silkmothd_posting_storage_bytes gauge\n")
+		fmt.Fprintf(out, "silkmothd_posting_storage_bytes{form=\"heap\"} %d\n", st.PostingHeapBytes)
+		fmt.Fprintf(out, "silkmothd_posting_storage_bytes{form=\"encoded\"} %d\n", st.PostingEncodedBytes)
+		fmt.Fprintf(out, "silkmothd_posting_storage_bytes{form=\"resident\"} %d\n", st.PostingResidentBytes)
+		fmt.Fprintf(out, "# HELP silkmothd_posting_cache_probes_total Decode-cache probes of compressed posting lists by outcome.\n")
+		fmt.Fprintf(out, "# TYPE silkmothd_posting_cache_probes_total counter\n")
+		fmt.Fprintf(out, "silkmothd_posting_cache_probes_total{outcome=\"hit\"} %d\n", st.PostingCacheHits)
+		fmt.Fprintf(out, "silkmothd_posting_cache_probes_total{outcome=\"miss\"} %d\n", st.PostingCacheMisses)
+		fmt.Fprintf(out, "# HELP silkmothd_posting_decode_errors_total Container decode failures (non-zero only with a corrupted snapshot).\n")
+		fmt.Fprintf(out, "# TYPE silkmothd_posting_decode_errors_total counter\n")
+		fmt.Fprintf(out, "silkmothd_posting_decode_errors_total %d\n", st.PostingDecodeErrors)
+		fmt.Fprintf(out, "# HELP silkmothd_snapshot_mapped Whether the index's containers alias a memory-mapped snapshot (zero-copy load).\n")
+		fmt.Fprintf(out, "# TYPE silkmothd_snapshot_mapped gauge\n")
+		fmt.Fprintf(out, "silkmothd_snapshot_mapped %d\n", b2i(st.SnapshotMapped))
 
 		fmt.Fprintf(out, "# HELP silkmothd_snapshots_total Durable snapshots written since startup.\n")
 		fmt.Fprintf(out, "# TYPE silkmothd_snapshots_total counter\n")

@@ -25,6 +25,7 @@ import (
 
 	"silkmoth/internal/core"
 	"silkmoth/internal/dataset"
+	"silkmoth/internal/index"
 	"silkmoth/internal/obs"
 )
 
@@ -260,6 +261,27 @@ func (e *Engine) Compactions() int64 {
 		n += eng.Compactions()
 	}
 	return n
+}
+
+// Storage returns posting-storage statistics summed across all shard
+// engines. Compressed is reported when every shard's index is compressed
+// (shards share one configuration, so in practice it is all or none).
+func (e *Engine) Storage() index.StorageStats {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	sum := index.StorageStats{Compressed: len(e.engines) > 0}
+	for _, eng := range e.engines {
+		st := eng.Storage()
+		sum.Postings += st.Postings
+		sum.HeapBytes += st.HeapBytes
+		sum.EncodedBytes += st.EncodedBytes
+		sum.ResidentBytes += st.ResidentBytes
+		sum.CacheHits += st.CacheHits
+		sum.CacheMisses += st.CacheMisses
+		sum.DecodeErrors += st.DecodeErrors
+		sum.Compressed = sum.Compressed && st.Compressed
+	}
+	return sum
 }
 
 // Stats returns the pruning funnel summed across all shard engines.

@@ -12,6 +12,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"silkmoth/internal/mmap"
 )
 
 // File is the writable-file surface the store needs. Write buffers like an
@@ -48,6 +50,16 @@ type FS interface {
 	SyncDir() error
 }
 
+// MapFS is an optional capability an FS may add: exposing a file as a
+// read-only memory mapping. Store.RecoverData uses it when present and
+// falls back to Open+ReadAll when absent (the crash-injection FS, for one,
+// deliberately lacks it), so implementations are never required.
+type MapFS interface {
+	// Map returns name's contents as a read-only Mapping. The caller owns
+	// the mapping and must Close it.
+	Map(name string) (*mmap.Mapping, error)
+}
+
 // dirFS is the production FS: a real directory on the OS filesystem.
 type dirFS struct {
 	root string
@@ -73,6 +85,10 @@ func (d *dirFS) OpenAppend(name string) (File, error) {
 
 func (d *dirFS) Open(name string) (io.ReadCloser, error) {
 	return os.Open(d.join(name))
+}
+
+func (d *dirFS) Map(name string) (*mmap.Mapping, error) {
+	return mmap.Open(d.join(name))
 }
 
 func (d *dirFS) Rename(oldname, newname string) error {

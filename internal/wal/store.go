@@ -7,6 +7,8 @@ import (
 	"sort"
 	"strings"
 	"sync/atomic"
+
+	"silkmoth/internal/mmap"
 )
 
 // Store manages a flat directory of sequence-numbered snapshot/log pairs:
@@ -119,6 +121,66 @@ func (s *Store) Recover(load func(io.Reader) error) (bool, error) {
 		return false, fmt.Errorf("wal: no loadable snapshot: %w", firstErr)
 	}
 	return false, nil
+}
+
+// RecoverData is Recover for loaders that consume the snapshot as one byte
+// slice: each candidate is memory-mapped when the FS supports it (zero-copy
+// — the loader can keep sub-slices of the image alive) and read whole
+// otherwise. On success the returned Mapping backs the bytes that were
+// handed to load; the caller owns it and must keep it open for as long as
+// any slice of the image is referenced, then Close it. Mappings for
+// candidates that failed to load are closed here. Returns (false, nil, nil)
+// on an empty store.
+func (s *Store) RecoverData(load func(data []byte) error) (bool, *mmap.Mapping, error) {
+	seqs, err := s.snapshotSeqs()
+	if err != nil {
+		return false, nil, err
+	}
+	var firstErr error
+	for _, seq := range seqs {
+		m, err := s.openSnapshotData(seq)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if err := load(m.Data()); err != nil {
+			m.Close()
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		s.seq = seq
+		return true, m, nil
+	}
+	if firstErr != nil {
+		return false, nil, fmt.Errorf("wal: no loadable snapshot: %w", firstErr)
+	}
+	return false, nil, nil
+}
+
+// openSnapshotData maps snapshot seq when the FS can, else reads it whole.
+// A mapping failure on a readable file degrades to the read path rather
+// than failing recovery.
+func (s *Store) openSnapshotData(seq uint64) (*mmap.Mapping, error) {
+	name := snapName(seq)
+	if mf, ok := s.fsys.(MapFS); ok {
+		if m, err := mf.Map(name); err == nil {
+			return m, nil
+		}
+	}
+	rc, err := s.fsys.Open(name)
+	if err != nil {
+		return nil, err
+	}
+	data, err := io.ReadAll(rc)
+	rc.Close()
+	if err != nil {
+		return nil, err
+	}
+	return mmap.FromBytes(data), nil
 }
 
 // ReplayWAL decodes the current pair's log and applies each record in

@@ -313,6 +313,19 @@ type Config struct {
 	// automatic compaction, leaving reclamation to explicit Compact calls.
 	// Results are identical before and after compaction either way.
 	CompactionThreshold float64
+	// CompressedPostings stores posting lists as adaptive compressed
+	// containers (sorted array / delta-packed blocks / bitmap, whichever is
+	// smallest per list) instead of materialized slices. Queries decode a
+	// list only when a probe first touches it, holding hot decodes in a
+	// bounded LRU, so the index costs a fraction of the heap for identical
+	// results. With DataDir set, recovery from a container-format snapshot
+	// becomes zero-copy: the file is memory-mapped and posting bytes stay
+	// on disk until probed.
+	CompressedPostings bool
+	// PostingCacheBytes bounds the compressed index's LRU of decoded hot
+	// posting lists, in bytes; 0 means the default (64 MiB). Ignored
+	// without CompressedPostings.
+	PostingCacheBytes int64
 }
 
 // DefaultCompactionThreshold is the tombstone ratio at which engines
@@ -368,6 +381,8 @@ func (c Config) coreOptions() (core.Options, error) {
 		Concurrency:         c.Concurrency,
 		StageSample:         c.StageSample,
 		CompactionThreshold: compact,
+		CompressPostings:    c.CompressedPostings,
+		PostingCacheBytes:   c.PostingCacheBytes,
 	}, nil
 }
 
@@ -458,4 +473,31 @@ type Stats struct {
 	// checksum-failing final record — the expected shape after a crash
 	// mid-append; the torn tail was truncated away.
 	WALTornTail bool
+	// CompressedPostings reports whether the index stores posting lists as
+	// compressed containers (Config.CompressedPostings, or a zero-copy
+	// snapshot load).
+	CompressedPostings bool
+	// Postings is the logical posting count across the index's lists
+	// (summed across shards).
+	Postings int
+	// PostingHeapBytes approximates the materialized posting storage held
+	// outside the decode cache: all lists on an uncompressed engine, only
+	// post-load appends on a compressed one.
+	PostingHeapBytes int64
+	// PostingEncodedBytes is the compressed container storage backing the
+	// index (zero on an uncompressed engine). The compression ratio is
+	// Postings*8 / PostingEncodedBytes.
+	PostingEncodedBytes int64
+	// PostingResidentBytes is the decode cache's current holding of hot
+	// materialized lists.
+	PostingResidentBytes int64
+	// PostingCacheHits / PostingCacheMisses count decode-cache probes of
+	// compressed lists; PostingDecodeErrors counts container decode
+	// failures (non-zero only with a corrupted snapshot).
+	PostingCacheHits    int64
+	PostingCacheMisses  int64
+	PostingDecodeErrors int64
+	// SnapshotMapped reports that the engine's containers alias a
+	// memory-mapped snapshot (zero-copy load, postings paged from disk).
+	SnapshotMapped bool
 }
