@@ -7,6 +7,7 @@
 package silkmoth_test
 
 import (
+	"context"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -249,7 +250,11 @@ func BenchmarkDiscoverParallel(b *testing.B) {
 			b.ReportAllocs()
 			var pairs int
 			for i := 0; i < b.N; i++ {
-				pairs = len(eng.Discover(w.Coll))
+				ps, derr := eng.DiscoverContext(context.Background(), w.Coll)
+				if derr != nil {
+					b.Fatal(derr)
+				}
+				pairs = len(ps)
 			}
 			b.ReportMetric(float64(pairs), "pairs")
 		})

@@ -34,8 +34,8 @@ func TestParallelDiscoverByteIdentical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ps := engS.Discover(coll)
-	pp := engP.Discover(coll)
+	ps := discover(engS, coll)
+	pp := discover(engP, coll)
 	sortPairs(ps)
 	sortPairs(pp)
 	if len(ps) == 0 {
@@ -75,8 +75,8 @@ func TestParallelSearchByteIdentical(t *testing.T) {
 	sawParallel := false
 	for ri := range coll.Sets {
 		r := &coll.Sets[ri]
-		ms := engS.Search(r)
-		mp := engP.Search(r)
+		ms := search(engS, r)
+		mp := search(engP, r)
 		if len(ms) != len(mp) {
 			t.Fatalf("ref %d: match counts differ: serial %d, parallel %d", ri, len(ms), len(mp))
 		}

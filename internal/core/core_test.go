@@ -42,7 +42,7 @@ func TestPaperExample2Containment(t *testing.T) {
 				Reduction:   true,
 			}
 			eng, r := paperEngine(t, opts)
-			got := eng.Search(r)
+			got := search(eng, r)
 			if len(got) != 1 {
 				t.Fatalf("%v/%+v: got %d results, want 1 (S4)", scheme, filters, len(got))
 			}
@@ -69,7 +69,7 @@ func TestPaperExample2Containment(t *testing.T) {
 func TestPaperExample3Similarity(t *testing.T) {
 	opts := DefaultOptions(SetSimilarity, Jaccard, 0.55, 0)
 	eng, r := paperEngine(t, opts)
-	got := eng.Search(r)
+	got := search(eng, r)
 	if len(got) != 1 || eng.Collection().Sets[got[0].Set].Name != "S4" {
 		t.Fatalf("similarity search = %+v, want only S4", got)
 	}
@@ -89,7 +89,7 @@ func TestSearchMatchesBruteForceOnPaperData(t *testing.T) {
 		for _, delta := range []float64{0.3, 0.5, 0.7, 0.9} {
 			opts := DefaultOptions(metric, Jaccard, delta, 0)
 			eng, r := paperEngine(t, opts)
-			got := eng.Search(r)
+			got := search(eng, r)
 			want := eng.BruteForceSearch(r)
 			if len(got) != len(want) {
 				t.Fatalf("%v δ=%v: engine %d results, oracle %d", metric, delta, len(got), len(want))
@@ -101,7 +101,7 @@ func TestSearchMatchesBruteForceOnPaperData(t *testing.T) {
 func TestStatsCounting(t *testing.T) {
 	opts := DefaultOptions(SetContainment, Jaccard, 0.7, 0)
 	eng, r := paperEngine(t, opts)
-	eng.Search(r)
+	search(eng, r)
 	st := eng.Stats()
 	if st.SearchPasses != 1 {
 		t.Errorf("passes = %d", st.SearchPasses)
@@ -207,7 +207,7 @@ func TestScoreThresholdAndRelatedness(t *testing.T) {
 
 func TestEmptyReferenceSearch(t *testing.T) {
 	eng, _ := paperEngine(t, DefaultOptions(SetSimilarity, Jaccard, 0.7, 0))
-	if got := eng.Search(&dataset.Set{Name: "empty"}); len(got) != 0 {
+	if got := search(eng, &dataset.Set{Name: "empty"}); len(got) != 0 {
 		t.Errorf("empty reference matched %d sets", len(got))
 	}
 }
@@ -241,7 +241,7 @@ func TestContainmentSizeRequirement(t *testing.T) {
 	refColl := dataset.BuildWord(dict, []dataset.RawSet{
 		{Name: "big", Elements: []string{"a b c", "d e f"}},
 	})
-	if got := eng.Search(&refColl.Sets[0]); len(got) != 0 {
+	if got := search(eng, &refColl.Sets[0]); len(got) != 0 {
 		t.Errorf("containment matched a smaller set: %+v", got)
 	}
 }
@@ -258,7 +258,7 @@ func TestDiscoverSelfJoinDedup(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pairs := eng.Discover(coll)
+	pairs := discover(eng, coll)
 	if len(pairs) != 1 {
 		t.Fatalf("pairs = %+v, want exactly one (A,B)", pairs)
 	}
@@ -275,7 +275,7 @@ func TestDiscoverCrossCollections(t *testing.T) {
 		t.Fatal(err)
 	}
 	refs := dataset.BuildWord(dict, []dataset.RawSet{paperdata.ReferenceR()})
-	pairs := eng.Discover(refs)
+	pairs := discover(eng, refs)
 	if len(pairs) != 1 || coll.Sets[pairs[0].S].Name != "S4" {
 		t.Fatalf("cross discovery = %+v, want R→S4", pairs)
 	}
@@ -299,8 +299,8 @@ func TestConcurrentDiscoverMatchesSerial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ps := engS.Discover(coll)
-	pp := engP.Discover(coll)
+	ps := discover(engS, coll)
+	pp := discover(engP, coll)
 	sortPairs(ps)
 	sortPairs(pp)
 	if len(ps) != len(pp) {
@@ -328,7 +328,7 @@ func TestDiscoverDeterministic(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ps := eng.Discover(coll)
+		ps := discover(eng, coll)
 		sortPairs(ps)
 		return ps
 	}
@@ -348,8 +348,8 @@ func TestDiscoverDeterministic(t *testing.T) {
 
 func TestSearchTopKCore(t *testing.T) {
 	eng, r := paperEngine(t, DefaultOptions(SetContainment, Jaccard, 0.3, 0))
-	all := eng.Search(r)
-	top1 := eng.SearchTopK(r, 1)
+	all := search(eng, r)
+	top1 := searchTopK(eng, r, 1)
 	if len(top1) != 1 {
 		t.Fatalf("top1 = %+v", top1)
 	}
@@ -362,10 +362,10 @@ func TestSearchTopKCore(t *testing.T) {
 	if top1[0].Set != best.Set {
 		t.Errorf("top1 = %+v, want best %+v", top1[0], best)
 	}
-	if got := eng.SearchTopK(r, 0); got != nil {
+	if got := searchTopK(eng, r, 0); got != nil {
 		t.Error("k=0 should return nil")
 	}
-	if got := eng.SearchTopK(r, 99); len(got) != len(all) {
+	if got := searchTopK(eng, r, 99); len(got) != len(all) {
 		t.Errorf("large k should return all %d, got %d", len(all), len(got))
 	}
 }
@@ -390,7 +390,7 @@ func TestFullScanFallback(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pairs := eng.Discover(coll)
+	pairs := discover(eng, coll)
 	want := eng.BruteForceDiscover(coll)
 	if len(pairs) != len(want) {
 		t.Fatalf("full-scan fallback diverges: %d vs %d", len(pairs), len(want))

@@ -38,7 +38,7 @@ func TestEndToEndDiceCosineMatchesBruteForce(t *testing.T) {
 								}
 								label := fmt.Sprintf("trial=%d %v %v δ=%v α=%v %v nn=%v",
 									trial, simKind, metric, delta, alpha, scheme, nn)
-								comparePairs(t, label, eng.Discover(coll), eng.BruteForceDiscover(coll))
+								comparePairs(t, label, discover(eng, coll), eng.BruteForceDiscover(coll))
 							}
 						}
 					}
@@ -62,7 +62,7 @@ func TestDiceCosineFindSupersetsOfJaccard(t *testing.T) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				return len(eng.Discover(coll))
+				return len(discover(eng, coll))
 			}
 			jac, dice, cos := count(Jaccard), count(Dice), count(Cosine)
 			if dice < jac {

@@ -137,7 +137,7 @@ func TestEndToEndJaccardMatchesBruteForce(t *testing.T) {
 								}
 								label := fmt.Sprintf("trial=%d %v %v δ=%v α=%v %v check=%v nn=%v red=%v",
 									trial, metric, Jaccard, delta, alpha, scheme, f.check, f.nn, reduction)
-								comparePairs(t, label, eng.Discover(coll), eng.BruteForceDiscover(coll))
+								comparePairs(t, label, discover(eng, coll), eng.BruteForceDiscover(coll))
 							}
 						}
 					}
@@ -174,7 +174,7 @@ func TestEndToEndEditMatchesBruteForce(t *testing.T) {
 							}
 							label := fmt.Sprintf("trial=%d %v δ=%v α=%v q=%d %v nn=%v",
 								trial, simKind, delta, alpha, q, scheme, nn)
-							comparePairs(t, label, eng.Discover(coll), eng.BruteForceDiscover(coll))
+							comparePairs(t, label, discover(eng, coll), eng.BruteForceDiscover(coll))
 						}
 					}
 				}
@@ -199,7 +199,7 @@ func TestEndToEndContainmentSearchMatchesBruteForce(t *testing.T) {
 			}
 			for ri := 0; ri < len(coll.Sets); ri += 7 {
 				r := &coll.Sets[ri]
-				got := eng.Search(r)
+				got := search(eng, r)
 				want := eng.BruteForceSearch(r)
 				if len(got) != len(want) {
 					t.Fatalf("trial %d ref %d α=%v: %d vs %d results", trial, ri, alpha, len(got), len(want))
@@ -234,7 +234,7 @@ func TestEndToEndDegenerateInputs(t *testing.T) {
 				t.Fatal(err)
 			}
 			comparePairs(t, fmt.Sprintf("%v δ=%v", metric, delta),
-				eng.Discover(coll), eng.BruteForceDiscover(coll))
+				discover(eng, coll), eng.BruteForceDiscover(coll))
 		}
 	}
 }
@@ -251,7 +251,7 @@ func TestDeltaOneOnlyExactDuplicates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pairs := eng.Discover(coll)
+	pairs := discover(eng, coll)
 	if len(pairs) != 1 || pairs[0].R != 0 || pairs[0].S != 1 {
 		t.Errorf("δ=1 pairs = %+v, want only (A,B)", pairs)
 	}

@@ -156,14 +156,9 @@ func (e *Engine) Options() Options { return e.opts }
 // Collection returns the indexed collection.
 func (e *Engine) Collection() *dataset.Collection { return e.coll }
 
-// Search runs one related-set search pass (paper §3) for reference set r,
-// which must be tokenized against the engine collection's dictionary.
-func (e *Engine) Search(r *dataset.Set) []Match {
-	ms, _ := e.SearchContext(context.Background(), r)
-	return ms
-}
-
-// SearchContext is Search with cancellation: it aborts between verification
+// SearchContext runs one related-set search pass (paper §3) for reference
+// set r, which must be tokenized against the engine collection's
+// dictionary. It aborts between verification
 // steps when ctx is done and returns ctx.Err(). When the engine's
 // Concurrency allows, the candidate-verification loop of the pass is
 // sharded across a worker pool; results are identical to the serial path.
@@ -235,18 +230,14 @@ func (e *Engine) sizeAcceptDelta(nR, nS int, delta float64) bool {
 	}
 }
 
-// Discover solves RELATED SET DISCOVERY (Problem 1) for the reference
-// collection refs against the engine's collection. refs must share the
-// engine collection's dictionary. When refs is the engine's own collection,
-// the self-join is deduplicated under SET-SIMILARITY (each unordered pair
-// reported once, self-pairs skipped); under SET-CONTAINMENT every ordered
-// pair ⟨R, S⟩ with |R| ≤ |S|, R ≠ S is considered.
-func (e *Engine) Discover(refs *dataset.Collection) []Pair {
-	ps, _ := e.DiscoverContext(context.Background(), refs)
-	return ps
-}
-
-// DiscoverContext is Discover with cancellation: reference passes are
+// DiscoverContext solves RELATED SET DISCOVERY (Problem 1) for the
+// reference collection refs against the engine's collection. refs must
+// share the engine collection's dictionary. When refs is the engine's own
+// collection, the self-join is deduplicated under SET-SIMILARITY (each
+// unordered pair reported once, self-pairs skipped); under SET-CONTAINMENT
+// every ordered pair ⟨R, S⟩ with |R| ≤ |S|, R ≠ S is considered.
+//
+// Reference passes are
 // sharded across the engine's Concurrency workers, each with its own
 // scratch and stats shard (merged on retirement), and the whole discovery
 // aborts with ctx.Err() when ctx is done. Pair order varies with worker

@@ -27,7 +27,7 @@ func lifecycleOpts() Options {
 
 func searchIndices(e *Engine, r *dataset.Set) []int {
 	var out []int
-	for _, m := range e.Search(r) {
+	for _, m := range search(e, r) {
 		out = append(out, m.Set)
 	}
 	return out
@@ -183,7 +183,7 @@ func TestAddAfterCompactReusesDictionarySlots(t *testing.T) {
 	// content finds the new set and never the dead one.
 	qc := dataset.BuildWord(coll.Dict, []dataset.RawSet{{Name: "q", Elements: []string{"walrus red", "walrus blue"}}})
 	found := false
-	for _, m := range e.Search(&qc.Sets[0]) {
+	for _, m := range search(e, &qc.Sets[0]) {
 		if m.Set == 3 {
 			t.Fatal("search returned the deleted set via a recycled token id")
 		}

@@ -96,6 +96,6 @@ func BenchmarkPipelineDiscover(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.Discover(e.coll)
+		discover(e, e.coll)
 	}
 }

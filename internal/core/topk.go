@@ -1,21 +1,25 @@
 package core
 
 import (
+	"context"
 	"slices"
 
 	"silkmoth/internal/dataset"
 )
 
-// SearchTopK returns the k most related sets to r among those whose
+// SearchTopKContext returns the k most related sets to r among those whose
 // relatedness reaches the engine's δ, ordered by descending relatedness
 // (ties by index). δ acts as the quality floor: the result is exactly the
-// top k of Search's output, computed without materializing more than
-// Search already verifies.
-func (e *Engine) SearchTopK(r *dataset.Set, k int) []Match {
+// top k of SearchContext's output, computed without materializing more
+// than SearchContext already verifies.
+func (e *Engine) SearchTopKContext(ctx context.Context, r *dataset.Set, k int) ([]Match, error) {
 	if k <= 0 {
-		return nil
+		return nil, nil
 	}
-	ms := e.Search(r)
+	ms, err := e.SearchContext(ctx, r)
+	if err != nil {
+		return nil, err
+	}
 	slices.SortFunc(ms, func(a, b Match) int {
 		if a.Relatedness != b.Relatedness {
 			if a.Relatedness > b.Relatedness {
@@ -28,7 +32,7 @@ func (e *Engine) SearchTopK(r *dataset.Set, k int) []Match {
 	if len(ms) > k {
 		ms = ms[:k]
 	}
-	return ms
+	return ms, nil
 }
 
 // AppendSets extends the engine's inverted index over sets appended to its

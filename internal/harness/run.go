@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"runtime"
@@ -58,7 +59,11 @@ func RunConfig(w Workload, opts core.Options, variant, figure string) Row {
 		start = time.Now() // exclude index build for search mode
 		results := 0
 		for i := range w.Refs.Sets {
-			results += len(eng.Search(&w.Refs.Sets[i]))
+			ms, serr := eng.SearchContext(context.Background(), &w.Refs.Sets[i])
+			if serr != nil {
+				panic(fmt.Sprintf("harness: %v", serr))
+			}
+			results += len(ms)
 		}
 		row.Results = results
 	} else {
@@ -66,7 +71,11 @@ func RunConfig(w Workload, opts core.Options, variant, figure string) Row {
 		if err != nil {
 			panic(fmt.Sprintf("harness: %v", err))
 		}
-		row.Results = len(eng.Discover(w.Refs))
+		ps, derr := eng.DiscoverContext(context.Background(), w.Refs)
+		if derr != nil {
+			panic(fmt.Sprintf("harness: %v", derr))
+		}
+		row.Results = len(ps)
 	}
 	row.TimeSec = time.Since(start).Seconds()
 

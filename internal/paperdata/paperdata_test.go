@@ -1,6 +1,7 @@
 package paperdata
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -21,7 +22,10 @@ func TestTable2GroundTruth(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ms := eng.Search(&refs.Sets[0])
+	ms, err := eng.SearchContext(context.Background(), &refs.Sets[0])
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(ms) != 1 {
 		t.Fatalf("got %d related sets, want exactly S4: %+v", len(ms), ms)
 	}

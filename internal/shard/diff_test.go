@@ -61,14 +61,20 @@ func runDifferential(t *testing.T, metric core.Metric, sim core.SimKind, delta, 
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantPairs := serial.Discover(coll)
+	wantPairs, err := serial.DiscoverContext(context.Background(), coll)
+	if err != nil {
+		t.Fatal(err)
+	}
 	sortPairs(wantPairs)
 	if len(wantPairs) == 0 {
 		t.Fatal("workload produced no related pairs; tune the corpus or thresholds")
 	}
 	wantMatches := make([][]core.Match, len(coll.Sets))
 	for ri := range coll.Sets {
-		ms := serial.Search(&coll.Sets[ri])
+		ms, err := serial.SearchContext(context.Background(), &coll.Sets[ri])
+		if err != nil {
+			t.Fatal(err)
+		}
 		sortMatches(ms)
 		wantMatches[ri] = ms
 	}

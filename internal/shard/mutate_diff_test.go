@@ -129,7 +129,7 @@ func buildMutatedSerial(t *testing.T, raws []dataset.RawSet, p mutationPlan, sim
 			return ms, err
 		},
 		topk: func(ctx context.Context, r *dataset.Set, k int) ([]core.Match, error) {
-			return eng.SearchTopK(r, k), nil
+			return eng.SearchTopKContext(ctx, r, k)
 		},
 		discover: func(ctx context.Context) ([]core.Pair, error) {
 			ps, err := eng.DiscoverContext(ctx, coll)
@@ -250,14 +250,20 @@ func runMutationDifferential(t *testing.T, metric core.Metric, sim core.SimKind,
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantPairs := ref.Discover(fresh)
+	wantPairs, err := ref.DiscoverContext(context.Background(), fresh)
+	if err != nil {
+		t.Fatal(err)
+	}
 	sortPairs(wantPairs)
 	if len(wantPairs) == 0 {
 		t.Fatal("surviving workload produced no related pairs; tune the corpus or thresholds")
 	}
 	wantMatches := make([][]core.Match, len(fresh.Sets))
 	for fi := range fresh.Sets {
-		ms := ref.Search(&fresh.Sets[fi])
+		ms, err := ref.SearchContext(context.Background(), &fresh.Sets[fi])
+		if err != nil {
+			t.Fatal(err)
+		}
 		sortMatches(ms)
 		wantMatches[fi] = ms
 	}
