@@ -6,6 +6,18 @@
 // DISCOVERY, both SET-SIMILARITY and SET-CONTAINMENT, Jaccard and edit
 // similarities with an optional element threshold α, and the brute-force
 // and FastJoin-style baselines the paper evaluates against.
+//
+// # Hot-path annotations
+//
+// The steady-state query pipeline — the per-pass stages in plan.go
+// (signature build, candidate collection, refine-and-verify) and the
+// verification helpers in verify.go — is annotated //silkmoth:hotpath.
+// The annotation is a machine-checked contract: the hotpath analyzer
+// (internal/lint, run as `silkmothlint` in CI) rejects allocation-inducing
+// constructs inside annotated functions, complementing the AllocsPerRun
+// gates in alloc_test.go. Deliberately allocating paths (fullScan,
+// verifyAll, verifyParallel) are left unannotated; keep the marker off any
+// function that is supposed to allocate.
 package core
 
 import (

@@ -211,6 +211,7 @@ type acceptState struct {
 	delta    float64
 }
 
+//silkmoth:hotpath
 func (a *acceptState) accept(set int32) bool {
 	if int(set) <= a.selfSkip {
 		return false
@@ -281,6 +282,8 @@ type plan struct {
 // loop across goroutines (true for top-level searches, false inside
 // Discover's workers, which are already parallel). q, when non-nil,
 // overrides scheme/δ/filters for this pass and captures its funnel.
+//
+//silkmoth:hotpath
 func (e *Engine) searchPass(ctx context.Context, r *dataset.Set, selfSkip int, w *worker, parallelOK bool, q *Query) ([]Match, error) {
 	w.st.addSearchPasses(1)
 	var ps *PassStats
@@ -346,6 +349,8 @@ func (e *Engine) searchPass(ctx context.Context, r *dataset.Set, selfSkip int, w
 // the engine's scheme (cost-based for Auto) and generates the probe
 // signature. It reports false when no valid signature exists (edit
 // similarity, §7.3) and the pass must fall back to a full scan.
+//
+//silkmoth:hotpath
 func (p *plan) buildSignature() bool {
 	e, w := p.e, p.w
 	sig, kind := w.sel.Generate(p.opts.Scheme, p.r, signature.Params{
@@ -396,6 +401,8 @@ func (p *plan) fullScan(ctx context.Context) ([]Match, error) {
 // collect runs candidate selection plus the check filter over the inverted
 // index. The resulting candidate slice points into the worker's collector
 // scratch and is consumed before the pass ends.
+//
+//silkmoth:hotpath
 func (p *plan) collect() {
 	e, w := p.e, p.w
 	cands, raw := w.cl.Collect(p.r, p.sig, e.phi, filter.Options{
@@ -416,6 +423,8 @@ func (p *plan) collect() {
 
 // prepareRefine precomputes the nearest-neighbor filter's no-share floors
 // into the worker's buffer.
+//
+//silkmoth:hotpath
 func (p *plan) prepareRefine() {
 	e, w := p.e, p.w
 	if p.opts.NNFilter {
@@ -450,6 +459,8 @@ func (p *plan) verifyAll(ctx context.Context) ([]Match, error) {
 // refineAndVerify runs one candidate through the nearest-neighbor filter and
 // exact verification, charging the given worker's stats shard (the parallel
 // stage hands each goroutine its own worker).
+//
+//silkmoth:hotpath
 func (p *plan) refineAndVerify(c *filter.Candidate, w *worker) (Match, bool) {
 	e := p.e
 	if !p.timed {

@@ -9,6 +9,8 @@ import (
 // scoreThreshold returns the minimum maximum-matching score for two sets of
 // the given sizes to be related: θ = δ|R| under SET-CONTAINMENT, and
 // δ(|R|+|S|)/(1+δ) under SET-SIMILARITY (solving M/(|R|+|S|-M) ≥ δ for M).
+//
+//silkmoth:hotpath
 func scoreThreshold(metric Metric, delta float64, nR, nS int) float64 {
 	if metric == SetContainment {
 		return delta * float64(nR)
@@ -17,6 +19,8 @@ func scoreThreshold(metric Metric, delta float64, nR, nS int) float64 {
 }
 
 // relatedness converts a matching score into the metric value.
+//
+//silkmoth:hotpath
 func relatedness(metric Metric, score float64, nR, nS int) float64 {
 	if metric == SetContainment {
 		return score / float64(nR)
@@ -32,6 +36,7 @@ type pairSim struct {
 	r, s *dataset.Set
 }
 
+//silkmoth:hotpath
 func (p *pairSim) At(i, j int) float64 {
 	return p.phi(&p.r.Elements[i], &p.s.Elements[j])
 }
@@ -57,6 +62,8 @@ func (e *Engine) verify(r *dataset.Set, s int, vs *verifyScratch) (Match, bool) 
 // configuration with any per-query overrides (δ, reduction) applied. The
 // search pipeline always routes through it so query overrides reach exact
 // verification.
+//
+//silkmoth:hotpath
 func (e *Engine) verifyWith(r *dataset.Set, s int, vs *verifyScratch, o *Options) (Match, bool) {
 	sSet := &e.coll.Sets[s]
 	score := e.matchScoreWith(r, sSet, vs, o.Reduction)
@@ -81,6 +88,8 @@ func (e *Engine) matchScore(r, s *dataset.Set, vs *verifyScratch) float64 {
 // matchScoreWith computes |R ∩̃ S| between two tokenized sets. With the
 // reduction enabled it compares the elements' build-time interned keys
 // (dataset.Element.Key) — integers, never materialized strings.
+//
+//silkmoth:hotpath
 func (e *Engine) matchScoreWith(r, s *dataset.Set, vs *verifyScratch, reduction bool) float64 {
 	vs.ps.phi = e.phi
 	vs.ps.r, vs.ps.s = r, s
@@ -94,6 +103,8 @@ func (e *Engine) matchScoreWith(r, s *dataset.Set, vs *verifyScratch, reduction 
 
 // appendElementKeys copies the elements' interned content keys into dst
 // (dataset.NoKey becomes the reduction's negative "never reduce" marker).
+//
+//silkmoth:hotpath
 func appendElementKeys(dst []int32, els []dataset.Element) []int32 {
 	for i := range els {
 		dst = append(dst, int32(els[i].Key))

@@ -39,6 +39,8 @@ type elemSpan struct {
 // Build tokenizes query sets against an existing collection's dictionary,
 // like BuildQuery (element keys are looked up, never interned). The result
 // is valid until the next Build on this scratch.
+//
+//silkmoth:hotpath
 func (qs *QueryScratch) Build(dict *tokens.Dictionary, raws []RawSet, mode TokenMode, q int) *Collection {
 	qs.ids = qs.ids[:0]
 	qs.spans = qs.spans[:0]
@@ -111,6 +113,8 @@ func (qs *QueryScratch) Build(dict *tokens.Dictionary, raws []RawSet, mode Token
 // lookupKey is dataset.lookupKey staged through the scratch key buffer:
 // same NoKey semantics, but the word-mode key bytes never materialize a
 // string (Dictionary.LookupBytes).
+//
+//silkmoth:hotpath
 func (qs *QueryScratch) lookupKey(dict *tokens.Dictionary, e *Element, mode TokenMode) tokens.ID {
 	if mode == ModeQGram {
 		if e.Raw == "" {

@@ -117,6 +117,8 @@ func NewCollector(ix *index.Inverted) *Collector {
 //
 // The second result is the raw candidate count: accepted sets sharing at
 // least one signature token, before the check filter's rejection.
+//
+//silkmoth:hotpath
 func (cl *Collector) Collect(r *dataset.Set, sig *signature.Signature, phi SimFunc, opts Options) ([]*Candidate, int) {
 	coll := cl.ix.Collection()
 	if n := len(coll.Sets); n > len(cl.seen) {
@@ -201,6 +203,8 @@ func (cl *Collector) Collect(r *dataset.Set, sig *signature.Signature, phi SimFu
 // slots and always survive. After an epoch wrap every stamp was reset to
 // 0, which makes all slots look cold at the next boundary; that one-time
 // full release is the cap working as intended.
+//
+//silkmoth:hotpath
 func (cl *Collector) maybeTrim() {
 	if cl.epoch == 0 || cl.epoch%trimInterval != 0 {
 		return

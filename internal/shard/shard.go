@@ -455,6 +455,8 @@ func (e *Engine) compactLocked() {
 // sortMatches orders matches canonically: descending relatedness, ties by
 // ascending (global) set index. This is the order the public API promises
 // and the order per-shard streams feed the top-k merge in.
+//
+//silkmoth:hotpath
 func sortMatches(ms []core.Match) {
 	slices.SortFunc(ms, func(a, b core.Match) int {
 		if a.Relatedness != b.Relatedness {
@@ -527,6 +529,8 @@ func (e *Engine) scatter(ctx context.Context, r *dataset.Set, k int, q *core.Que
 // noteStraggler bumps the straggler counter when the scatter's slowest
 // shard ran away from the median. The median is found by rank counting —
 // O(shards²) but allocation-free, and shard counts are small.
+//
+//silkmoth:hotpath
 func (e *Engine) noteStraggler(durs []int64) {
 	n := len(durs)
 	if n < 2 {

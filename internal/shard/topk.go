@@ -40,6 +40,8 @@ func (e *Engine) SearchTopKQueryContext(ctx context.Context, r *dataset.Set, k i
 // mergeTopK merges per-stream sorted match lists (descending relatedness,
 // ties by ascending set index) into the global top k, preserving that
 // order. It is exactly the k-prefix of the fully merged sort.
+//
+//silkmoth:hotpath
 func mergeTopK(per [][]core.Match, k int) []core.Match {
 	h := make(streamHeap, 0, len(per))
 	for _, ms := range per {
@@ -67,6 +69,8 @@ func mergeTopK(per [][]core.Match, k int) []core.Match {
 // full sort of the shard's matches), then the k survivors are sorted.
 // Because the canonical order is total (set indices are unique), the
 // result is exactly sort-then-truncate's.
+//
+//silkmoth:hotpath
 func localTopK(ms []core.Match, k int) []core.Match {
 	if len(ms) > k {
 		h := worstHeap(ms[:k:k])
@@ -86,6 +90,8 @@ func localTopK(ms []core.Match, k int) []core.Match {
 
 // worse reports whether a ranks strictly after b in the canonical order
 // (descending relatedness, ties by ascending set index).
+//
+//silkmoth:hotpath
 func worse(a, b core.Match) bool {
 	if a.Relatedness != b.Relatedness {
 		return a.Relatedness < b.Relatedness

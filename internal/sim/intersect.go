@@ -25,6 +25,8 @@ const mergeGallopTrigger = 8
 // linear), and per-probe galloping for skewed ones (the common shape when a
 // short query element meets a long indexed one). Both kernels are pinned
 // bit-identical to the linear-merge reference IntersectSizeSortedRef.
+//
+//silkmoth:hotpath
 func IntersectSizeSorted(a, b []tokens.ID) int {
 	if len(a) > len(b) {
 		a, b = b, a
@@ -50,6 +52,8 @@ const adaptiveMinLong = 2 * mergeGallopTrigger
 
 // intersectMerge is the plain two-cursor linear merge, the fastest kernel
 // for small similar-size sets.
+//
+//silkmoth:hotpath
 func intersectMerge(a, b []tokens.ID) int {
 	n, i, j := 0, 0, 0
 	for i < len(a) && j < len(b) {
@@ -71,6 +75,8 @@ func intersectMerge(a, b []tokens.ID) int {
 // exponentially probe forward in b for the first position ≥ id, then binary
 // search inside the overshoot window. The cursor only moves forward, so the
 // whole intersection costs O(|a|·log(|b|/|a|)).
+//
+//silkmoth:hotpath
 func intersectGallop(a, b []tokens.ID) int {
 	n, j := 0, 0
 	for _, x := range a {
@@ -89,6 +95,8 @@ func intersectGallop(a, b []tokens.ID) int {
 // gallopLowerBound returns the smallest index ≥ lo with b[i] ≥ x, galloping
 // from lo: doubling steps until overshoot, then binary search in the last
 // window. b[lo:] must be sorted.
+//
+//silkmoth:hotpath
 func gallopLowerBound(b []tokens.ID, lo int, x tokens.ID) int {
 	if lo >= len(b) || b[lo] >= x {
 		return lo
@@ -121,6 +129,8 @@ func gallopLowerBound(b []tokens.ID, lo int, x tokens.ID) int {
 // advances mergeGallopTrigger times in a row — the signature of disjoint id
 // regions — that side's run is finished with an exponential probe plus
 // binary search instead of one comparison per id.
+//
+//silkmoth:hotpath
 func intersectAdaptiveMerge(a, b []tokens.ID) int {
 	n, i, j := 0, 0, 0
 	runA, runB := 0, 0

@@ -20,6 +20,13 @@
 // IntersectSizeSorted picks galloping or block-skipped merge by size ratio.
 // The scalar implementations they replaced are retained as *Ref functions
 // and pinned bit-identical by differential fuzz targets and property tests.
+//
+// The kernels carry //silkmoth:hotpath annotations: the hotpath analyzer
+// (internal/lint, run as `silkmothlint` in CI) statically rejects
+// allocation-inducing constructs inside them, so the zero-allocation claim
+// above is enforced at the source level, not just by AllocsPerRun tests.
+// The retained *Ref oracles are unannotated on purpose — they trade
+// allocations for obviousness.
 package sim
 
 import "silkmoth/internal/tokens"

@@ -6,6 +6,8 @@ package sim
 // one word-op column advance per text rune when the shorter string fits a
 // 64-bit word, the blocked multi-word kernel beyond that. Strings of at
 // most 64 runes are processed without heap allocation.
+//
+//silkmoth:hotpath
 func Levenshtein(a, b string) int {
 	var ab, bb [64]rune
 	ra := appendRunes(ab[:0], a)
@@ -13,6 +15,7 @@ func Levenshtein(a, b string) int {
 	return levenshteinRunes(ra, rb)
 }
 
+//silkmoth:hotpath
 func levenshteinRunes(ra, rb []rune) int {
 	if len(ra) < len(rb) {
 		ra, rb = rb, ra
@@ -37,6 +40,8 @@ func levenshteinRunes(ra, rb []rune) int {
 // A negative maxDist always reports exceeded by returning maxDist+1, which
 // is ≤ 0; callers must test `> maxDist`, never `== 0`, to detect the
 // exceeded case (LevenshteinBounded(x, x, -1) == 0 does not mean equal).
+//
+//silkmoth:hotpath
 func LevenshteinBounded(a, b string, maxDist int) int {
 	if maxDist < 0 {
 		return maxDist + 1
@@ -66,6 +71,8 @@ func LevenshteinBounded(a, b string, maxDist int) int {
 
 // appendRunes appends the runes of s to buf and returns the result. Callers
 // pass a stack-backed buffer so short strings decode without allocating.
+//
+//silkmoth:hotpath
 func appendRunes(buf []rune, s string) []rune {
 	for _, c := range s {
 		buf = append(buf, c)

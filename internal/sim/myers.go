@@ -26,6 +26,7 @@ type peqTable struct {
 	e [64]peqEntry
 }
 
+//silkmoth:hotpath
 func (t *peqTable) build(p []rune) {
 	t.n = 0
 	for i, c := range p {
@@ -41,6 +42,7 @@ func (t *peqTable) build(p []rune) {
 	}
 }
 
+//silkmoth:hotpath
 func (t *peqTable) mask(c rune) uint64 {
 	for j := 0; j < t.n; j++ {
 		if t.e[j].r == c {
@@ -52,6 +54,8 @@ func (t *peqTable) mask(c rune) uint64 {
 
 // myers64 returns the edit distance between pattern p (1 ≤ len ≤ 64 runes)
 // and text t. It allocates nothing.
+//
+//silkmoth:hotpath
 func myers64(p, t []rune) int {
 	return myers64Bounded(p, t, len(p)+len(t))
 }
@@ -65,6 +69,8 @@ func myers64(p, t []rune) int {
 // All-ASCII patterns — the overwhelmingly common case for word and q-gram
 // elements — use a direct-mapped Eq table (one load per text rune); any
 // non-ASCII pattern rune falls back to the linear-scan peqTable.
+//
+//silkmoth:hotpath
 func myers64Bounded(p, t []rune, maxDist int) int {
 	var ascii [128]uint64
 	for i, c := range p {
@@ -110,6 +116,8 @@ func myers64Bounded(p, t []rune, maxDist int) int {
 
 // myers64BoundedGeneric is the non-ASCII form of myers64Bounded: Eq comes
 // from a linear scan over the pattern's distinct runes.
+//
+//silkmoth:hotpath
 func myers64BoundedGeneric(p, t []rune, maxDist int) int {
 	m := len(p)
 	var tab peqTable
@@ -187,6 +195,8 @@ func (bp *blockPeq) row(c rune) []uint64 {
 // advanceBlock advances one 64-row block of the DP column by one text rune.
 // hin ∈ {-1, 0, +1} is the horizontal delta entering the block's top row;
 // the returned hout is the delta leaving its bottom row (read at bit 63).
+//
+//silkmoth:hotpath
 func advanceBlock(pv, mv, eq uint64, hin int) (pvOut, mvOut uint64, hout int) {
 	var hinNeg uint64
 	if hin < 0 {

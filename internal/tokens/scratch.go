@@ -26,6 +26,8 @@ type Scratch struct {
 // of s — the token stream of InternAll(d, Words(s)) — to dst and returns
 // the extended slice. Word boundaries follow unicode.IsSpace, matching
 // strings.Fields.
+//
+//silkmoth:hotpath
 func (sc *Scratch) AppendWordIDs(dst []ID, d *Dictionary, s string) []ID {
 	start := -1 // start of the current word, -1 while in whitespace
 	for i, c := range s {
@@ -47,6 +49,8 @@ func (sc *Scratch) AppendWordIDs(dst []ID, d *Dictionary, s string) []ID {
 // AppendQGramIDs appends the interned id of each q-gram of s — the token
 // stream of InternAll(d, QGrams(s, q)) — to dst and returns the extended
 // slice. q must be positive.
+//
+//silkmoth:hotpath
 func (sc *Scratch) AppendQGramIDs(dst []ID, d *Dictionary, s string, q int) []ID {
 	if q <= 0 {
 		panic("tokens: AppendQGramIDs requires q > 0")
@@ -62,6 +66,8 @@ func (sc *Scratch) AppendQGramIDs(dst []ID, d *Dictionary, s string, q int) []ID
 // AppendQChunkIDs appends the interned id of each q-chunk of s — the token
 // stream of InternAll(d, QChunks(s, q)) — to dst and returns the extended
 // slice. q must be positive.
+//
+//silkmoth:hotpath
 func (sc *Scratch) AppendQChunkIDs(dst []ID, d *Dictionary, s string, q int) []ID {
 	if q <= 0 {
 		panic("tokens: AppendQChunkIDs requires q > 0")
@@ -80,6 +86,8 @@ func (sc *Scratch) AppendQChunkIDs(dst []ID, d *Dictionary, s string, q int) []I
 
 // padded stages the runes of s followed by q-1 Pad runes in the scratch
 // rune buffer.
+//
+//silkmoth:hotpath
 func (sc *Scratch) padded(s string, q int) []rune {
 	r := sc.runes[:0]
 	for _, c := range s {
@@ -97,6 +105,8 @@ func (sc *Scratch) padded(s string, q int) []rune {
 // encode stages the UTF-8 encoding of rs in the scratch byte buffer. The
 // encoding matches string(rs) exactly, including the U+FFFD replacement of
 // invalid runes, so InternBytes sees the same key QGrams would intern.
+//
+//silkmoth:hotpath
 func (sc *Scratch) encode(rs []rune) []byte {
 	b := sc.gram[:0]
 	for _, c := range rs {
