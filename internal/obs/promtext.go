@@ -230,6 +230,14 @@ func parseLabels(body string, dst map[string]string) error {
 	return nil
 }
 
+// ValidMetricName reports whether s is a legal exposition-format metric
+// family name ([a-zA-Z_:][a-zA-Z0-9_:]*). It is the same predicate the
+// parser applies to scraped families, exported so the metricnames static
+// analyzer enforces it on the literals that produce them.
+func ValidMetricName(s string) bool {
+	return validMetricName(s)
+}
+
 func validMetricName(s string) bool {
 	if s == "" {
 		return false
