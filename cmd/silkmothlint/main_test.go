@@ -1,0 +1,76 @@
+package main
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// moduleRoot resolves the repository root so the linter runs against the
+// real tree regardless of the test's working directory.
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == "/dev/null" {
+		t.Fatal("not inside a module")
+	}
+	return filepath.Dir(gomod)
+}
+
+func runLint(t *testing.T, root string, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", "./cmd/silkmothlint"}, args...)...)
+	cmd.Dir = root
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	if err == nil {
+		return 0, buf.String()
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode(), buf.String()
+	}
+	t.Fatalf("running silkmothlint: %v\n%s", err, buf.String())
+	return -1, ""
+}
+
+// TestTreeIsClean is the meta-gate: the real tree must produce zero
+// diagnostics. If this fails, either fix the violation or add a reasoned
+// //silkmothlint:ignore — do not weaken the analyzer.
+func TestTreeIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and analyzes the whole module")
+	}
+	code, out := runLint(t, moduleRoot(t), "./...")
+	if code != 0 {
+		t.Fatalf("silkmothlint ./... exited %d:\n%s", code, out)
+	}
+}
+
+// TestFixturesAreDirty proves the analyzers actually fire: each fixture
+// package must fail the lint run.
+func TestFixturesAreDirty(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the linter")
+	}
+	root := moduleRoot(t)
+	fixtures := []string{
+		"internal/lint/testdata/src/hotpathfix",
+		"internal/lint/testdata/src/internal/wal",
+		"internal/lint/testdata/src/internal/core",
+		"internal/lint/testdata/src/internal/server",
+	}
+	for _, dir := range fixtures {
+		code, out := runLint(t, root, "-dir", dir)
+		if code != 1 {
+			t.Errorf("silkmothlint -dir %s exited %d, want 1:\n%s", dir, code, out)
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package lint
+
+import (
+	"fmt"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// expectation is one `// want "regex"` declared in a fixture, pinned to
+// the line the comment sits on.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// CheckGolden compares diagnostics against the fixture's `// want`
+// comments — the same convention as x/tools' analysistest: a comment of
+// the form
+//
+//	code // want `regex` `another regex`
+//
+// declares that its line produces exactly one diagnostic per pattern,
+// each matching its regex. The return value lists every mismatch in both
+// directions (a diagnostic no want expects, a want no diagnostic
+// satisfies); empty means the run matches the golden expectations.
+func CheckGolden(pkg *Package, diags []Diagnostic) []string {
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				rest, ok := cutWant(c.Text)
+				if !ok {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range wantRE.FindAllString(rest, -1) {
+					pat, err := unquoteWant(q)
+					if err != nil {
+						return []string{fmt.Sprintf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)}
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return []string{fmt.Sprintf("%s:%d: bad want regexp %s: %v", pos.Filename, pos.Line, q, err)}
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+				}
+			}
+		}
+	}
+
+	var fails []string
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			fails = append(fails, fmt.Sprintf("unexpected diagnostic: %s", d))
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			fails = append(fails, fmt.Sprintf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw))
+		}
+	}
+	sort.Strings(fails)
+	return fails
+}
+
+func cutWant(comment string) (string, bool) {
+	const marker = "// want "
+	for i := 0; i+len(marker) <= len(comment); i++ {
+		if comment[i:i+len(marker)] == marker {
+			return comment[i+len(marker):], true
+		}
+	}
+	return "", false
+}
+
+func unquoteWant(q string) (string, error) {
+	if q[0] == '`' {
+		return q[1 : len(q)-1], nil
+	}
+	return strconv.Unquote(q)
+}

@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// FsyncErr enforces the WAL's durability contract at the call-site level:
+// inside internal/wal, every error from a Write/Sync/Close/Rename/Truncate/
+// SyncDir call must flow somewhere — not be dropped in an expression
+// statement, a bare defer, or a blank assignment. The crash-injection
+// harness proves recovery works when failures surface; this analyzer makes
+// sure they surface. (internal/wal/failfs is out of scope: it is the fault
+// injector, not a durability path.)
+var FsyncErr = &Analyzer{
+	Name:    "fsyncerr",
+	Doc:     "internal/wal must check every Write/Sync/Close/Rename/Truncate/SyncDir error",
+	Applies: func(pkg *Package) bool { return hasSuffixPath(pkg.Path, "internal/wal") },
+	Run:     runFsyncErr,
+}
+
+var durabilityMethods = map[string]bool{
+	"Write":       true,
+	"WriteString": true,
+	"Sync":        true,
+	"Close":       true,
+	"Rename":      true,
+	"Truncate":    true,
+	"SyncDir":     true,
+}
+
+func runFsyncErr(pass *Pass) {
+	info := pass.Pkg.Info
+	inspectFiles(pass.Pkg, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok {
+				reportDiscarded(pass, info, call, "discarded")
+			}
+		case *ast.DeferStmt:
+			reportDiscarded(pass, info, n.Call, "discarded by defer; close explicitly and merge the error")
+		case *ast.GoStmt:
+			reportDiscarded(pass, info, n.Call, "discarded by go statement")
+		case *ast.AssignStmt:
+			checkBlankAssign(pass, info, n)
+		}
+		return true
+	})
+}
+
+// reportDiscarded flags call if it is a durability call whose error result
+// the surrounding statement throws away.
+func reportDiscarded(pass *Pass, info *types.Info, call *ast.CallExpr, how string) {
+	if name, ok := durabilityCall(info, call); ok {
+		pass.Reportf(call.Pos(), "durability error %s: %s returns an error that must be checked", how, name)
+	}
+}
+
+// checkBlankAssign flags `_ = f.Sync()` and the multi-value form where the
+// error position lands on the blank identifier.
+func checkBlankAssign(pass *Pass, info *types.Info, as *ast.AssignStmt) {
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		call, ok := unparen(as.Rhs[0]).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		name, ok := durabilityCall(info, call)
+		if !ok {
+			return
+		}
+		sig, _ := info.TypeOf(call.Fun).(*types.Signature)
+		if sig == nil {
+			return
+		}
+		for i := 0; i < sig.Results().Len() && i < len(as.Lhs); i++ {
+			if isErrorType(sig.Results().At(i).Type()) && isBlank(as.Lhs[i]) {
+				pass.Reportf(call.Pos(), "durability error assigned to _: %s returns an error that must be checked", name)
+			}
+		}
+		return
+	}
+	for i, rhs := range as.Rhs {
+		if i >= len(as.Lhs) || !isBlank(as.Lhs[i]) {
+			continue
+		}
+		if call, ok := unparen(rhs).(*ast.CallExpr); ok {
+			if name, ok := durabilityCall(info, call); ok {
+				pass.Reportf(call.Pos(), "durability error assigned to _: %s returns an error that must be checked", name)
+			}
+		}
+	}
+}
+
+// durabilityCall reports whether call invokes one of the durability methods
+// and returns an error.
+func durabilityCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	obj := calleeObject(info, call)
+	if obj == nil || !durabilityMethods[obj.Name()] {
+		return "", false
+	}
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return "", false
+	}
+	res := sig.Results()
+	if res.Len() == 0 || !isErrorType(res.At(res.Len()-1).Type()) {
+		return "", false
+	}
+	return obj.Name(), true
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

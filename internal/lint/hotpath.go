@@ -1,0 +1,288 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotPath enforces the zero-allocation contract on functions annotated
+// //silkmoth:hotpath. The AllocsPerRun gates catch a regression after the
+// fact on whichever workload a test happens to drive; this analyzer rejects
+// the allocation-inducing construct itself, on every path, at review time.
+//
+// Flagged inside an annotated function:
+//   - any call into package fmt (formatting allocates and takes ...any)
+//   - sort.Slice / sort.SliceStable / sort.SliceIsSorted (reflect-based;
+//     use slices.SortFunc or a concrete sort.Interface instead)
+//   - string ↔ []byte / []rune conversions (each one copies)
+//   - map literals, slice literals, and &T{...} pointer literals (value
+//     struct literals are fine — they stay on the stack)
+//   - append to a slice declared `var s []T` in the same function
+//     (zero-capacity growth reallocates; pre-size with make or reuse a
+//     pooled scratch buffer)
+//   - closures that capture enclosing variables (the captures force a
+//     heap-allocated environment; non-capturing func literals are fine)
+//   - concrete non-pointer-shaped arguments passed to interface
+//     parameters (boxing allocates; pointers, maps, chans, and funcs are
+//     word-sized and do not)
+var HotPath = &Analyzer{
+	Name:    "hotpath",
+	Doc:     "functions annotated //silkmoth:hotpath must avoid allocation-inducing constructs",
+	Applies: func(*Package) bool { return true },
+	Run:     runHotPath,
+}
+
+// hotPathMarker is the annotation that opts a function into the contract.
+const hotPathMarker = "//silkmoth:hotpath"
+
+func runHotPath(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotPathFunc(fd) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+}
+
+func isHotPathFunc(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if c.Text == hotPathMarker || strings.HasPrefix(c.Text, hotPathMarker+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Pkg.Info
+
+	// Locals declared `var s []T` with no initializer: appending to these
+	// grows from zero capacity.
+	growable := make(map[types.Object]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		ds, ok := n.(*ast.DeclStmt)
+		if !ok {
+			return true
+		}
+		gd, ok := ds.Decl.(*ast.GenDecl)
+		if !ok {
+			return true
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Values) != 0 {
+				continue
+			}
+			for _, name := range vs.Names {
+				obj := info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+					growable[obj] = true
+				}
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkHotCall(pass, info, n, growable)
+		case *ast.UnaryExpr:
+			if cl, ok := unparen(n.X).(*ast.CompositeLit); ok && n.Op.String() == "&" {
+				pass.Reportf(n.Pos(), "hot path allocates: &%s{...} composite literal escapes to the heap", typeLabel(info, cl))
+			}
+		case *ast.CompositeLit:
+			switch n.Type.(type) {
+			case nil:
+				// Nested literal ({{...}} inside an outer literal); the
+				// outer one carries the diagnostic.
+			default:
+				switch info.TypeOf(n).Underlying().(type) {
+				case *types.Map:
+					pass.Reportf(n.Pos(), "hot path allocates: map literal")
+				case *types.Slice:
+					pass.Reportf(n.Pos(), "hot path allocates: slice literal")
+				}
+			}
+		case *ast.FuncLit:
+			if capt := captured(info, fd, n); capt != "" {
+				pass.Reportf(n.Pos(), "hot path allocates: closure captures %s", capt)
+			}
+		}
+		return true
+	})
+}
+
+func checkHotCall(pass *Pass, info *types.Info, call *ast.CallExpr, growable map[types.Object]bool) {
+	// Conversions: flag the string ↔ []byte/[]rune pairs, which copy.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		if len(call.Args) == 1 {
+			dst, src := tv.Type, info.TypeOf(call.Args[0])
+			if isStringType(dst) && isByteOrRuneSlice(src) {
+				pass.Reportf(call.Pos(), "hot path allocates: %s→string conversion copies", typeString(src))
+			} else if isByteOrRuneSlice(dst) && isStringType(src) {
+				pass.Reportf(call.Pos(), "hot path allocates: string→%s conversion copies", typeString(dst))
+			}
+		}
+		return
+	}
+
+	// append to a zero-capacity local.
+	if id, ok := call.Fun.(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			if id.Name == "append" && len(call.Args) > 0 {
+				if target, ok := unparen(call.Args[0]).(*ast.Ident); ok && growable[info.Uses[target]] {
+					pass.Reportf(call.Pos(), "hot path allocates: append grows %s, declared without capacity; pre-size with make or reuse a scratch buffer", target.Name)
+				}
+			}
+			return
+		}
+	}
+
+	// Banned packages/functions.
+	if obj := calleeObject(info, call); obj != nil && obj.Pkg() != nil {
+		switch obj.Pkg().Path() {
+		case "fmt":
+			pass.Reportf(call.Pos(), "hot path allocates: fmt.%s call", obj.Name())
+			return
+		case "sort":
+			switch obj.Name() {
+			case "Slice", "SliceStable", "SliceIsSorted":
+				pass.Reportf(call.Pos(), "hot path allocates: reflection-based sort.%s; use slices.SortFunc or a concrete sort.Interface", obj.Name())
+				return
+			}
+		}
+	}
+
+	// Interface boxing at the call site.
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || call.Ellipsis.IsValid() {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+		case i < params.Len():
+			pt = params.At(i).Type()
+		default:
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		at := info.TypeOf(arg)
+		if at == nil || isUntypedNil(at) {
+			continue
+		}
+		if _, already := at.Underlying().(*types.Interface); already {
+			continue
+		}
+		if pointerShaped(at) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "hot path allocates: %s argument boxes into interface parameter", typeString(at))
+	}
+}
+
+// captured names the first enclosing-function variable a func literal
+// closes over, or "" if the literal is capture-free.
+func captured(info *types.Info, fd *ast.FuncDecl, fl *ast.FuncLit) string {
+	name := ""
+	ast.Inspect(fl.Body, func(n ast.Node) bool {
+		if name != "" {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := info.Uses[id].(*types.Var)
+		if !ok || v.IsField() {
+			return true
+		}
+		// Captured ⇔ declared inside the annotated function but outside
+		// this literal. (Package-level vars fail the first test; the
+		// literal's own params and locals fail the second.)
+		if v.Pos() >= fd.Pos() && v.Pos() < fd.End() && !(v.Pos() >= fl.Pos() && v.Pos() < fl.End()) {
+			name = v.Name()
+		}
+		return true
+	})
+	return name
+}
+
+func calleeObject(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fun]
+	case *ast.SelectorExpr:
+		return info.Uses[fun.Sel]
+	}
+	return nil
+}
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune ||
+		b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isUntypedNil(t types.Type) bool {
+	b, ok := t.(*types.Basic)
+	return ok && b.Kind() == types.UntypedNil
+}
+
+// pointerShaped reports whether values of t fit in one word without
+// boxing when stored in an interface.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func typeString(t types.Type) string {
+	return types.TypeString(t, func(p *types.Package) string { return p.Name() })
+}
+
+func typeLabel(info *types.Info, cl *ast.CompositeLit) string {
+	if t := info.TypeOf(cl); t != nil {
+		return typeString(t)
+	}
+	return "T"
+}

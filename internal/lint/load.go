@@ -1,0 +1,212 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis. Only
+// non-test files are loaded: the invariants the suite enforces are about
+// production code, and test files are free to allocate, discard errors,
+// and use context.Background().
+type Package struct {
+	// Path is the import path. Fixture packages loaded with LoadDir get a
+	// pseudo-path derived from their location under testdata/src/, so the
+	// analyzers' path-suffix scoping applies to them unchanged.
+	Path     string
+	Dir      string
+	Fset     *token.FileSet
+	Files    []*ast.File
+	TypesPkg *types.Package
+	Info     *types.Info
+	// ReadmePath is the metric catalog the metricnames analyzer checks
+	// against: the package directory's own README.md if present (fixtures),
+	// otherwise the module root's.
+	ReadmePath string
+}
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Module     *struct{ Path, Dir string }
+}
+
+// Load resolves patterns ("./...", "silkmoth/internal/wal") to the module's
+// packages and type-checks them without any dependency beyond the go tool:
+// `go list -deps -export` surfaces the build cache's export-data files and
+// importer.ForCompiler reads dependency types straight from them.
+func Load(patterns ...string) ([]*Package, error) {
+	args := append([]string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,Module",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.Bytes())
+	}
+
+	exports := make(map[string]string)
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: decoding go list output: %v", err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.Standard && p.Module != nil {
+			targets = append(targets, p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	fset := token.NewFileSet()
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, p := range targets {
+		pkg, err := typeCheck(fset, imp, p.ImportPath, p.Dir, p.GoFiles)
+		if err != nil {
+			return nil, err
+		}
+		if p.Module.Dir != "" {
+			pkg.ReadmePath = filepath.Join(p.Module.Dir, "README.md")
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// LoadDir loads a single directory of Go files as one package — the fixture
+// path: testdata trees are invisible to the go tool, so the files are
+// enumerated directly and dependency types come from a lazy per-import
+// `go list -export` lookup. The package's pseudo import path is whatever
+// follows "testdata/src/" in the directory path, which is what lets a
+// fixture stand in for, say, internal/wal.
+func LoadDir(dir string) (*Package, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %v", err)
+	}
+	var goFiles []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+			goFiles = append(goFiles, e.Name())
+		}
+	}
+	if len(goFiles) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", abs)
+	}
+	sort.Strings(goFiles)
+
+	path := filepath.ToSlash(abs)
+	if _, after, ok := strings.Cut(path, "/testdata/src/"); ok {
+		path = after
+	} else {
+		path = filepath.Base(abs)
+	}
+
+	fset := token.NewFileSet()
+	exports := make(map[string]string)
+	imp := importer.ForCompiler(fset, "gc", func(ipath string) (io.ReadCloser, error) {
+		f, ok := exports[ipath]
+		if !ok {
+			out, err := exec.Command("go", "list", "-export", "-f", "{{.Export}}", ipath).Output()
+			if err != nil {
+				return nil, fmt.Errorf("no export data for %q: %v", ipath, err)
+			}
+			f = strings.TrimSpace(string(out))
+			if f == "" {
+				return nil, fmt.Errorf("no export data for %q", ipath)
+			}
+			exports[ipath] = f
+		}
+		return os.Open(f)
+	})
+
+	pkg, err := typeCheck(fset, imp, path, abs, goFiles)
+	if err != nil {
+		return nil, err
+	}
+	pkg.ReadmePath = readmeFor(abs)
+	return pkg, nil
+}
+
+func typeCheck(fset *token.FileSet, imp types.Importer, path, dir string, goFiles []string) (*Package, error) {
+	var files []*ast.File
+	for _, gf := range goFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, gf), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %v", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, err)
+	}
+	return &Package{
+		Path:     path,
+		Dir:      dir,
+		Fset:     fset,
+		Files:    files,
+		TypesPkg: tpkg,
+		Info:     info,
+	}, nil
+}
+
+// readmeFor finds the metric catalog that governs dir: its own README.md if
+// it ships one, else the nearest README.md walking up to the filesystem root.
+func readmeFor(dir string) string {
+	for d := dir; ; {
+		p := filepath.Join(d, "README.md")
+		if _, err := os.Stat(p); err == nil {
+			return p
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return ""
+		}
+		d = parent
+	}
+}

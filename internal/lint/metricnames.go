@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+
+	"silkmoth/internal/obs"
+)
+
+// MetricNames keeps the exposition surface honest: every silkmothd_*
+// metric family named in a string literal in internal/server or
+// internal/obs must (1) satisfy the in-repo exposition parser's name
+// grammar, (2) follow the repo's all-lowercase convention, and (3) appear
+// in the README metric catalog. The observability e2e test proves the
+// endpoint parses; this analyzer proves the docs and the code name the
+// same families, so a metric cannot be added or renamed without its
+// catalog row.
+var MetricNames = &Analyzer{
+	Name: "metricnames",
+	Doc:  "silkmothd_* family names must parse, be lowercase, and appear in the README catalog",
+	Applies: func(pkg *Package) bool {
+		return hasSuffixPath(pkg.Path, "internal/server") ||
+			hasSuffixPath(pkg.Path, "internal/obs")
+	},
+	Run: runMetricNames,
+}
+
+// metricNameRE captures a whole silkmothd_-prefixed token, deliberately
+// wider than the legal name grammar (it stops only at exposition-format
+// delimiters) so that a malformed name like silkmothd_bad-name is captured
+// whole and rejected by ValidMetricName rather than silently truncated at
+// the first illegal character.
+var metricNameRE = regexp.MustCompile(`silkmothd_[^\s"{}()%,;=|]*`)
+
+// catalogNameRE extracts documented family names from the README; the
+// catalog side only ever lists legal names.
+var catalogNameRE = regexp.MustCompile(`silkmothd_[a-zA-Z0-9_:]*`)
+
+func runMetricNames(pass *Pass) {
+	catalog, catalogErr := readCatalog(pass.Pkg.ReadmePath)
+	reportedMissing := make(map[string]bool)
+
+	inspectFiles(pass.Pkg, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		val, err := strconv.Unquote(lit.Value)
+		if err != nil {
+			return true
+		}
+		for _, name := range metricNameRE.FindAllString(val, -1) {
+			if !obs.ValidMetricName(name) {
+				pass.Reportf(lit.Pos(), "metric family %q fails the exposition parser's name rules", name)
+				continue
+			}
+			if name != strings.ToLower(name) {
+				pass.Reportf(lit.Pos(), "metric family %q breaks the all-lowercase naming convention", name)
+				continue
+			}
+			if catalogErr != nil {
+				if !reportedMissing["\x00catalog"] {
+					reportedMissing["\x00catalog"] = true
+					pass.Reportf(lit.Pos(), "cannot check metric catalog: %v", catalogErr)
+				}
+				continue
+			}
+			if !catalog[name] && !reportedMissing[name] {
+				reportedMissing[name] = true
+				pass.Reportf(lit.Pos(), "metric family %q is not in the README metric catalog (%s)", name, pass.Pkg.ReadmePath)
+			}
+		}
+		return true
+	})
+}
+
+// readCatalog extracts the set of documented family names: every
+// silkmothd_* identifier mentioned anywhere in the README.
+func readCatalog(path string) (map[string]bool, error) {
+	if path == "" {
+		return nil, os.ErrNotExist
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	catalog := make(map[string]bool)
+	for _, name := range catalogNameRE.FindAllString(string(data), -1) {
+		catalog[name] = true
+	}
+	return catalog, nil
+}

@@ -1,0 +1,70 @@
+// Package hotpathfix is the hotpath analyzer's fixture: each annotated
+// function trips one rule, and the unannotated/compliant functions pin the
+// constructs the analyzer must accept.
+package hotpathfix
+
+import (
+	"fmt"
+	"sort"
+)
+
+type item struct{ k, v int }
+
+func sink(x any) int { return 0 }
+
+//silkmoth:hotpath
+func literals(s string) int {
+	m := map[int]int{1: 2} // want `hot path allocates: map literal`
+	ys := []int{1, 2, 3}   // want `hot path allocates: slice literal`
+	p := &item{k: 1}       // want `hot path allocates: &hotpathfix\.item\{\.\.\.\} composite literal escapes to the heap`
+	return len(m) + len(ys) + p.k
+}
+
+//silkmoth:hotpath
+func conversions(s string) string {
+	b := []byte(s)   // want `hot path allocates: string→\[\]byte conversion copies`
+	return string(b) // want `hot path allocates: \[\]byte→string conversion copies`
+}
+
+//silkmoth:hotpath
+func growth(xs []int) int {
+	var acc []int            // zero-capacity declaration...
+	acc = append(acc, xs...) // want `hot path allocates: append grows acc, declared without capacity`
+	return len(acc)
+}
+
+//silkmoth:hotpath
+func formatting(v int) {
+	fmt.Println(v) // want `hot path allocates: fmt\.Println call`
+}
+
+//silkmoth:hotpath
+func reflectionSort(xs []int) {
+	sort.Slice(xs, func(i, j int) bool { return xs[i] < xs[j] }) // want `hot path allocates: reflection-based sort\.Slice` `hot path allocates: closure captures xs`
+}
+
+//silkmoth:hotpath
+func boxes(v int) int {
+	return sink(v) // want `hot path allocates: int argument boxes into interface parameter`
+}
+
+// compliant stays diagnostic-free: value struct literals, pre-sized append,
+// non-capturing func literals, and pointer-shaped interface arguments are
+// all allowed on the hot path.
+//
+//silkmoth:hotpath
+func compliant(xs []int) int {
+	it := item{k: 1, v: 2}
+	buf := make([]int, 0, len(xs))
+	buf = append(buf, xs...)
+	cmp := func(a, b int) int { return a - b }
+	return it.k + len(buf) + cmp(1, 2) + sink(&it)
+}
+
+// unannotated functions are out of contract: none of this is flagged.
+func unannotated(s string) []byte {
+	var out []byte
+	out = append(out, []byte(s)...)
+	fmt.Println(len(out))
+	return out
+}

@@ -1,0 +1,32 @@
+// Package core is the ctxflow fixture; its pseudo import path
+// internal/core places it in the analyzer's scope.
+package core
+
+import "context"
+
+type Engine struct{}
+
+type Match struct{}
+
+func (e *Engine) refresh() {
+	ctx := context.Background() // want `context\.Background\(\) mints an uncancellable root context`
+	_ = ctx
+	_ = context.TODO() // want `context\.TODO\(\) mints an uncancellable root context`
+}
+
+func (e *Engine) Search(r int) []Match { // want `exported query entrypoint Search must take a context\.Context`
+	return nil
+}
+
+func (e *Engine) SearchContext(ctx context.Context, r int) ([]Match, error) {
+	return nil, ctx.Err()
+}
+
+func Discover(refs []int) []Match { // want `exported query entrypoint Discover must take a context\.Context`
+	return nil
+}
+
+type inner struct{}
+
+// Methods on unexported types are not entrypoints; not flagged.
+func (in *inner) SearchLocal(r int) []Match { return nil }

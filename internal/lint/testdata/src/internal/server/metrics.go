@@ -1,0 +1,16 @@
+// Package server is the metricnames fixture; the catalog it is checked
+// against is this directory's own README.md.
+package server
+
+const good = "silkmothd_good_total"
+
+const undocumented = "silkmothd_rogue_total" // want `metric family "silkmothd_rogue_total" is not in the README metric catalog`
+
+const uppercase = "silkmothd_BadCase_total" // want `metric family "silkmothd_BadCase_total" breaks the all-lowercase naming convention`
+
+const malformed = "silkmothd_bad-name_total" // want `metric family "silkmothd_bad-name_total" fails the exposition parser's name rules`
+
+// Exposition-format text is scanned too, including HELP/TYPE headers.
+func expo() string {
+	return "# HELP silkmothd_documented_seconds latency\nsilkmothd_documented_seconds 1\n"
+}

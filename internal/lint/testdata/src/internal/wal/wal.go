@@ -1,0 +1,20 @@
+// Package wal is the fsyncerr fixture. Its directory sits under
+// testdata/src/internal/wal, so LoadDir assigns the pseudo import path
+// internal/wal and the analyzer's scope rule treats it as the real WAL.
+package wal
+
+import "os"
+
+func rotate(f *os.File, dir string) error {
+	f.Sync()                      // want `durability error discarded: Sync returns an error that must be checked`
+	_ = f.Close()                 // want `durability error assigned to _: Close returns an error that must be checked`
+	defer f.Close()               // want `durability error discarded by defer`
+	os.Rename(dir+"/a", dir+"/b") // want `durability error discarded: Rename returns an error that must be checked`
+	n, _ := f.Write([]byte("x"))  // want `durability error assigned to _: Write returns an error that must be checked`
+	_ = n
+	if err := f.Sync(); err != nil { // checked: not flagged
+		return err
+	}
+	f.Close() //silkmothlint:ignore fsyncerr fixture proves suppression silences a finding
+	return nil
+}
